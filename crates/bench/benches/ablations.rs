@@ -1,0 +1,221 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **broadcast algorithm** — binomial tree vs the naive linear chain;
+//! * **comcast implementation** — `bcast;repeat` vs the cost-optimal
+//!   successive doubling (the paper's §3.4 observation);
+//! * **`op_ss` shared subexpressions** — the paper reduces the operator
+//!   from twelve to eight base operations by reusing `uu`/`ttu`; this
+//!   bench compares the shared and the naive recomputing variants as pure
+//!   scalar kernels;
+//! * **rewrite engine** — cost of running `optimize()` itself
+//!   (exhaustive vs cost-guided), showing rewriting is cheap relative to
+//!   one execution;
+//! * **pipelined vs binomial broadcast** — the chain pipeline's
+//!   large-block advantage (implementation-level, below the rules);
+//! * **flat vs two-level collectives on clusters** — block-placement tie
+//!   vs cyclic-placement win.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use collopt_bench::{run_comcast, ComcastImpl};
+use collopt_collectives::{
+    allreduce, allreduce_two_level, bcast_binomial, bcast_linear, bcast_pipelined,
+    optimal_segments, Combine,
+};
+use collopt_core::op::lib as ops;
+use collopt_core::rewrite::Rewriter;
+use collopt_core::term::Program;
+use collopt_cost::MachineParams;
+use collopt_machine::{ClockParams, Machine};
+
+fn bench_bcast_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_bcast");
+    group.sample_size(10);
+    let p = 16usize;
+    let m = 1024usize;
+    group.bench_function(BenchmarkId::new("binomial", p), |b| {
+        let machine = Machine::new(p, ClockParams::parsytec_like());
+        b.iter(|| {
+            machine.run(|ctx| {
+                let v = (ctx.rank() == 0).then(|| vec![1u64; m]);
+                black_box(bcast_binomial(ctx, 0, v, m as u64).len())
+            })
+        })
+    });
+    group.bench_function(BenchmarkId::new("linear", p), |b| {
+        let machine = Machine::new(p, ClockParams::parsytec_like());
+        b.iter(|| {
+            machine.run(|ctx| {
+                let v = (ctx.rank() == 0).then(|| vec![1u64; m]);
+                black_box(bcast_linear(ctx, 0, v, m as u64).len())
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_comcast_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_comcast");
+    group.sample_size(10);
+    for which in [ComcastImpl::BcastRepeat, ComcastImpl::CostOptimal] {
+        group.bench_function(which.label(), |b| {
+            b.iter(|| black_box(run_comcast(which, 16, 1024, ClockParams::parsytec_like())))
+        });
+    }
+    group.finish();
+}
+
+/// The `op_ss` kernel with the paper's shared subexpressions (8 ops).
+#[inline]
+fn op_ss_shared(x: (i64, i64, i64, i64), y: (i64, i64, i64, i64)) -> (i64, i64, i64, i64) {
+    let (s2, t1, u1, v1) = (y.0, x.1, x.2, x.3);
+    let ttu = t1 + y.1 + u1;
+    let uu = u1 + y.2;
+    let uuuu = uu + uu;
+    let vv = v1 + y.3;
+    (s2 + t1 + v1, ttu, uuuu, uu + vv)
+}
+
+/// The naive kernel recomputing every subterm from scratch (the paper's
+/// "twelve" operations; note that an optimizing compiler may recover part
+/// of the sharing via common-subexpression elimination — measuring that
+/// recovery is the point of the ablation).
+#[inline]
+fn op_ss_naive(x: (i64, i64, i64, i64), y: (i64, i64, i64, i64)) -> (i64, i64, i64, i64) {
+    (
+        y.0 + x.1 + x.3,
+        x.1 + y.1 + x.2,
+        (x.2 + y.2) + (x.2 + y.2),
+        (x.2 + y.2) + (x.3 + y.3),
+    )
+}
+
+type Quad = (i64, i64, i64, i64);
+
+fn bench_opss_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_opss");
+    let data: Vec<(Quad, Quad)> = (0..4096)
+        .map(|i| {
+            let a = (i, i + 1, i + 2, i + 3);
+            let b = (i * 2, i * 3, i * 5, i * 7);
+            (a, b)
+        })
+        .collect();
+    group.bench_function("shared_8ops", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &(x, y) in &data {
+                acc = acc.wrapping_add(op_ss_shared(x, y).0);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("naive_12ops", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &(x, y) in &data {
+                acc = acc.wrapping_add(op_ss_naive(x, y).0);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_rewriter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_rewriter");
+    let prog = Program::new()
+        .map("f", 1.0, |v| v.clone())
+        .bcast()
+        .scan(ops::mul())
+        .scan(ops::add())
+        .map("g", 1.0, |v| v.clone())
+        .scan(ops::add())
+        .allreduce(ops::add());
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| black_box(Rewriter::exhaustive().optimize(&prog).steps.len()))
+    });
+    group.bench_function("cost_guided", |b| {
+        let params = MachineParams::parsytec_like(64);
+        b.iter(|| {
+            black_box(
+                Rewriter::cost_guided(params, 32.0)
+                    .optimize(&prog)
+                    .steps
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_pipelined_bcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pipelined_bcast");
+    group.sample_size(10);
+    let p = 8usize;
+    for mw in [64usize, 16_384] {
+        let clock = ClockParams::parsytec_like();
+        let segments = optimal_segments(p, mw as u64, clock.ts, clock.tw);
+        group.bench_function(BenchmarkId::new("binomial", mw), |b| {
+            let machine = Machine::new(p, clock);
+            b.iter(|| {
+                machine.run(move |ctx| {
+                    let v = (ctx.rank() == 0).then(|| vec![1u64; mw]);
+                    black_box(bcast_binomial(ctx, 0, v, mw as u64).len())
+                })
+            })
+        });
+        group.bench_function(BenchmarkId::new("chain_pipeline", mw), |b| {
+            let machine = Machine::new(p, clock);
+            b.iter(|| {
+                machine.run(move |ctx| {
+                    let v = (ctx.rank() == 0).then(|| vec![1u64; mw]);
+                    black_box(bcast_pipelined(ctx, 0, v, 1, segments).len())
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cluster_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cluster");
+    group.sample_size(10);
+    let p = 12usize;
+    let nodes = 3usize;
+    let clock = ClockParams::clustered_cyclic(200.0, 2.0, nodes, 2.0, 0.1);
+    let add = |a: &i64, b: &i64| a + b;
+    group.bench_function("flat_allreduce", |b| {
+        let machine = Machine::new(p, clock);
+        b.iter(|| {
+            machine.run(|ctx| black_box(allreduce(ctx, ctx.rank() as i64, 1, &Combine::new(&add))))
+        })
+    });
+    group.bench_function("two_level_allreduce", |b| {
+        let machine = Machine::new(p, clock);
+        b.iter(|| {
+            machine.run(move |ctx| {
+                black_box(allreduce_two_level(
+                    ctx,
+                    ctx.rank() as i64,
+                    1,
+                    &Combine::new(&add),
+                    &move |r| r % nodes,
+                ))
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bcast_algorithms,
+    bench_comcast_variants,
+    bench_opss_sharing,
+    bench_rewriter,
+    bench_pipelined_bcast,
+    bench_cluster_collectives
+);
+criterion_main!(benches);

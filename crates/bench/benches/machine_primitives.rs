@@ -1,0 +1,99 @@
+//! Micro-benchmarks of the machine substrate itself: point-to-point
+//! send/recv, simultaneous exchange, barriers, and machine spin-up cost.
+//! These bound what the collective benchmarks can possibly show — a
+//! butterfly phase cannot be faster than one exchange.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use collopt_machine::{ClockParams, Machine};
+
+fn bench_spinup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_spinup");
+    group.sample_size(10);
+    for p in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            let machine = Machine::new(p, ClockParams::free());
+            b.iter(|| black_box(machine.run(|ctx| ctx.rank()).results.len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pingpong(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_pingpong");
+    group.sample_size(10);
+    for words in [1usize, 1024, 65_536] {
+        group.throughput(Throughput::Bytes((words * 8) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(words), &words, |b, &words| {
+            let machine = Machine::new(2, ClockParams::free());
+            b.iter(|| {
+                machine.run(move |ctx| {
+                    let payload = vec![1u64; words];
+                    for _ in 0..8 {
+                        if ctx.rank() == 0 {
+                            ctx.send(1, payload.clone(), words as u64);
+                            let _: Vec<u64> = ctx.recv(1);
+                        } else {
+                            let got: Vec<u64> = ctx.recv(0);
+                            ctx.send(0, got, words as u64);
+                        }
+                    }
+                    black_box(ctx.time())
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_exchange");
+    group.sample_size(10);
+    for p in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            let machine = Machine::new(p, ClockParams::free());
+            b.iter(|| {
+                machine.run(|ctx| {
+                    let mut acc = ctx.rank() as u64;
+                    for round in 0..3u32 {
+                        let partner = ctx.rank() ^ (1usize << round);
+                        if partner < ctx.size() {
+                            acc += ctx.exchange(partner, acc, 4);
+                        }
+                    }
+                    black_box(acc)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_barrier");
+    group.sample_size(10);
+    for p in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            let machine = Machine::new(p, ClockParams::free());
+            b.iter(|| {
+                machine.run(|ctx| {
+                    for _ in 0..4 {
+                        ctx.barrier();
+                    }
+                    black_box(ctx.time())
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spinup,
+    bench_pingpong,
+    bench_exchange,
+    bench_barrier
+);
+criterion_main!(benches);

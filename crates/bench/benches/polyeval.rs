@@ -1,0 +1,56 @@
+//! The Section-5 case study as a benchmark: `PolyEval_1` (three
+//! collectives) versus `PolyEval_3` (BS-Comcast applied), evaluating a
+//! degree-`p` polynomial at `m` points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use collopt_core::execute;
+use collopt_core::op::lib as ops;
+use collopt_core::rewrite::Rewriter;
+use collopt_core::term::Program;
+use collopt_core::value::Value;
+use collopt_machine::ClockParams;
+
+fn poly_eval_1(coeffs: Arc<Vec<f64>>) -> Program {
+    Program::new()
+        .bcast()
+        .scan(ops::fmul())
+        .map_indexed("mul_coeff", 1.0, move |rank, v| {
+            let a = coeffs[rank];
+            v.map_block(&|x| Value::Float(a * x.as_float()))
+        })
+        .reduce(ops::fadd())
+}
+
+fn bench_polyeval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polyeval");
+    group.sample_size(10);
+    for (n, m) in [(8usize, 64usize), (16, 256)] {
+        let coeffs: Vec<f64> = (1..=n).map(|i| 1.0 / i as f64).collect();
+        let prog1 = poly_eval_1(Arc::new(coeffs));
+        let prog3 = Rewriter::exhaustive().optimize(&prog1).program;
+        let mut input = vec![Value::List(vec![Value::Float(0.0); m]); n];
+        input[0] = Value::List(
+            (0..m)
+                .map(|j| Value::Float(0.2 + 0.7 * j as f64 / m as f64))
+                .collect(),
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("PolyEval_1", format!("n{n}_m{m}")),
+            &prog1,
+            |b, prog| b.iter(|| black_box(execute(prog, &input, ClockParams::parsytec_like()))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("PolyEval_3", format!("n{n}_m{m}")),
+            &prog3,
+            |b, prog| b.iter(|| black_box(execute(prog, &input, ClockParams::parsytec_like()))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_polyeval);
+criterion_main!(benches);

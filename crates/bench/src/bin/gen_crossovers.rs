@@ -1,0 +1,36 @@
+//! Prints crossover tables and recommendation reports for representative
+//! machines — the quantitative version of the paper's Section 4
+//! discussion of when each rule pays off.
+//!
+//! Run with `cargo run -p collopt-bench --bin gen_crossovers`.
+
+use collopt_cost::sweep::{recommend, render_crossovers};
+use collopt_cost::MachineParams;
+
+fn main() {
+    for (name, ts, tw) in [
+        ("parsytec-like (latency-bound)", 200.0, 2.0),
+        ("low-latency (shared-memory-like)", 4.0, 0.5),
+        ("high-bandwidth-cost (serial link)", 50.0, 10.0),
+    ] {
+        println!("== {name} ==");
+        print!("{}", render_crossovers(ts, tw));
+        println!();
+    }
+
+    println!("== recommendation report: parsytec-like, p = 64, m = 32 ==");
+    let params = MachineParams::parsytec_like(64);
+    println!(
+        "{:<14} {:>9} {:>12} {:>9}",
+        "rule", "improves", "saving", "fraction"
+    );
+    for rec in recommend(&params, 32.0) {
+        println!(
+            "{:<14} {:>9} {:>12.0} {:>8.1}%",
+            rec.rule.name(),
+            if rec.improves { "yes" } else { "no" },
+            rec.saving,
+            100.0 * rec.saving_fraction
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Regenerates Figure 7: run time of the three `bcast;scan`
+//! implementations versus processor count at fixed block size 32·10³.
+//!
+//! The paper measured MPICH on a 64-processor Parsytec; we run the same
+//! three algorithms on the simulated machine with the Parsytec-like
+//! `ts`/`tw` preset and report simulated time. Absolute values differ
+//! from the paper's seconds; the *shape* — `comcast` worst, `bcast;scan`
+//! middle, `bcast;repeat` best, all growing with `log p` — is the claim
+//! under reproduction.
+//!
+//! Run with `cargo run --release -p collopt-bench --bin gen_fig7`.
+
+use collopt_bench::{check_comcast_agreement, figure_clock, run_comcast, ComcastImpl};
+
+fn main() {
+    let m = 32_000usize;
+    let procs = [2usize, 4, 8, 16, 24, 32, 48, 64];
+
+    // Correctness gate before timing.
+    check_comcast_agreement(8, 64);
+
+    println!("# Figure 7: run time vs number of processors (block size {m})");
+    println!("# simulated time units, parsytec-like preset (ts=200, tw=2)");
+    println!(
+        "{:<6} {:>14} {:>14} {:>14}",
+        "p", "bcast;scan", "comcast", "bcast;repeat"
+    );
+    for &p in &procs {
+        let mut row = Vec::new();
+        for which in ComcastImpl::ALL {
+            let (_, t) = run_comcast(which, p, m, figure_clock());
+            row.push(t);
+        }
+        println!(
+            "{:<6} {:>14.0} {:>14.0} {:>14.0}",
+            p, row[0], row[1], row[2]
+        );
+        // The paper's orderings must hold at every point with p > 1.
+        if p > 1 {
+            assert!(
+                row[2] < row[0],
+                "bcast;repeat must beat bcast;scan at p={p}"
+            );
+            assert!(
+                row[0] < row[1],
+                "bcast;scan must beat cost-optimal comcast at p={p}"
+            );
+        }
+    }
+    println!("# ordering check passed: comcast > bcast;scan > bcast;repeat for all p");
+}

@@ -1,0 +1,97 @@
+//! Prints the step-by-step value tables of the paper's Figures 2, 4, 5
+//! and 6, regenerated from the actual implementations.
+//!
+//! Run with `cargo run -p collopt-bench --bin gen_figures`.
+
+use collopt_core::adjust::{pair, quadruple};
+use collopt_core::op::lib as ops;
+use collopt_core::rules::fused;
+use collopt_core::value::Value;
+use collopt_machine::topology::{BalancedStep, BalancedTree};
+
+fn tuples(vals: &[Value]) -> String {
+    vals.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn main() {
+    let input = [2i64, 5, 9, 1, 2, 6];
+    println!("input distributed list: {input:?}\n");
+
+    // ---- Figure 2 ----
+    println!("== Figure 2: P1 = P2 on [1,2,3,4] ==");
+    let xs = [1i64, 2, 3, 4];
+    let sum: i64 = xs.iter().sum();
+    let prod: i64 = xs.iter().product();
+    println!("P1 = allreduce(+)                 -> [{sum}, {sum}, {sum}, {sum}]");
+    println!("P2 = map pair; allreduce(op_new); map pi1");
+    println!("     after allreduce(op_new)      -> ({sum},{prod}) everywhere");
+    println!("     after map pi1                -> [{sum}, {sum}, {sum}, {sum}]\n");
+
+    // ---- Figure 4: balanced reduction ----
+    println!("== Figure 4: balanced reduction with op_sr (⊕ = +) ==");
+    let (combine, solo) = fused::op_sr(&ops::add());
+    let tree = BalancedTree::new(6);
+    let mut vals: Vec<Value> = input.iter().map(|&x| pair(&Value::Int(x))).collect();
+    println!("leaves : {}", tuples(&vals));
+    for (i, level) in tree.schedule().iter().enumerate() {
+        for step in level {
+            match *step {
+                BalancedStep::Combine {
+                    left_rep,
+                    right_rep,
+                    ..
+                } => {
+                    vals[left_rep] = combine(&vals[left_rep], &vals[right_rep]);
+                }
+                BalancedStep::Unary { rep, .. } => vals[rep] = solo(&vals[rep]),
+            }
+        }
+        println!("level {}: {}", i + 1, tuples(&vals));
+    }
+    println!("root value: {}  (paper: (86,200))\n", vals[0]);
+    assert_eq!(vals[0].to_string(), "(86,200)");
+
+    // ---- Figure 5: balanced scan ----
+    println!("== Figure 5: balanced scan with op_ss (⊕ = +) ==");
+    let (combine, solo) = fused::op_ss(&ops::add());
+    let mut vals: Vec<Value> = input.iter().map(|&x| quadruple(&Value::Int(x))).collect();
+    println!("phase 0: {}", tuples(&vals));
+    let p = vals.len();
+    for round in 0..3u32 {
+        let mut next = vals.clone();
+        for r in 0..p {
+            match collopt_machine::topology::butterfly_partner(r, round, p) {
+                Some(partner) if r < partner => {
+                    let (lo, hi) = combine(&vals[r], &vals[partner]);
+                    next[r] = lo;
+                    next[partner] = hi;
+                }
+                Some(_) => {}
+                None => next[r] = solo(&vals[r]),
+            }
+        }
+        vals = next;
+        println!("phase {}: {}", round + 1, tuples(&vals));
+    }
+    let firsts: Vec<i64> = vals.iter().map(|v| v.proj(0).as_int()).collect();
+    println!("first components: {firsts:?}  (paper: [2, 9, 25, 42, 61, 86])\n");
+    assert_eq!(firsts, vec![2, 9, 25, 42, 61, 86]);
+
+    // ---- Figure 6: bcast + repeat comcast ----
+    println!("== Figure 6: bcast; repeat(e,o) with ⊕ = +, b = 2 ==");
+    let (e, o) = fused::bs_eo(&ops::add());
+    let b = Value::Int(2);
+    for k in 0..6usize {
+        let mut s = pair(&b);
+        let mut row = vec![s.to_string()];
+        for j in 0..3 {
+            s = if (k >> j) & 1 == 0 { e(&s) } else { o(&s) };
+            row.push(s.to_string());
+        }
+        println!("proc {k}: {}  -> result {}", row.join(" "), s.proj(0));
+    }
+    println!("(paper: results [2, 4, 6, 8, 10, 12])");
+}

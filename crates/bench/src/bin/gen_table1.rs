@@ -1,0 +1,67 @@
+//! Regenerates the paper's Table 1 and validates it empirically.
+//!
+//! Prints (a) the analytic table exactly as the paper lays it out, and
+//! (b) an empirical validation grid: for every rule and a sweep of
+//! `(ts, tw, m)` points, the measured simulated makespans of both sides
+//! and whether the measured improvement agrees with the printed condition.
+//!
+//! Run with `cargo run --release -p collopt-bench --bin gen_table1`.
+
+use collopt_bench::{block_input, rule_lhs, rule_rhs};
+use collopt_core::execute;
+use collopt_cost::table1::render_table1;
+use collopt_cost::{MachineParams, Rule};
+use collopt_machine::ClockParams;
+
+fn main() {
+    println!("== Table 1: performance estimates of optimization rules (analytic) ==\n");
+    print!("{}", render_table1());
+
+    println!("\n== Empirical validation on the simulated machine (p = 8) ==\n");
+    println!(
+        "{:<14} {:>5} {:>4} {:>6} {:>12} {:>12} {:>9} {:>10} {:>6}",
+        "rule", "ts", "tw", "m", "T_before", "T_after", "saving%", "predicted", "agree"
+    );
+    let p = 8usize;
+    let grid = [
+        (200.0, 2.0, 1usize),
+        (200.0, 2.0, 32),
+        (200.0, 2.0, 1024),
+        (20.0, 1.0, 8),
+        (20.0, 1.0, 256),
+        (4.0, 0.5, 64),
+    ];
+    let mut disagreements = 0;
+    for rule in Rule::ALL {
+        for &(ts, tw, m) in &grid {
+            let clock = ClockParams::new(ts, tw);
+            let input = block_input(p, m);
+            let before = execute(&rule_lhs(rule), &input, clock).makespan;
+            let after = execute(&rule_rhs(rule), &input, clock).makespan;
+            let params = MachineParams::new(p, ts, tw);
+            let predicted = rule.estimate().improves(&params, m as f64);
+            let measured = after < before;
+            let agree = predicted == measured;
+            if !agree {
+                disagreements += 1;
+            }
+            println!(
+                "{:<14} {:>5} {:>4} {:>6} {:>12.0} {:>12.0} {:>8.1}% {:>10} {:>6}",
+                rule.name(),
+                ts,
+                tw,
+                m,
+                before,
+                after,
+                100.0 * (before - after) / before,
+                if predicted { "improves" } else { "worse" },
+                if agree { "yes" } else { "NO" },
+            );
+        }
+    }
+    println!("\ndisagreements between measurement and Table-1 prediction: {disagreements}");
+    assert_eq!(
+        disagreements, 0,
+        "the simulated machine must match the calculus"
+    );
+}

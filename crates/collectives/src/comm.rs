@@ -1,0 +1,463 @@
+//! MPI-flavored communicators: collective operations over *subgroups* of
+//! the machine.
+//!
+//! The paper assumes "all collective operations in a program take place on
+//! the same group of processors" (Section 2.2) — this module removes that
+//! assumption the way MPI does, with communicators. A [`Comm`] names an
+//! ordered subset of the machine's ranks; every member calls the same
+//! collective on it, and rank arithmetic (binomial trees, butterflies)
+//! happens in *group coordinates*, translated to machine ranks only at the
+//! send/recv boundary.
+//!
+//! All communicator collectives are implemented over point-to-point
+//! messages only (no global barrier), so disjoint communicators can run
+//! collectives concurrently — e.g. the row- and column-communicators of a
+//! 2-D processor grid, the standard pattern in PLAPACK-style libraries
+//! the paper cites.
+
+use collopt_machine::topology::{butterfly_partner, butterfly_rounds, ceil_log2};
+use collopt_machine::Ctx;
+
+use crate::op::Combine;
+
+/// An ordered process group bound to one rank's [`Ctx`].
+///
+/// `ranks[i]` is the machine rank of group member `i`; the calling rank
+/// must be a member. Ordering matters: collectives combine in group-rank
+/// order, exactly as the paper's distributed lists are indexed.
+pub struct Comm<'a> {
+    ctx: &'a mut Ctx,
+    ranks: Vec<usize>,
+    my_index: usize,
+}
+
+impl<'a> Comm<'a> {
+    /// The world communicator: all machine ranks in order.
+    pub fn world(ctx: &'a mut Ctx) -> Self {
+        let ranks: Vec<usize> = (0..ctx.size()).collect();
+        Comm::new(ctx, ranks)
+    }
+
+    /// A communicator over an explicit ordered rank list. Panics if the
+    /// calling rank is not a member or a rank is invalid/duplicated.
+    pub fn new(ctx: &'a mut Ctx, ranks: Vec<usize>) -> Self {
+        assert!(
+            !ranks.is_empty(),
+            "a communicator needs at least one member"
+        );
+        let mut seen = vec![false; ctx.size()];
+        for &r in &ranks {
+            assert!(r < ctx.size(), "rank {r} out of range");
+            assert!(!seen[r], "duplicate rank {r} in communicator");
+            seen[r] = true;
+        }
+        let me = ctx.rank();
+        let my_index = ranks
+            .iter()
+            .position(|&r| r == me)
+            .unwrap_or_else(|| panic!("rank {me} is not a member of this communicator"));
+        Comm {
+            ctx,
+            ranks,
+            my_index,
+        }
+    }
+
+    /// MPI_Comm_split: all ranks with the same `color` form one
+    /// communicator, ordered by machine rank. Every machine rank must
+    /// call this with its own color; `color_of` maps machine rank →
+    /// color, evaluated locally (no communication, like a split with a
+    /// globally known coloring).
+    pub fn split(ctx: &'a mut Ctx, color_of: impl Fn(usize) -> u64) -> Self {
+        let my_color = color_of(ctx.rank());
+        let ranks: Vec<usize> = (0..ctx.size())
+            .filter(|&r| color_of(r) == my_color)
+            .collect();
+        Comm::new(ctx, ranks)
+    }
+
+    /// Group size.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// This member's group rank.
+    pub fn rank(&self) -> usize {
+        self.my_index
+    }
+
+    /// Machine rank of group member `index`.
+    pub fn translate(&self, index: usize) -> usize {
+        self.ranks[index]
+    }
+
+    /// Point-to-point send to a *group* rank.
+    pub fn send<T: Send + 'static>(&mut self, to: usize, value: T, words: u64) {
+        let dst = self.ranks[to];
+        self.ctx.send(dst, value, words);
+    }
+
+    /// Point-to-point receive from a *group* rank.
+    pub fn recv<T: Send + 'static>(&mut self, from: usize) -> T {
+        let src = self.ranks[from];
+        self.ctx.recv(src)
+    }
+
+    /// Simultaneous exchange with a group rank.
+    pub fn exchange<T: Send + 'static>(&mut self, partner: usize, value: T, words: u64) -> T {
+        let peer = self.ranks[partner];
+        self.ctx.exchange(peer, value, words)
+    }
+
+    /// Group barrier: a butterfly of empty exchanges (`⌈log₂ n⌉` rounds,
+    /// stragglers handled by the dissemination pattern), independent of
+    /// other communicators.
+    pub fn barrier(&mut self) {
+        let n = self.size();
+        // Dissemination barrier: round k, member i pairs with i±2^k.
+        let rounds = ceil_log2(n);
+        for round in 0..rounds {
+            let dist = 1usize << round;
+            let to = (self.my_index + dist) % n;
+            let from = (self.my_index + n - dist) % n;
+            let to_rank = self.ranks[to];
+            let from_rank = self.ranks[from];
+            if to_rank == from_rank {
+                if to_rank != self.ranks[self.my_index] {
+                    self.ctx.exchange(to_rank, (), 0);
+                }
+                continue;
+            }
+            self.ctx.send(to_rank, (), 0);
+            let () = self.ctx.recv(from_rank);
+        }
+    }
+
+    /// MPI_Bcast over the group (binomial tree rooted at group rank
+    /// `root`).
+    pub fn bcast<T: Clone + Send + 'static>(
+        &mut self,
+        root: usize,
+        value: Option<T>,
+        words: u64,
+    ) -> T {
+        let n = self.size();
+        assert!(root < n);
+        let v = (self.my_index + n - root) % n; // virtual group rank
+        let held: T = if v == 0 {
+            value.expect("root must supply the broadcast value")
+        } else {
+            assert!(value.is_none(), "non-root must not supply a value");
+            let j = collopt_machine::topology::floor_log2(v);
+            let src_v = v - (1usize << j);
+            let src = self.ranks[(src_v + root) % n];
+            self.ctx.recv(src)
+        };
+        let first_round = if v == 0 {
+            0
+        } else {
+            collopt_machine::topology::floor_log2(v) + 1
+        };
+        for round in first_round..ceil_log2(n) {
+            let dst_v = v + (1usize << round);
+            if dst_v < n && v < (1usize << round) {
+                let dst = self.ranks[(dst_v + root) % n];
+                self.ctx.send(dst, held.clone(), words);
+            }
+        }
+        held
+    }
+
+    /// MPI_Reduce over the group to group rank 0, combining in group-rank
+    /// order (safe for any associative operator).
+    pub fn reduce<T: Clone + Send + 'static>(
+        &mut self,
+        value: T,
+        words: u64,
+        op: &Combine<'_, T>,
+    ) -> Option<T> {
+        let n = self.size();
+        let v = self.my_index;
+        let mut acc = value;
+        for round in 0..ceil_log2(n) {
+            let bit = 1usize << round;
+            if v & bit != 0 {
+                let dst = self.ranks[v - bit];
+                self.ctx.send(dst, acc, words);
+                return None;
+            }
+            let src_v = v + bit;
+            if src_v < n {
+                let got: T = self.ctx.recv(self.ranks[src_v]);
+                acc = op.apply(&acc, &got);
+                self.ctx
+                    .charge(words as f64 * op.ops_per_word, "comm.reduce:combine");
+            }
+        }
+        Some(acc)
+    }
+
+    /// MPI_Allreduce over the group: butterfly for power-of-two group
+    /// sizes, reduce + bcast otherwise.
+    pub fn allreduce<T: Clone + Send + 'static>(
+        &mut self,
+        value: T,
+        words: u64,
+        op: &Combine<'_, T>,
+    ) -> T {
+        let n = self.size();
+        if n.is_power_of_two() {
+            let mut acc = value;
+            for round in 0..butterfly_rounds(n) {
+                let partner = self.my_index ^ (1usize << round);
+                let got: T = self.ctx.exchange(self.ranks[partner], acc.clone(), words);
+                acc = if partner > self.my_index {
+                    op.apply(&acc, &got)
+                } else {
+                    op.apply(&got, &acc)
+                };
+                self.ctx
+                    .charge(words as f64 * op.ops_per_word, "comm.allreduce:combine");
+            }
+            acc
+        } else {
+            let reduced = self.reduce(value, words, op);
+            self.bcast(0, reduced, words)
+        }
+    }
+
+    /// MPI_Scan (inclusive) over the group, any group size.
+    pub fn scan<T: Clone + Send + 'static>(
+        &mut self,
+        value: T,
+        words: u64,
+        op: &Combine<'_, T>,
+    ) -> T {
+        let n = self.size();
+        let mut result = value.clone();
+        let mut aggregate = value;
+        for round in 0..butterfly_rounds(n) {
+            let Some(partner) = butterfly_partner(self.my_index, round, n) else {
+                continue;
+            };
+            let got: T = self
+                .ctx
+                .exchange(self.ranks[partner], aggregate.clone(), words);
+            if partner < self.my_index {
+                result = op.apply(&got, &result);
+                aggregate = op.apply(&got, &aggregate);
+                self.ctx
+                    .charge(2.0 * words as f64 * op.ops_per_word, "comm.scan:combine2");
+            } else {
+                aggregate = op.apply(&aggregate, &got);
+                self.ctx
+                    .charge(words as f64 * op.ops_per_word, "comm.scan:combine1");
+            }
+        }
+        result
+    }
+
+    /// MPI_Gather over the group to group rank 0, in group-rank order.
+    pub fn gather<T: Clone + Send + 'static>(&mut self, value: T, words: u64) -> Option<Vec<T>> {
+        let n = self.size();
+        let v = self.my_index;
+        let mut acc: Vec<T> = vec![value];
+        for round in 0..ceil_log2(n) {
+            let bit = 1usize << round;
+            if v & bit != 0 {
+                let sz = acc.len() as u64;
+                let dst = self.ranks[v - bit];
+                self.ctx.send(dst, acc, words * sz);
+                return None;
+            }
+            let src_v = v + bit;
+            if src_v < n {
+                let got: Vec<T> = self.ctx.recv(self.ranks[src_v]);
+                acc.extend(got);
+            }
+        }
+        Some(acc)
+    }
+
+    /// MPI_Allgather over the group (gather + bcast).
+    pub fn allgather<T: Clone + Send + 'static>(&mut self, value: T, words: u64) -> Vec<T> {
+        let n = self.size() as u64;
+        let gathered = self.gather(value, words);
+        self.bcast(0, gathered, words * n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collopt_machine::{ClockParams, Machine};
+
+    #[test]
+    fn world_comm_matches_plain_collectives() {
+        let m = Machine::new(7, ClockParams::free());
+        let run = m.run(|ctx| {
+            let rank = ctx.rank();
+            let mut comm = Comm::world(ctx);
+            assert_eq!(comm.rank(), rank);
+            let add = |a: &i64, b: &i64| a + b;
+            comm.scan(rank as i64 + 1, 1, &Combine::new(&add))
+        });
+        assert_eq!(run.results, vec![1, 3, 6, 10, 15, 21, 28]);
+    }
+
+    #[test]
+    fn split_into_even_and_odd_groups() {
+        let m = Machine::new(8, ClockParams::free());
+        let run = m.run(|ctx| {
+            let mut comm = Comm::split(ctx, |r| (r % 2) as u64);
+            assert_eq!(comm.size(), 4);
+            let add = |a: &i64, b: &i64| a + b;
+            let mine = comm.translate(comm.rank()) as i64; // = machine rank
+            comm.allreduce(mine, 1, &Combine::new(&add))
+        });
+        // Evens sum to 0+2+4+6 = 12, odds to 1+3+5+7 = 16.
+        for r in 0..8 {
+            assert_eq!(run.results[r], if r % 2 == 0 { 12 } else { 16 }, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn grid_rows_and_columns() {
+        // A 3x4 grid: row communicators then column communicators — the
+        // PLAPACK pattern. Row-sum then column-max of the row sums.
+        let (rows, cols) = (3usize, 4usize);
+        let m = Machine::new(rows * cols, ClockParams::free());
+        let run = m.run(move |ctx| {
+            let rank = ctx.rank();
+            let (r, _c) = (rank / cols, rank % cols);
+            let add = |a: &i64, b: &i64| a + b;
+            let max = |a: &i64, b: &i64| *a.max(b);
+            let row_sum = {
+                let mut row_comm = Comm::split(ctx, |mr| (mr / cols) as u64);
+                assert_eq!(row_comm.size(), cols);
+                row_comm.allreduce(rank as i64, 1, &Combine::new(&add))
+            };
+            // Row r holds Σ of ranks in that row.
+            let expected_row_sum: i64 = (0..cols).map(|c| (r * cols + c) as i64).sum();
+            assert_eq!(row_sum, expected_row_sum);
+            let mut col_comm = Comm::split(ctx, |mr| (mr % cols) as u64);
+            assert_eq!(col_comm.size(), rows);
+            col_comm.allreduce(row_sum, 1, &Combine::new(&max))
+        });
+        // Max row sum = last row: 8+9+10+11 = 38.
+        assert!(run.results.iter().all(|&v| v == 38));
+    }
+
+    #[test]
+    fn bcast_from_nonzero_group_root() {
+        let m = Machine::new(9, ClockParams::free());
+        let run = m.run(|ctx| {
+            // Evens form a 5-member group {0,2,4,6,8}; odds {1,3,5,7}.
+            // Root is group rank 3 (machine rank 6 / 7 respectively).
+            let mut comm = Comm::split(ctx, |r| (r % 2) as u64);
+            let value = (comm.rank() == 3).then(|| comm.translate(3) as i64);
+            Some(comm.bcast(3, value, 1))
+        });
+        for (r, out) in run.results.iter().enumerate() {
+            let expected = if r % 2 == 0 { 6 } else { 7 };
+            assert_eq!(out.unwrap(), expected, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn reduce_preserves_group_order_for_nonabelian_op() {
+        let m = Machine::new(6, ClockParams::free());
+        let run = m.run(|ctx| {
+            // Group: ranks in reverse order 5,4,3,2,1,0.
+            let ranks: Vec<usize> = (0..ctx.size()).rev().collect();
+            let mut comm = Comm::new(ctx, ranks);
+            let cat = |a: &String, b: &String| format!("{a}{b}");
+            let mine = comm.translate(comm.rank()).to_string();
+            comm.reduce(mine, 1, &Combine::new(&cat))
+        });
+        // Group rank 0 = machine rank 5; combined in group order 5..0.
+        assert_eq!(run.results[5], Some("543210".to_string()));
+        assert!(run.results[..5].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn gather_and_allgather_on_subgroup() {
+        let m = Machine::new(10, ClockParams::free());
+        let run = m.run(|ctx| {
+            let mut comm = Comm::split(ctx, |r| u64::from(r >= 5));
+            comm.allgather(comm.translate(comm.rank()), 1)
+        });
+        for r in 0..10 {
+            let expected: Vec<usize> = if r < 5 {
+                (0..5).collect()
+            } else {
+                (5..10).collect()
+            };
+            assert_eq!(run.results[r], expected, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn disjoint_communicators_run_concurrently() {
+        // Two halves each do a long chain of collectives; no cross-talk.
+        let m = Machine::new(8, ClockParams::free());
+        let run = m.run(|ctx| {
+            let mut comm = Comm::split(ctx, |r| u64::from(r >= 4));
+            let add = |a: &i64, b: &i64| a + b;
+            let mut v = comm.rank() as i64;
+            for _ in 0..10 {
+                v = comm.allreduce(v, 1, &Combine::new(&add));
+                v %= 1000;
+                comm.barrier();
+            }
+            v
+        });
+        // Both halves compute the same recurrence (same group ranks 0..3).
+        assert_eq!(run.results[0..4], run.results[4..8]);
+    }
+
+    #[test]
+    fn barrier_synchronizes_group_clocks_only() {
+        let m = Machine::new(4, ClockParams::new(10.0, 1.0));
+        let run = m.run(|ctx| {
+            if ctx.rank() < 2 {
+                ctx.charge(1000.0, "slow-half");
+                let mut comm = Comm::split(ctx, |r| u64::from(r < 2));
+                comm.barrier();
+            } else {
+                let mut comm = Comm::split(ctx, |r| u64::from(r < 2));
+                comm.barrier();
+            }
+            ctx.time()
+        });
+        // Fast half's barrier is independent: finishes well before 1000.
+        assert!(run.results[2] < 1000.0);
+        assert!(run.results[0] >= 1000.0);
+    }
+
+    #[test]
+    fn singleton_communicator_is_trivial() {
+        let m = Machine::new(3, ClockParams::free());
+        let run = m.run(|ctx| {
+            let rank = ctx.rank();
+            let mut comm = Comm::split(ctx, |r| r as u64); // each alone
+            assert_eq!(comm.size(), 1);
+            comm.barrier();
+            let add = |a: &i64, b: &i64| a + b;
+            let s = comm.scan(rank as i64, 1, &Combine::new(&add));
+            let r = comm.allreduce(s, 1, &Combine::new(&add));
+            comm.bcast(0, Some(r), 1)
+        });
+        assert_eq!(run.results, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a member")]
+    fn non_member_construction_panics() {
+        let m = Machine::new(3, ClockParams::free());
+        m.run(|ctx| {
+            // Rank 2 is not in the list and must panic at construction.
+            let _ = Comm::new(ctx, vec![0, 1]);
+        });
+    }
+}

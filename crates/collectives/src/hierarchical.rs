@@ -1,0 +1,330 @@
+//! Hierarchical (cluster-aware) collectives for SMP clusters.
+//!
+//! The paper's Section 2.2 names clusters of SMPs (the SIMPLE methodology)
+//! as a target of the framework — `map (map f)` instead of `map f`. On the
+//! cost side, such machines have two message regimes: cheap intra-node,
+//! expensive inter-node (see [`collopt_machine::clock::ClusterParams`]).
+//! The classic two-level algorithms route as little as possible over the
+//! network:
+//!
+//! * [`bcast_two_level`] — binomial broadcast among the *node leaders*
+//!   (`⌈log₂ N⌉` inter-node rounds), then binomial broadcasts inside each
+//!   node, all concurrent;
+//! * [`allreduce_two_level`] — reduce to each leader locally, allreduce
+//!   among leaders, broadcast locally.
+//!
+//! **A finding worth stating:** on this contention-free model with the
+//! *block* layout (consecutive ranks per node), the flat binomial tree is
+//! already locality-optimal — its low-stride edges stay on-node and its
+//! critical path crosses the network exactly `⌈log₂ N⌉` times, so the
+//! two-level versions tie rather than win (the tests pin this down). The
+//! two-level algorithms genuinely win under *cyclic* rank placement with
+//! a non-power-of-two node count, where **every** power-of-two stride of
+//! the flat tree crosses nodes. Their further real-world advantage (NIC
+//! contention: one network port per node) is deliberately outside this
+//! model, which trades it for deterministic makespans.
+
+use collopt_machine::Ctx;
+
+use crate::comm::Comm;
+use crate::op::Combine;
+
+/// Group structure derived from a rank→node map: this rank's node
+/// members (ascending) and the per-node leaders (ascending; the leader of
+/// a node is its smallest rank, so rank 0 is always a leader).
+fn groups(p: usize, my_rank: usize, node_of: &dyn Fn(usize) -> usize) -> (Vec<usize>, Vec<usize>) {
+    let my_node = node_of(my_rank);
+    let mut members = Vec::new();
+    let mut leaders: Vec<usize> = Vec::new();
+    let mut seen_nodes: Vec<(usize, usize)> = Vec::new(); // (node, min rank)
+    for r in 0..p {
+        let n = node_of(r);
+        if n == my_node {
+            members.push(r);
+        }
+        match seen_nodes.iter_mut().find(|(node, _)| *node == n) {
+            Some(_) => {}
+            None => seen_nodes.push((n, r)),
+        }
+    }
+    leaders.extend(seen_nodes.iter().map(|&(_, min)| min));
+    leaders.sort_unstable();
+    (members, leaders)
+}
+
+/// Two-level broadcast from global rank 0 with an arbitrary rank→node map.
+pub fn bcast_two_level<T: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: Option<T>,
+    words: u64,
+    node_of: &dyn Fn(usize) -> usize,
+) -> T {
+    let p = ctx.size();
+    let rank = ctx.rank();
+    let (members, leaders) = groups(p, rank, node_of);
+    let leader = members[0];
+
+    // Phase 1: broadcast among leaders (global rank 0 is leaders[0]).
+    let mut held: Option<T> = value;
+    if rank == leader && leaders.len() > 1 {
+        let mut comm = Comm::new(ctx, leaders);
+        let v = comm.bcast(0, held.take(), words);
+        held = Some(v);
+    }
+
+    // Phase 2: broadcast inside each node.
+    if members.len() == 1 {
+        return held.expect("single-member node holds the value after phase 1");
+    }
+    let mut comm = Comm::new(ctx, members);
+    let root_value = if rank == leader { held.take() } else { None };
+    comm.bcast(0, root_value, words)
+}
+
+/// Two-level allreduce with an arbitrary rank→node map. Combines in rank
+/// order within nodes and leader order across nodes; with the block
+/// layout this is global rank order, so any associative operator is safe
+/// there (cyclic layouts permute operands — use a commutative operator).
+pub fn allreduce_two_level<T: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: T,
+    words: u64,
+    op: &Combine<'_, T>,
+    node_of: &dyn Fn(usize) -> usize,
+) -> T {
+    let p = ctx.size();
+    let rank = ctx.rank();
+    let (members, leaders) = groups(p, rank, node_of);
+    let leader = members[0];
+    let single_member = members.len() == 1;
+
+    // Phase 1: reduce within the node (group rank 0 = leader).
+    let mut partial: Option<T> = if single_member {
+        Some(value)
+    } else {
+        let mut comm = Comm::new(ctx, members.clone());
+        comm.reduce(value, words, op)
+    };
+
+    // Phase 2: allreduce among leaders.
+    if rank == leader && leaders.len() > 1 {
+        let mut comm = Comm::new(ctx, leaders);
+        let v = comm.allreduce(partial.take().expect("leader holds the partial"), words, op);
+        partial = Some(v);
+    }
+
+    // Phase 3: broadcast inside the node.
+    if single_member {
+        partial.expect("value present")
+    } else {
+        let mut comm = Comm::new(ctx, members);
+        let root_value = if rank == leader { partial.take() } else { None };
+        comm.bcast(0, root_value, words)
+    }
+}
+
+/// [`bcast_two_level`] with the block layout (`node = rank / node_size`).
+pub fn bcast_hierarchical<T: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: Option<T>,
+    words: u64,
+    node_size: usize,
+) -> T {
+    assert!(node_size >= 1);
+    bcast_two_level(ctx, value, words, &move |r| r / node_size)
+}
+
+/// [`allreduce_two_level`] with the block layout.
+pub fn allreduce_hierarchical<T: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: T,
+    words: u64,
+    op: &Combine<'_, T>,
+    node_size: usize,
+) -> T {
+    assert!(node_size >= 1);
+    allreduce_two_level(ctx, value, words, op, &move |r| r / node_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcast::bcast_binomial;
+    use crate::reduce::allreduce;
+    use collopt_machine::{ClockParams, Machine};
+
+    #[test]
+    fn two_level_bcast_is_correct_for_any_shape() {
+        for p in 1..=17usize {
+            for node_size in [1usize, 2, 3, 4, 5, 16] {
+                let m = Machine::new(p, ClockParams::free());
+                let run = m.run(move |ctx| {
+                    let value = (ctx.rank() == 0).then(|| vec![7u64, 8, 9]);
+                    bcast_hierarchical(ctx, value, 3, node_size)
+                });
+                for (rank, r) in run.results.iter().enumerate() {
+                    assert_eq!(r, &vec![7, 8, 9], "p={p} node_size={node_size} rank={rank}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_level_bcast_is_correct_for_cyclic_maps() {
+        for p in 1..=15usize {
+            for nodes in [1usize, 2, 3, 5] {
+                let m = Machine::new(p, ClockParams::free());
+                let run = m.run(move |ctx| {
+                    let value = (ctx.rank() == 0).then_some(41i64);
+                    bcast_two_level(ctx, value, 1, &move |r| r % nodes.min(p))
+                });
+                assert!(run.results.iter().all(|&v| v == 41), "p={p} nodes={nodes}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_level_allreduce_is_correct_for_any_shape() {
+        for p in 1..=17usize {
+            for node_size in [1usize, 3, 4, 8] {
+                let m = Machine::new(p, ClockParams::free());
+                let run = m.run(move |ctx| {
+                    let cat = |a: &String, b: &String| format!("{a}{b}");
+                    allreduce_hierarchical(
+                        ctx,
+                        ctx.rank().to_string(),
+                        1,
+                        &Combine::new(&cat),
+                        node_size,
+                    )
+                });
+                // Block layout preserves global rank order.
+                let expected: String = (0..p).map(|i| i.to_string()).collect();
+                for (rank, r) in run.results.iter().enumerate() {
+                    assert_eq!(r, &expected, "p={p} node_size={node_size} rank={rank}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_layout_flat_binomial_is_already_locality_optimal() {
+        // The documented tie: with consecutive node blocks, the flat
+        // binomial tree's low strides stay on-node, so the two-level
+        // broadcast cannot beat it — both pay ⌈log₂ N⌉ network hops on
+        // the critical path.
+        let p = 16;
+        let mw = 64u64;
+        let clock = ClockParams::clustered(200.0, 2.0, 4, 2.0, 0.1);
+        let m = Machine::new(p, clock);
+        let flat = m.run(move |ctx| {
+            let value = (ctx.rank() == 0).then(|| vec![1u8; mw as usize]);
+            bcast_binomial(ctx, 0, value, mw).len()
+        });
+        let hier = m.run(move |ctx| {
+            let value = (ctx.rank() == 0).then(|| vec![1u8; mw as usize]);
+            bcast_hierarchical(ctx, value, mw, 4).len()
+        });
+        assert_eq!(flat.makespan, hier.makespan, "block layout: exact tie");
+    }
+
+    #[test]
+    fn cyclic_layout_two_level_beats_flat() {
+        // 12 ranks round-robin over 3 nodes: every power-of-two stride
+        // crosses nodes, so the flat tree pays 4 network hops where the
+        // two-level version pays ⌈log₂ 3⌉ = 2.
+        let p = 12;
+        let nodes = 3usize;
+        let mw = 64u64;
+        let clock = ClockParams::clustered_cyclic(200.0, 2.0, nodes, 2.0, 0.1);
+        let m = Machine::new(p, clock);
+        let flat = m.run(move |ctx| {
+            let value = (ctx.rank() == 0).then(|| vec![1u8; mw as usize]);
+            bcast_binomial(ctx, 0, value, mw).len()
+        });
+        let hier = m.run(move |ctx| {
+            let value = (ctx.rank() == 0).then(|| vec![1u8; mw as usize]);
+            bcast_two_level(ctx, value, mw, &move |r| r % nodes).len()
+        });
+        assert!(
+            hier.makespan < flat.makespan,
+            "cyclic layout: two-level {} must beat flat {}",
+            hier.makespan,
+            flat.makespan
+        );
+        assert!(
+            hier.makespan < 0.85 * flat.makespan,
+            "and by a clear margin"
+        );
+    }
+
+    #[test]
+    fn cyclic_layout_two_level_allreduce_beats_flat() {
+        let p = 12;
+        let nodes = 3usize;
+        let mw = 32u64;
+        let clock = ClockParams::clustered_cyclic(200.0, 2.0, nodes, 2.0, 0.1);
+        let m = Machine::new(p, clock);
+        let add =
+            |a: &Vec<u64>, b: &Vec<u64>| a.iter().zip(b).map(|(x, y)| x + y).collect::<Vec<u64>>();
+        let flat =
+            m.run(move |ctx| allreduce(ctx, vec![1u64; mw as usize], mw, &Combine::new(&add)));
+        let hier = m.run(move |ctx| {
+            allreduce_two_level(
+                ctx,
+                vec![1u64; mw as usize],
+                mw,
+                &Combine::new(&add),
+                &move |r| r % nodes,
+            )
+        });
+        // `+` is commutative, so the cyclic permutation is harmless.
+        assert_eq!(flat.results, hier.results);
+        assert!(
+            hier.makespan < flat.makespan,
+            "cyclic layout: two-level {} must beat flat {}",
+            hier.makespan,
+            flat.makespan
+        );
+    }
+
+    #[test]
+    fn cluster_locality_is_visible_in_point_to_point() {
+        let clock = ClockParams::clustered(100.0, 1.0, 4, 1.0, 0.0);
+        let m = Machine::new(8, clock);
+        let run = m.run(|ctx| match ctx.rank() {
+            0 => {
+                ctx.send(1, (), 10); // same node: cost 1
+                ctx.send(4, (), 10); // other node: cost 110
+                ctx.time()
+            }
+            1 => {
+                ctx.recv::<()>(0);
+                ctx.time()
+            }
+            4 => {
+                ctx.recv::<()>(0);
+                ctx.time()
+            }
+            _ => 0.0,
+        });
+        assert_eq!(run.results[1], 1.0); // local hop
+        assert_eq!(run.results[4], 1.0 + 110.0); // queued behind, then remote hop
+    }
+
+    #[test]
+    fn flat_machine_prefers_flat_algorithms_slightly() {
+        // Without locality the two-level version only adds rounds.
+        let p = 16;
+        let m = Machine::new(p, ClockParams::parsytec_like());
+        let flat = m.run(|ctx| {
+            let value = (ctx.rank() == 0).then_some(1u64);
+            bcast_binomial(ctx, 0, value, 1)
+        });
+        let hier = m.run(|ctx| {
+            let value = (ctx.rank() == 0).then_some(1u64);
+            bcast_hierarchical(ctx, value, 1, 4)
+        });
+        assert!(flat.makespan <= hier.makespan);
+    }
+}

@@ -1,0 +1,69 @@
+//! # collopt-collectives — collective operations on the simulated machine
+//!
+//! Implementations of every collective operation used by Gorlatch, Wedler &
+//! Lengauer (IPPS 1999), on top of [`collopt_machine`]:
+//!
+//! * the *standard* collectives the paper's programs are written in —
+//!   [`bcast_binomial`], [`reduce_binomial`], [`allreduce`],
+//!   [`scan_butterfly`] — in the butterfly/binomial implementations the
+//!   paper's cost model (Section 4.1, eqs. 15–17) assumes, plus
+//!   [`gather_binomial`]/[`scatter_binomial`]/[`allgather`]/[`alltoall()`](alltoall::alltoall)
+//!   for completeness;
+//! * the *special* collectives the optimization rules produce —
+//!   [`reduce_balanced`] (rule SR-Reduction, Figure 4), [`scan_balanced`]
+//!   (rule SS-Scan, Figure 5), and both implementations of the comcast
+//!   pattern in [`comcast`] (rules *-Comcast, Figure 6 and the
+//!   cost-optimal variant of Section 3.4);
+//! * [`Comm`] — MPI-style communicators over subgroups;
+//! * two-level cluster collectives ([`hierarchical`]) and the pipelined
+//!   chain broadcast ([`pipelined`]).
+//!
+//! All collectives are generic over the block type `T`, take the block size
+//! in machine words explicitly (for cost accounting), and charge the
+//! simulated clock exactly what the paper's model charges: `ts + m·tw` per
+//! message phase and one unit per base-operation per word.
+//!
+//! ## Semantics
+//!
+//! With `x_i` the block held by rank `i` (the paper's distributed list
+//! `[x1, …, xn]`):
+//!
+//! * `bcast`:      `[x, _, …, _] ↦ [x, x, …, x]`                   (eq. 8)
+//! * `reduce ⊕`:   `[x1, …, xn] ↦ [x1 ⊕ … ⊕ xn, x2, …, xn]`        (eq. 5)
+//! * `allreduce ⊕`:`[x1, …, xn] ↦ [y, …, y]`, `y = x1 ⊕ … ⊕ xn`    (eq. 6)
+//! * `scan ⊕`:     `[x1, …, xn] ↦ [x1, x1 ⊕ x2, …, x1 ⊕ … ⊕ xn]`   (eq. 7)
+//!
+//! The module `reference` contains direct sequential
+//! implementations of these equations; every distributed algorithm is
+//! tested against them.
+
+pub mod alltoall;
+pub mod balanced;
+pub mod bcast;
+pub mod comcast;
+pub mod comm;
+pub mod gather;
+pub mod hierarchical;
+pub mod op;
+pub mod pipelined;
+pub mod reduce;
+pub mod reference;
+pub mod scan;
+pub mod variants;
+
+pub use alltoall::{alltoall, reduce_scatter};
+pub use balanced::{allreduce_balanced, reduce_balanced, scan_balanced, BalancedOp, PairedOp};
+pub use bcast::{bcast_binomial, bcast_linear};
+pub use comcast::{comcast_bcast_repeat, comcast_cost_optimal, RepeatOp};
+pub use comm::Comm;
+pub use gather::{allgather, barrier, gather_binomial, scatter_binomial};
+pub use hierarchical::{
+    allreduce_hierarchical, allreduce_two_level, bcast_hierarchical, bcast_two_level,
+};
+pub use op::Combine;
+pub use pipelined::{bcast_pipelined, chain_cost, optimal_segments};
+pub use reduce::{allreduce, allreduce_butterfly, allreduce_commutative, reduce_binomial};
+pub use scan::{exscan, scan_butterfly};
+pub use variants::{
+    allgather_ring, bcast_auto, bcast_scatter_allgather, choose_bcast, scan_sklansky, BcastChoice,
+};

@@ -1,0 +1,76 @@
+//! Operator descriptors carried into collectives.
+//!
+//! The paper charges local computation at one unit per base-operation per
+//! word. A collective cannot know how many base operations one application
+//! of a user operator performs — `+` on a block is one per word, the fused
+//! `op_sr2` is three per word — so the descriptor carries the charge
+//! explicitly alongside the combine function.
+
+/// A binary combine operator on blocks of type `T`, with its computational
+/// cost declared in base operations per block word.
+pub struct Combine<'a, T> {
+    /// The combine function. Must be associative for the standard
+    /// collectives (`reduce`, `allreduce`, `scan`) to be well-defined.
+    pub f: &'a (dyn Fn(&T, &T) -> T + Sync),
+    /// Base operations charged per word of the block for one application.
+    pub ops_per_word: f64,
+}
+
+impl<'a, T> Combine<'a, T> {
+    /// A combine with the default charge of one base operation per word
+    /// (a plain scalar operator like `+` applied elementwise).
+    pub fn new(f: &'a (dyn Fn(&T, &T) -> T + Sync)) -> Self {
+        Combine {
+            f,
+            ops_per_word: 1.0,
+        }
+    }
+
+    /// A combine with an explicit per-word charge (fused tuple operators).
+    pub fn with_cost(f: &'a (dyn Fn(&T, &T) -> T + Sync), ops_per_word: f64) -> Self {
+        assert!(ops_per_word >= 0.0);
+        Combine { f, ops_per_word }
+    }
+
+    /// Apply the operator.
+    #[inline]
+    pub fn apply(&self, a: &T, b: &T) -> T {
+        (self.f)(a, b)
+    }
+}
+
+impl<T> std::fmt::Debug for Combine<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Combine")
+            .field("ops_per_word", &self.ops_per_word)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cost_is_one_op_per_word() {
+        let add = |a: &i64, b: &i64| a + b;
+        let c = Combine::new(&add);
+        assert_eq!(c.ops_per_word, 1.0);
+        assert_eq!(c.apply(&2, &3), 5);
+    }
+
+    #[test]
+    fn explicit_cost_is_kept() {
+        let f = |a: &(i64, i64), b: &(i64, i64)| (a.0 + b.0, a.1 * b.1);
+        let c = Combine::with_cost(&f, 2.0);
+        assert_eq!(c.ops_per_word, 2.0);
+        assert_eq!(c.apply(&(1, 2), &(3, 4)), (4, 8));
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_cost_rejected() {
+        let add = |a: &i64, b: &i64| a + b;
+        let _ = Combine::with_cost(&add, -1.0);
+    }
+}

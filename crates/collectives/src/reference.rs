@@ -1,0 +1,162 @@
+//! Sequential reference semantics of the collective operations —
+//! direct transcriptions of the paper's equations (4)–(8) plus the
+//! auxiliary `map#` of eq. (13).
+//!
+//! Every distributed algorithm in this crate is tested against these.
+
+/// `map f [x1, …, xn] = [f x1, …, f xn]` (eq. 4).
+pub fn ref_map<T, U>(f: impl Fn(&T) -> U, xs: &[T]) -> Vec<U> {
+    xs.iter().map(f).collect()
+}
+
+/// `map# f [x0, …, x(n-1)] = [f 0 x0, …, f (n-1) x(n-1)]` (eq. 13) —
+/// `map` extended with the processor number.
+pub fn ref_map_indexed<T, U>(f: impl Fn(usize, &T) -> U, xs: &[T]) -> Vec<U> {
+    xs.iter().enumerate().map(|(i, x)| f(i, x)).collect()
+}
+
+/// `reduce (⊕) [x1, …, xn] = [x1 ⊕ … ⊕ xn, x2, …, xn]` (eq. 5):
+/// the combined value replaces the first element, the rest are unchanged.
+pub fn ref_reduce<T: Clone>(op: impl Fn(&T, &T) -> T, xs: &[T]) -> Vec<T> {
+    assert!(!xs.is_empty());
+    let mut out = xs.to_vec();
+    out[0] = ref_reduce_value(op, xs);
+    out
+}
+
+/// Just the combined value `x1 ⊕ … ⊕ xn`, folded left to right (the order
+/// an associative operator is entitled to).
+pub fn ref_reduce_value<T: Clone>(op: impl Fn(&T, &T) -> T, xs: &[T]) -> T {
+    assert!(!xs.is_empty());
+    let mut acc = xs[0].clone();
+    for x in &xs[1..] {
+        acc = op(&acc, x);
+    }
+    acc
+}
+
+/// `allreduce (⊕) [x1, …, xn] = [y, …, y]` with `y = x1 ⊕ … ⊕ xn` (eq. 6).
+pub fn ref_allreduce<T: Clone>(op: impl Fn(&T, &T) -> T, xs: &[T]) -> Vec<T> {
+    let y = ref_reduce_value(op, xs);
+    vec![y; xs.len()]
+}
+
+/// `scan (⊕) [x1, …, xn] = [x1, x1 ⊕ x2, …, x1 ⊕ … ⊕ xn]` (eq. 7) —
+/// the *inclusive* prefix combination.
+pub fn ref_scan<T: Clone>(op: impl Fn(&T, &T) -> T, xs: &[T]) -> Vec<T> {
+    assert!(!xs.is_empty());
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = xs[0].clone();
+    out.push(acc.clone());
+    for x in &xs[1..] {
+        acc = op(&acc, x);
+        out.push(acc.clone());
+    }
+    out
+}
+
+/// Exclusive scan: element `i` is `x1 ⊕ … ⊕ x(i)` for `i ≥ 1`; element 0 is
+/// `None` (no identity element is assumed).
+pub fn ref_exscan<T: Clone>(op: impl Fn(&T, &T) -> T, xs: &[T]) -> Vec<Option<T>> {
+    let inc = ref_scan(op, xs);
+    let mut out = Vec::with_capacity(xs.len());
+    out.push(None);
+    out.extend(inc[..xs.len() - 1].iter().cloned().map(Some));
+    out
+}
+
+/// `bcast [x1, _, …, _] = [x1, …, x1]` (eq. 8).
+pub fn ref_bcast<T: Clone>(xs: &[T]) -> Vec<T> {
+    assert!(!xs.is_empty());
+    vec![xs[0].clone(); xs.len()]
+}
+
+/// The comcast pattern of Section 3.4: `[b, _, …, _] ↦ [b, g b, …, g^(n-1) b]`.
+pub fn ref_comcast<T: Clone>(g: impl Fn(&T) -> T, xs: &[T]) -> Vec<T> {
+    assert!(!xs.is_empty());
+    let mut out = Vec::with_capacity(xs.len());
+    let mut v = xs[0].clone();
+    out.push(v.clone());
+    for _ in 1..xs.len() {
+        v = g(&v);
+        out.push(v.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_applies_pointwise() {
+        assert_eq!(ref_map(|x: &i32| x * 2, &[1, 2, 3]), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn map_indexed_passes_rank() {
+        assert_eq!(
+            ref_map_indexed(|i, x: &i32| i as i32 * 10 + x, &[1, 2, 3]),
+            vec![1, 12, 23]
+        );
+    }
+
+    #[test]
+    fn reduce_replaces_first_only() {
+        let add = |a: &i32, b: &i32| a + b;
+        assert_eq!(ref_reduce(add, &[1, 2, 3, 4]), vec![10, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reduce_folds_left_to_right() {
+        // Subtraction is not associative; the reference pins the order so
+        // tests can detect ordering bugs in the distributed algorithms.
+        let sub = |a: &i32, b: &i32| a - b;
+        assert_eq!(ref_reduce_value(sub, &[10, 1, 2, 3]), 4);
+    }
+
+    #[test]
+    fn allreduce_fills_everywhere() {
+        let add = |a: &i32, b: &i32| a + b;
+        assert_eq!(ref_allreduce(add, &[1, 2, 3]), vec![6, 6, 6]);
+    }
+
+    #[test]
+    fn scan_matches_paper_example() {
+        // The running example of Figures 4/5: input [2,5,9,1,2,6].
+        let add = |a: &i64, b: &i64| a + b;
+        assert_eq!(
+            ref_scan(add, &[2, 5, 9, 1, 2, 6]),
+            vec![2, 7, 16, 17, 19, 25]
+        );
+        // scan ; scan — the SS-Scan left-hand side (Figure 5's result).
+        let once = ref_scan(add, &[2, 5, 9, 1, 2, 6]);
+        assert_eq!(ref_scan(add, &once), vec![2, 9, 25, 42, 61, 86]);
+    }
+
+    #[test]
+    fn exscan_shifts_by_one() {
+        let add = |a: &i32, b: &i32| a + b;
+        assert_eq!(ref_exscan(add, &[1, 2, 3]), vec![None, Some(1), Some(3)]);
+    }
+
+    #[test]
+    fn bcast_copies_first() {
+        assert_eq!(ref_bcast(&[7, 0, 0]), vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn comcast_iterates_g() {
+        let g = |x: &i32| x + 10;
+        assert_eq!(ref_comcast(g, &[1, 0, 0, 0]), vec![1, 11, 21, 31]);
+    }
+
+    #[test]
+    fn singleton_lists_work() {
+        let add = |a: &i32, b: &i32| a + b;
+        assert_eq!(ref_scan(add, &[5]), vec![5]);
+        assert_eq!(ref_reduce(add, &[5]), vec![5]);
+        assert_eq!(ref_bcast(&[5]), vec![5]);
+        assert_eq!(ref_exscan(add, &[5]), vec![None]);
+    }
+}

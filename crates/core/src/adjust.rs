@@ -1,0 +1,248 @@
+//! Auxiliary-variable adjustment functions (Section 2.3) and the local
+//! iteration schemas of Sections 3.4–3.5.
+//!
+//! * [`pair`], [`triple`], [`quadruple`] — data duplication (eqs. 9–11);
+//!   they distribute over blocks, so `pair` of an `m`-word block is an
+//!   `m`-long block of pairs.
+//! * [`pi1`] — first projection `π1` (eq. 12), also blockwise.
+//! * [`repeat`] — the digit-traversal schema of eq. 14 (see
+//!   [`collopt_collectives::comcast`] for the distributed version; this is
+//!   the pure form used by the semantic evaluator).
+//! * [`iter_balanced`] — the generalization of the paper's `iter f` (rule
+//!   BR-Local etc.) to arbitrary processor counts: where the paper doubles
+//!   `log |xs|` times (exact only for powers of two), this evaluates the
+//!   virtual balanced tree of `n` identical leaves locally, using the
+//!   binary/unary operator variants. For `n = 2^k` it degenerates to the
+//!   paper's `k`-fold doubling.
+
+use crate::value::Value;
+
+/// `pair a = (a, a)` (eq. 9), blockwise.
+pub fn pair(v: &Value) -> Value {
+    v.map_block(&|x| Value::Tuple(vec![x.clone(), x.clone()]))
+}
+
+/// `triple a = (a, a, a)` (eq. 10), blockwise.
+pub fn triple(v: &Value) -> Value {
+    v.map_block(&|x| Value::Tuple(vec![x.clone(), x.clone(), x.clone()]))
+}
+
+/// `quadruple a = (a, a, a, a)` (eq. 11), blockwise.
+pub fn quadruple(v: &Value) -> Value {
+    v.map_block(&|x| Value::Tuple(vec![x.clone(), x.clone(), x.clone(), x.clone()]))
+}
+
+/// `π1` — first component of every tuple in the block (eq. 12).
+pub fn pi1(v: &Value) -> Value {
+    v.map_block(&|x| x.proj(0))
+}
+
+/// `repeat (e, o) k b` (eq. 14), SPMD-uniform over `rounds` digits: digit
+/// 0 of `k` applies `e`, digit 1 applies `o`, least significant first.
+pub fn repeat(
+    e: &dyn Fn(&Value) -> Value,
+    o: &dyn Fn(&Value) -> Value,
+    k: usize,
+    rounds: u32,
+    b: Value,
+) -> Value {
+    let mut state = b;
+    for j in 0..rounds {
+        state = if (k >> j) & 1 == 0 {
+            e(&state)
+        } else {
+            o(&state)
+        };
+    }
+    state
+}
+
+/// Evaluate the combination of `n` copies of `leaf` along the virtual
+/// balanced tree, locally: `combine` at binary nodes (left argument covers
+/// the lower copies), `solo` at unary nodes.
+///
+/// Returns the root value together with the number of `combine` and `solo`
+/// applications performed (for cost accounting). Complete subtrees of
+/// equal height collapse to a doubling chain, so the work is
+/// `O(log² n)` operator applications at worst and exactly
+/// `⌈log₂ n⌉` combines when `n` is a power of two — the paper's
+/// `iter (op_br)`.
+pub fn iter_balanced(
+    n: usize,
+    leaf: &Value,
+    combine: &dyn Fn(&Value, &Value) -> Value,
+    solo: &dyn Fn(&Value) -> Value,
+) -> (Value, u64, u64) {
+    assert!(n >= 1);
+    let depth = if n <= 1 { 0 } else { (n - 1).ilog2() + 1 };
+    let mut combines = 0u64;
+    let mut solos = 0u64;
+    // complete[k] = value of a complete subtree of height k.
+    let mut complete: Vec<Value> = Vec::with_capacity(depth as usize + 1);
+    complete.push(leaf.clone());
+    for k in 1..=depth {
+        let prev = &complete[(k - 1) as usize];
+        complete.push(combine(prev, prev));
+        combines += 1;
+    }
+    // Walk the left spine of the balanced tree for n leaves.
+    fn build(
+        n: usize,
+        d: u32,
+        complete: &[Value],
+        combine: &dyn Fn(&Value, &Value) -> Value,
+        solo: &dyn Fn(&Value) -> Value,
+        combines: &mut u64,
+        solos: &mut u64,
+    ) -> Value {
+        if n == 1usize << d {
+            // A complete subtree: reuse the doubling chain instead of
+            // recombining (this is what makes the power-of-two case exactly
+            // the paper's iter).
+            return complete[d as usize].clone();
+        }
+        let half = 1usize << (d - 1);
+        if n > half {
+            let left = build(n - half, d - 1, complete, combine, solo, combines, solos);
+            *combines += 1;
+            combine(&left, &complete[(d - 1) as usize])
+        } else {
+            let inner = build(n, d - 1, complete, combine, solo, combines, solos);
+            *solos += 1;
+            solo(&inner)
+        }
+    }
+    let v = if n == 1 {
+        leaf.clone()
+    } else {
+        build(
+            n,
+            depth,
+            &complete,
+            combine,
+            solo,
+            &mut combines,
+            &mut solos,
+        )
+    };
+    (v, combines, solos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tupling_functions_duplicate() {
+        let v = Value::Int(3);
+        assert_eq!(pair(&v), Value::Tuple(vec![3.into(), 3.into()]));
+        assert_eq!(triple(&v).as_tuple().len(), 3);
+        assert_eq!(quadruple(&v).as_tuple().len(), 4);
+    }
+
+    #[test]
+    fn tupling_distributes_over_blocks() {
+        let block = Value::int_list([1, 2]);
+        let p = pair(&block);
+        assert_eq!(
+            p,
+            Value::List(vec![
+                Value::Tuple(vec![1.into(), 1.into()]),
+                Value::Tuple(vec![2.into(), 2.into()])
+            ])
+        );
+        assert_eq!(pi1(&p), block);
+    }
+
+    #[test]
+    fn pi1_inverts_all_tupling_functions() {
+        let v = Value::int_list([4, 5, 6]);
+        assert_eq!(pi1(&pair(&v)), v);
+        assert_eq!(pi1(&triple(&v)), v);
+        assert_eq!(pi1(&quadruple(&v)), v);
+    }
+
+    #[test]
+    fn repeat_traverses_digits_lsb_first() {
+        // e appends '0', o appends '1' — the result spells k's digits.
+        let e = |v: &Value| Value::Int(v.as_int() * 10);
+        let o = |v: &Value| Value::Int(v.as_int() * 10 + 1);
+        // k = 6 = 110b, digits LSB-first: 0, 1, 1.
+        let got = repeat(&e, &o, 6, 3, Value::Int(9));
+        assert_eq!(got, Value::Int(9011)); // 9 → 90 → 901 → 9011
+    }
+
+    #[test]
+    fn repeat_bs_operator_computes_k_plus_one_multiples() {
+        // Figure 6's operator: e(t,u) = (t, 2u), o(t,u) = (t+u, 2u).
+        let e = |v: &Value| {
+            let (t, u) = (v.proj(0).as_int(), v.proj(1).as_int());
+            Value::Tuple(vec![Value::Int(t), Value::Int(u + u)])
+        };
+        let o = |v: &Value| {
+            let (t, u) = (v.proj(0).as_int(), v.proj(1).as_int());
+            Value::Tuple(vec![Value::Int(t + u), Value::Int(u + u)])
+        };
+        for k in 0..16 {
+            let out = repeat(&e, &o, k, 4, pair(&Value::Int(2)));
+            assert_eq!(out.proj(0).as_int(), 2 * (k as i64 + 1), "k={k}");
+        }
+    }
+
+    #[test]
+    fn iter_balanced_power_of_two_is_pure_doubling() {
+        // combine = +: n copies of 1 sum to n; exactly log n combines.
+        let add = |a: &Value, b: &Value| Value::Int(a.as_int() + b.as_int());
+        let id = |v: &Value| v.clone();
+        for k in 0..8u32 {
+            let n = 1usize << k;
+            let (v, combines, solos) = iter_balanced(n, &Value::Int(1), &add, &id);
+            assert_eq!(v.as_int(), n as i64);
+            assert_eq!(combines, k as u64, "n={n}");
+            assert_eq!(solos, 0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn iter_balanced_any_n_with_associative_op() {
+        let add = |a: &Value, b: &Value| Value::Int(a.as_int() + b.as_int());
+        let id = |v: &Value| v.clone();
+        for n in 1..200 {
+            let (v, combines, _) = iter_balanced(n, &Value::Int(3), &add, &id);
+            assert_eq!(v.as_int(), 3 * n as i64, "n={n}");
+            // Logarithmic work.
+            assert!(combines <= 2 * 8, "n={n} combines={combines}");
+        }
+    }
+
+    #[test]
+    fn iter_balanced_with_op_sr_matches_reduce_of_scan() {
+        // BSR-Local: n copies of b; expected Σ_{i=1..n} i·b = n(n+1)/2 · b.
+        let combine = |a: &Value, b: &Value| {
+            let (t1, u1) = (a.proj(0).as_int(), a.proj(1).as_int());
+            let (t2, u2) = (b.proj(0).as_int(), b.proj(1).as_int());
+            let uu = u1 + u2;
+            Value::Tuple(vec![Value::Int(t1 + t2 + u1), Value::Int(uu + uu)])
+        };
+        let solo = |v: &Value| {
+            let (t, u) = (v.proj(0).as_int(), v.proj(1).as_int());
+            Value::Tuple(vec![Value::Int(t), Value::Int(u + u)])
+        };
+        let b = 2i64;
+        for n in 1..100usize {
+            let leaf = Value::Tuple(vec![Value::Int(b), Value::Int(b)]);
+            let (v, _, _) = iter_balanced(n, &leaf, &combine, &solo);
+            let n_i = n as i64;
+            assert_eq!(v.proj(0).as_int(), n_i * (n_i + 1) / 2 * b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn iter_balanced_single_leaf_is_identity() {
+        let add = |a: &Value, b: &Value| Value::Int(a.as_int() + b.as_int());
+        let id = |v: &Value| v.clone();
+        let (v, c, s) = iter_balanced(1, &Value::Int(42), &add, &id);
+        assert_eq!(v.as_int(), 42);
+        assert_eq!((c, s), (0, 0));
+    }
+}

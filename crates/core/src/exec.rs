@@ -1,0 +1,565 @@
+//! Executing program terms on the simulated machine.
+//!
+//! [`execute`] lowers each [`Stage`] onto the algorithms of
+//! `collopt-collectives`, running the program SPMD-style with one thread
+//! per processor. The returned [`ExecOutcome`] carries both the computed
+//! distributed list (which must agree with
+//! [`crate::semantics::eval_program`] — the integration tests check this
+//! for every rule) and the deterministic simulated makespan under the
+//! paper's `ts`/`tw` model (which must agree with
+//! [`crate::rewrite::program_cost`] for power-of-two machines — the cost
+//! benches check that).
+
+use std::sync::Arc;
+
+use collopt_collectives::{
+    allgather, allreduce, allreduce_balanced, bcast_auto, bcast_binomial, comcast_bcast_repeat,
+    comcast_cost_optimal, gather_binomial, reduce_balanced, reduce_binomial, scan_balanced,
+    scatter_binomial, BalancedOp, Combine, PairedOp, RepeatOp,
+};
+use collopt_machine::{ClockParams, Ctx, Machine};
+
+use crate::adjust::iter_balanced;
+use crate::term::{ComcastVariant, Program, Stage};
+use crate::value::Value;
+
+/// Execution options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecConfig {
+    /// Lower `bcast` stages through the cost-model-driven algorithm
+    /// selector ([`collopt_collectives::bcast_auto`]: binomial vs chain
+    /// pipeline vs van de Geijn scatter+allgather, chosen per machine and
+    /// block size) instead of always using the binomial tree. Applies to
+    /// list-valued blocks; scalar broadcasts stay binomial.
+    pub adaptive_bcast: bool,
+}
+
+/// Result of running a program on the machine.
+#[derive(Debug)]
+pub struct ExecOutcome {
+    /// Final per-processor values.
+    pub outputs: Vec<Value>,
+    /// Simulated parallel run time (max over ranks).
+    pub makespan: f64,
+    /// Total computation operations charged across ranks.
+    pub total_compute: f64,
+    /// Total message exchanges across ranks.
+    pub total_messages: u64,
+}
+
+/// Execute `prog` on `inputs.len()` simulated processors with the given
+/// cost parameters. `inputs[i]` is processor `i`'s initial block.
+pub fn execute(prog: &Program, inputs: &[Value], clock: ClockParams) -> ExecOutcome {
+    run_program(prog, inputs, clock, false, ExecConfig::default()).0
+}
+
+/// [`execute`] with explicit [`ExecConfig`] options.
+pub fn execute_with(
+    prog: &Program,
+    inputs: &[Value],
+    clock: ClockParams,
+    config: ExecConfig,
+) -> ExecOutcome {
+    run_program(prog, inputs, clock, false, config).0
+}
+
+/// [`execute`] with event tracing enabled; also returns the merged trace
+/// (sends, receives, exchanges, computation, ordered by simulated time),
+/// from which Figure-1-style run-time diagrams can be rendered via
+/// [`collopt_machine::Trace::ascii_timeline`].
+pub fn execute_traced(prog: &Program, inputs: &[Value], clock: ClockParams) -> TracedExecOutcome {
+    let (outcome, trace) = run_program(prog, inputs, clock, true, ExecConfig::default());
+    TracedExecOutcome { outcome, trace }
+}
+
+/// Execute with a per-stage profile: element `i` of the returned vector
+/// is the simulated time at which the slowest rank finished stage `i`
+/// (so differences give per-stage makespans). The profile is what the
+/// optimization report uses for *measured* stage costs next to the
+/// analytic ones.
+pub fn execute_profiled(
+    prog: &Program,
+    inputs: &[Value],
+    clock: ClockParams,
+) -> (ExecOutcome, Vec<f64>) {
+    assert!(!inputs.is_empty());
+    let machine = Machine::new(inputs.len(), clock);
+    let inputs: Arc<Vec<Value>> = Arc::new(inputs.to_vec());
+    let run = machine.run(|ctx| {
+        let mut v = inputs[ctx.rank()].clone();
+        let mut marks = Vec::with_capacity(prog.len());
+        for stage in prog.stages() {
+            exec_stage(stage, ctx, &mut v, ExecConfig::default());
+            marks.push(ctx.time());
+        }
+        (v, marks)
+    });
+    let mut stage_finish = vec![0.0f64; prog.len()];
+    let mut outputs = Vec::with_capacity(run.results.len());
+    for (v, marks) in run.results {
+        for (slot, t) in stage_finish.iter_mut().zip(&marks) {
+            *slot = slot.max(*t);
+        }
+        outputs.push(v);
+    }
+    (
+        ExecOutcome {
+            outputs,
+            makespan: run.makespan,
+            total_compute: run.compute_ops.iter().sum(),
+            total_messages: run.messages.iter().sum(),
+        },
+        stage_finish,
+    )
+}
+
+/// An [`ExecOutcome`] together with the run's event trace.
+#[derive(Debug)]
+pub struct TracedExecOutcome {
+    /// The execution result.
+    pub outcome: ExecOutcome,
+    /// Merged per-rank event log.
+    pub trace: collopt_machine::Trace,
+}
+
+impl std::ops::Deref for TracedExecOutcome {
+    type Target = ExecOutcome;
+    fn deref(&self) -> &ExecOutcome {
+        &self.outcome
+    }
+}
+
+fn run_program(
+    prog: &Program,
+    inputs: &[Value],
+    clock: ClockParams,
+    tracing: bool,
+    config: ExecConfig,
+) -> (ExecOutcome, collopt_machine::Trace) {
+    assert!(!inputs.is_empty());
+    let mut machine = Machine::new(inputs.len(), clock);
+    if tracing {
+        machine = machine.with_tracing();
+    }
+    let inputs: Arc<Vec<Value>> = Arc::new(inputs.to_vec());
+    let run = machine.run(|ctx| {
+        let mut v = inputs[ctx.rank()].clone();
+        for stage in prog.stages() {
+            exec_stage(stage, ctx, &mut v, config);
+        }
+        v
+    });
+    (
+        ExecOutcome {
+            outputs: run.results,
+            makespan: run.makespan,
+            total_compute: run.compute_ops.iter().sum(),
+            total_messages: run.messages.iter().sum(),
+        },
+        run.trace,
+    )
+}
+
+fn exec_stage(stage: &Stage, ctx: &mut Ctx, v: &mut Value, config: ExecConfig) {
+    let m = v.block_len() as f64;
+    match stage {
+        Stage::Map { f, ops, label } => {
+            *v = f(v);
+            ctx.charge(ops * m, label);
+        }
+        Stage::MapIndexed { f, ops, label } => {
+            *v = f(ctx.rank(), v);
+            ctx.charge(ops * m, label);
+        }
+        Stage::Bcast => {
+            // The adaptive path applies to list blocks; the shape must be
+            // SPMD-uniform for all ranks to take the same branch.
+            if config.adaptive_bcast && matches!(v, Value::List(_)) {
+                let value = (ctx.rank() == 0).then(|| v.as_list().to_vec());
+                *v = Value::List(bcast_auto(ctx, value, 1));
+            } else {
+                let words = v.words();
+                let value = (ctx.rank() == 0).then(|| v.clone());
+                *v = bcast_binomial(ctx, 0, value, words);
+            }
+        }
+        Stage::Scan(op) => {
+            let words = v.words().max(1);
+            // Convert the operator's per-element charge into the
+            // per-message-word charge the collective layer expects.
+            let ops_per_word = op.ops_per_word() * m / words as f64;
+            let opc = op.clone();
+            let f = move |a: &Value, b: &Value| opc.apply(a, b);
+            let combine = Combine::with_cost(&f, ops_per_word);
+            *v = collopt_collectives::scan_butterfly(ctx, v.clone(), words, &combine);
+        }
+        Stage::Reduce(op) => {
+            let words = v.words().max(1);
+            let ops_per_word = op.ops_per_word() * m / words as f64;
+            let opc = op.clone();
+            let f = move |a: &Value, b: &Value| opc.apply(a, b);
+            let combine = Combine::with_cost(&f, ops_per_word);
+            if let Some(r) = reduce_binomial(ctx, 0, v.clone(), words, &combine) {
+                *v = r;
+            }
+            // Non-roots keep their value — the semantics of eq. (5).
+        }
+        Stage::AllReduce(op) => {
+            let words = v.words().max(1);
+            let ops_per_word = op.ops_per_word() * m / words as f64;
+            let opc = op.clone();
+            let f = move |a: &Value, b: &Value| opc.apply(a, b);
+            let combine = Combine::with_cost(&f, ops_per_word);
+            *v = allreduce(ctx, v.clone(), words, &combine);
+        }
+        Stage::ReduceBalanced {
+            combine,
+            solo,
+            all,
+            ops_combine,
+            ops_solo,
+            words_factor,
+            ..
+        } => {
+            let cf = |a: &Value, b: &Value| combine(a, b);
+            let sf = |x: &Value| solo(x);
+            let op = BalancedOp {
+                combine: &cf,
+                solo: &sf,
+                ops_combine: *ops_combine,
+                ops_solo: *ops_solo,
+                words_factor: *words_factor,
+            };
+            let words = v.block_len() as u64;
+            if *all {
+                *v = allreduce_balanced(ctx, v.clone(), words, &op);
+            } else if let Some(r) = reduce_balanced(ctx, v.clone(), words, &op) {
+                *v = r;
+            }
+        }
+        Stage::ScanBalanced {
+            combine,
+            solo,
+            ops_lower,
+            ops_upper,
+            ops_solo,
+            words_factor,
+            ..
+        } => {
+            let cf = |a: &Value, b: &Value| combine(a, b);
+            let sf = |x: &Value| solo(x);
+            let op = PairedOp {
+                combine: &cf,
+                solo: &sf,
+                ops_lower: *ops_lower,
+                ops_upper: *ops_upper,
+                ops_solo: *ops_solo,
+                words_factor: *words_factor,
+            };
+            let words = v.block_len() as u64;
+            *v = scan_balanced(ctx, v.clone(), words, &op);
+        }
+        Stage::Comcast {
+            e,
+            o,
+            inject,
+            project,
+            ops_e,
+            ops_o,
+            words_factor,
+            variant,
+            ..
+        } => {
+            let ef = |x: &Value| e(x);
+            let of = |x: &Value| o(x);
+            let op = RepeatOp {
+                e: &ef,
+                o: &of,
+                ops_e: *ops_e,
+                ops_o: *ops_o,
+            };
+            let injf = |b: &Value| inject(b);
+            let projf = |s: &Value| project(s);
+            let words = v.words().max(1);
+            let value = (ctx.rank() == 0).then(|| v.clone());
+            *v = match variant {
+                ComcastVariant::BcastRepeat => {
+                    comcast_bcast_repeat(ctx, 0, value, words, &injf, &projf, &op)
+                }
+                ComcastVariant::CostOptimal => {
+                    comcast_cost_optimal(ctx, 0, value, words, &injf, &projf, &op, *words_factor)
+                }
+            };
+        }
+        Stage::Gather => {
+            let words = v.words().max(1);
+            if let Some(all) = gather_binomial(ctx, v.clone(), words) {
+                *v = Value::List(all);
+            }
+        }
+        Stage::Scatter => {
+            let blocks = (ctx.rank() == 0).then(|| {
+                let list = v.as_list();
+                assert_eq!(
+                    list.len(),
+                    ctx.size(),
+                    "scatter needs one element per processor"
+                );
+                list.to_vec()
+            });
+            let words = (v.words() / ctx.size() as u64).max(1);
+            *v = scatter_binomial(ctx, blocks, words);
+        }
+        Stage::AllGather => {
+            let words = v.words().max(1);
+            *v = Value::List(allgather(ctx, v.clone(), words));
+        }
+        Stage::IterLocal {
+            combine,
+            solo,
+            all,
+            ops_combine,
+            ops_solo,
+            label,
+        } => {
+            if ctx.rank() == 0 {
+                let cf = |a: &Value, b: &Value| combine(a, b);
+                let sf = |x: &Value| solo(x);
+                let (nv, combines, solos) = iter_balanced(ctx.size(), v, &cf, &sf);
+                ctx.charge(
+                    combines as f64 * ops_combine * m + solos as f64 * ops_solo * m,
+                    label,
+                );
+                *v = nv;
+            }
+            if *all {
+                let words = v.words();
+                let value = (ctx.rank() == 0).then(|| v.clone());
+                *v = bcast_binomial(ctx, 0, value, words);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::lib;
+    use crate::rewrite::Rewriter;
+    use crate::semantics::eval_program;
+    use crate::term::Program;
+
+    fn ints(vs: &[i64]) -> Vec<Value> {
+        vs.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn executor_matches_evaluator_on_basic_stages() {
+        let prog = Program::new()
+            .map("inc", 1.0, |v| Value::Int(v.as_int() + 1))
+            .scan(lib::add())
+            .allreduce(lib::max())
+            .bcast();
+        for p in [1usize, 2, 3, 6, 8, 13] {
+            let input: Vec<i64> = (0..p as i64).map(|i| 2 * i - 3).collect();
+            let xs = ints(&input);
+            let expected = eval_program(&prog, &xs);
+            let got = execute(&prog, &xs, ClockParams::free());
+            assert_eq!(got.outputs, expected, "p={p}");
+        }
+    }
+
+    #[test]
+    fn executor_matches_evaluator_on_reduce_semantics() {
+        let prog = Program::new().reduce(lib::add());
+        let xs = ints(&[1, 2, 3, 4, 5]);
+        let got = execute(&prog, &xs, ClockParams::free());
+        assert_eq!(got.outputs, eval_program(&prog, &xs));
+        assert_eq!(got.outputs[0], Value::Int(15));
+        assert_eq!(got.outputs[3], Value::Int(4)); // untouched
+    }
+
+    #[test]
+    fn optimized_programs_execute_identically() {
+        // Every fusible program: original vs exhaustively optimized, on
+        // the machine, all positions (rank0-only rules excluded here).
+        let programs: Vec<Program> = vec![
+            Program::new().scan(lib::mul()).allreduce(lib::add()),
+            Program::new().scan(lib::add()).allreduce(lib::add()),
+            Program::new().scan(lib::mul()).scan(lib::add()),
+            Program::new().scan(lib::add()).scan(lib::add()),
+            Program::new().bcast().scan(lib::add()),
+            Program::new().bcast().scan(lib::mul()).scan(lib::add()),
+            Program::new().bcast().scan(lib::add()).scan(lib::add()),
+            Program::new().bcast().allreduce(lib::add()),
+        ];
+        for prog in programs {
+            let opt = Rewriter::exhaustive()
+                .allow_rank0_rules(false)
+                .optimize(&prog);
+            assert!(!opt.steps.is_empty(), "{prog} should be optimizable");
+            for p in [2usize, 4, 6, 7] {
+                let input: Vec<i64> = (0..p as i64).map(|i| (i % 3) + 1).collect();
+                let xs = ints(&input);
+                let a = execute(&prog, &xs, ClockParams::free());
+                let b = execute(&opt.program, &xs, ClockParams::free());
+                assert_eq!(a.outputs, b.outputs, "{prog} p={p}");
+                assert_eq!(b.outputs, eval_program(&opt.program, &xs), "{prog} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank0_rules_execute_correctly_on_rank0() {
+        let programs: Vec<Program> = vec![
+            Program::new().bcast().reduce(lib::add()),
+            Program::new().bcast().scan(lib::mul()).reduce(lib::add()),
+            Program::new().bcast().scan(lib::add()).reduce(lib::add()),
+            Program::new().scan(lib::mul()).reduce(lib::add()),
+            Program::new().scan(lib::add()).reduce(lib::add()),
+        ];
+        for prog in programs {
+            let opt = Rewriter::exhaustive().optimize(&prog);
+            assert!(!opt.steps.is_empty(), "{prog}");
+            for p in [1usize, 2, 5, 8] {
+                let mut input = vec![9i64; p];
+                input[0] = 2;
+                let xs = ints(&input);
+                let a = execute(&prog, &xs, ClockParams::free());
+                let b = execute(&opt.program, &xs, ClockParams::free());
+                assert_eq!(a.outputs[0], b.outputs[0], "{prog} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_program_communicates_less() {
+        let prog = Program::new().scan(lib::mul()).reduce(lib::add());
+        let opt = Rewriter::exhaustive().optimize(&prog).program;
+        let xs = ints(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let orig = execute(&prog, &xs, ClockParams::parsytec_like());
+        let fused = execute(&opt, &xs, ClockParams::parsytec_like());
+        assert!(fused.total_messages < orig.total_messages);
+        assert!(
+            fused.makespan < orig.makespan,
+            "{} < {}",
+            fused.makespan,
+            orig.makespan
+        );
+    }
+
+    #[test]
+    fn simulated_makespan_matches_cost_model_for_power_of_two() {
+        use collopt_cost::MachineParams;
+        let p = 8usize;
+        let (ts, tw) = (100.0, 2.0);
+        let prog = Program::new().scan(lib::add()).reduce(lib::add());
+        let xs: Vec<Value> = (0..p as i64).map(Value::Int).collect();
+        let run = execute(&prog, &xs, ClockParams::new(ts, tw));
+        let predicted = crate::rewrite::program_cost(&prog, &MachineParams::new(p, ts, tw), 1.0);
+        assert_eq!(run.makespan, predicted);
+    }
+
+    #[test]
+    fn blocks_execute_elementwise() {
+        let prog = Program::new().scan(lib::add());
+        let input: Vec<Value> = (0..6)
+            .map(|i| Value::int_list([i as i64, 100 * i as i64]))
+            .collect();
+        let got = execute(&prog, &input, ClockParams::free());
+        assert_eq!(got.outputs, eval_program(&prog, &input));
+    }
+
+    #[test]
+    fn gather_family_matches_evaluator() {
+        for p in [1usize, 2, 3, 6, 8, 11] {
+            let input: Vec<Value> = (0..p as i64).map(|i| Value::Int(3 * i - 1)).collect();
+            for prog in [
+                Program::new().gather(),
+                Program::new().allgather(),
+                // `rev` only acts on the root's gathered list; the other
+                // processors hold scalars at this point, which it keeps.
+                Program::new()
+                    .gather()
+                    .map("rev", 1.0, |v| match v {
+                        Value::List(l) => {
+                            let mut l = l.clone();
+                            l.reverse();
+                            Value::List(l)
+                        }
+                        other => other.clone(),
+                    })
+                    .scatter(),
+            ] {
+                let expected = eval_program(&prog, &input);
+                let got = execute(&prog, &input, ClockParams::free());
+                assert_eq!(got.outputs, expected, "{prog} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_on_machine() {
+        let input: Vec<Value> = (0..7i64).map(Value::Int).collect();
+        let prog = Program::new().gather().scatter();
+        let got = execute(&prog, &input, ClockParams::parsytec_like());
+        assert_eq!(got.outputs, input);
+        // ... and the normalizer knows it is the identity.
+        let opt = crate::rewrite::Rewriter::exhaustive().optimize(&prog);
+        assert!(opt.program.is_empty());
+    }
+
+    #[test]
+    fn adaptive_bcast_beats_the_fixed_tree_for_large_blocks() {
+        let p = 16usize;
+        let mw = 32_000usize;
+        let prog = Program::new().bcast();
+        let input: Vec<Value> = (0..p)
+            .map(|r| Value::List(vec![Value::Int(if r == 0 { 7 } else { 0 }); mw]))
+            .collect();
+        let clock = ClockParams::parsytec_like();
+        let fixed = execute(&prog, &input, clock);
+        let adaptive = execute_with(
+            &prog,
+            &input,
+            clock,
+            ExecConfig {
+                adaptive_bcast: true,
+            },
+        );
+        assert_eq!(fixed.outputs, adaptive.outputs);
+        assert!(
+            adaptive.makespan < fixed.makespan,
+            "adaptive {} must beat binomial {} at m={mw}",
+            adaptive.makespan,
+            fixed.makespan
+        );
+        // For tiny blocks the selector falls back to the binomial tree
+        // (plus the 1-word length pre-broadcast).
+        let small: Vec<Value> = (0..p)
+            .map(|_| Value::List(vec![Value::Int(1); 4]))
+            .collect();
+        let f = execute(&prog, &small, clock);
+        let a = execute_with(
+            &prog,
+            &small,
+            clock,
+            ExecConfig {
+                adaptive_bcast: true,
+            },
+        );
+        assert_eq!(f.outputs, a.outputs);
+        let preamble = 4.0 * (clock.ts + clock.tw);
+        assert!(a.makespan <= f.makespan + preamble + 1.0);
+    }
+
+    #[test]
+    fn makespan_scales_with_block_size() {
+        let prog = Program::new().scan(lib::add());
+        let small: Vec<Value> = (0..8).map(|_| Value::int_list(vec![1i64; 4])).collect();
+        let large: Vec<Value> = (0..8).map(|_| Value::int_list(vec![1i64; 64])).collect();
+        let a = execute(&prog, &small, ClockParams::parsytec_like());
+        let b = execute(&prog, &large, ClockParams::parsytec_like());
+        assert!(b.makespan > a.makespan);
+    }
+}

@@ -1,0 +1,504 @@
+//! Base operators and their algebraic properties.
+//!
+//! The side conditions of the optimization rules are algebraic:
+//! associativity (every collective needs it), commutativity (SR-Reduction,
+//! SS-Scan, BSS-Comcast, BSR-Local), and distributivity of one operator
+//! over another (the `2`-rules: SR2, SS2, BSS2, BSR2). A [`BinOp`] bundles
+//! the combine function with *declared* properties; the declarations are
+//! what the rewrite engine trusts, and [`BinOp::check_associative`] /
+//! [`check_commutative`](BinOp::check_commutative) /
+//! [`check_distributes_over`](BinOp::check_distributes_over) give
+//! randomized verification used by the test-suite (and available to users
+//! who declare properties of their own operators).
+
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// A binary function over [`Value`]s.
+pub type ValueFn2 = Arc<dyn Fn(&Value, &Value) -> Value + Send + Sync>;
+
+/// A binary base operator with declared algebraic properties and a
+/// declared cost (base operations per block word per application).
+#[derive(Clone)]
+pub struct BinOp {
+    name: String,
+    f: ValueFn2,
+    associative: bool,
+    commutative: bool,
+    distributes_over: Vec<String>,
+    ops_per_word: f64,
+    width: f64,
+}
+
+impl BinOp {
+    /// A new operator. `associative` must hold for the operator to be used
+    /// in any collective; it is asserted here as documentation of intent
+    /// and verified by the randomized checkers in tests.
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&Value, &Value) -> Value + Send + Sync + 'static,
+    ) -> Self {
+        BinOp {
+            name: name.into(),
+            f: Arc::new(f),
+            associative: true,
+            commutative: false,
+            distributes_over: Vec::new(),
+            ops_per_word: 1.0,
+            width: 1.0,
+        }
+    }
+
+    /// Declare the operator commutative.
+    pub fn commutative(mut self) -> Self {
+        self.commutative = true;
+        self
+    }
+
+    /// Declare that `self` distributes over the operator named `other`:
+    /// `a ⊗ (b ⊕ c) = (a ⊗ b) ⊕ (a ⊗ c)`.
+    pub fn distributes_over_op(mut self, other: &str) -> Self {
+        self.distributes_over.push(other.to_string());
+        self
+    }
+
+    /// Override the per-word cost (default 1).
+    pub fn with_cost(mut self, ops_per_word: f64) -> Self {
+        assert!(ops_per_word >= 0.0);
+        self.ops_per_word = ops_per_word;
+        self
+    }
+
+    /// Mark the operator as non-associative (only used by fused operators
+    /// that must never be fed to a standard collective).
+    pub fn non_associative(mut self) -> Self {
+        self.associative = false;
+        self
+    }
+
+    /// Declare the value width in machine words per block element
+    /// (2 for operators on pairs, etc.; default 1). Used by the cost
+    /// estimator to size messages.
+    pub fn with_width(mut self, width: f64) -> Self {
+        assert!(width >= 1.0);
+        self.width = width;
+        self
+    }
+
+    /// Declared width in words per block element.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Operator name (identity for property lookups).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Is the operator declared associative?
+    pub fn is_associative(&self) -> bool {
+        self.associative
+    }
+
+    /// Is the operator declared commutative?
+    pub fn is_commutative(&self) -> bool {
+        self.commutative
+    }
+
+    /// Does `self` distribute over `other` (by declaration)?
+    pub fn distributes_over(&self, other: &BinOp) -> bool {
+        self.distributes_over.iter().any(|n| n == other.name())
+    }
+
+    /// Declared cost in base operations per block word.
+    pub fn ops_per_word(&self) -> f64 {
+        self.ops_per_word
+    }
+
+    /// Apply to scalars or tuples directly; lifts elementwise over
+    /// [`Value::List`] blocks.
+    pub fn apply(&self, a: &Value, b: &Value) -> Value {
+        let f = &self.f;
+        a.zip_block(b, &|x, y| f(x, y))
+    }
+
+    /// The raw scalar function (no block lifting).
+    pub fn raw(&self) -> ValueFn2 {
+        self.f.clone()
+    }
+
+    /// Randomized associativity check over the given sample values:
+    /// verifies `(a⊕b)⊕c = a⊕(b⊕c)` for all triples.
+    pub fn check_associative(&self, samples: &[Value]) -> bool {
+        for a in samples {
+            for b in samples {
+                for c in samples {
+                    let left = self.apply(&self.apply(a, b), c);
+                    let right = self.apply(a, &self.apply(b, c));
+                    if !value_close(&left, &right) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Randomized commutativity check: `a⊕b = b⊕a` for all pairs.
+    pub fn check_commutative(&self, samples: &[Value]) -> bool {
+        for a in samples {
+            for b in samples {
+                if !value_close(&self.apply(a, b), &self.apply(b, a)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Randomized distributivity check:
+    /// `a ⊗ (b ⊕ c) = (a ⊗ b) ⊕ (a ⊗ c)` and the right-handed law
+    /// `(b ⊕ c) ⊗ a = (b ⊗ a) ⊕ (c ⊗ a)` for all triples. The rules need
+    /// both orientations (the fused operators multiply on either side).
+    pub fn check_distributes_over(&self, other: &BinOp, samples: &[Value]) -> bool {
+        for a in samples {
+            for b in samples {
+                for c in samples {
+                    let l1 = self.apply(a, &other.apply(b, c));
+                    let r1 = other.apply(&self.apply(a, b), &self.apply(a, c));
+                    let l2 = self.apply(&other.apply(b, c), a);
+                    let r2 = other.apply(&self.apply(b, a), &self.apply(c, a));
+                    if !value_close(&l1, &r1) || !value_close(&l2, &r2) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl std::fmt::Debug for BinOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BinOp")
+            .field("name", &self.name)
+            .field("associative", &self.associative)
+            .field("commutative", &self.commutative)
+            .field("distributes_over", &self.distributes_over)
+            .field("ops_per_word", &self.ops_per_word)
+            .finish()
+    }
+}
+
+/// Structural equality with a small tolerance on floats (the randomized
+/// checkers must not fail on benign rounding).
+pub fn value_close(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Float(x), Value::Float(y)) => {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= 1e-9 * scale
+        }
+        (Value::Tuple(xs), Value::Tuple(ys)) | (Value::List(xs), Value::List(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| value_close(x, y))
+        }
+        _ => false,
+    }
+}
+
+/// The standard operator library. All declared properties are verified by
+/// the randomized checkers in this module's tests.
+pub mod lib {
+    use super::*;
+
+    /// Integer addition — associative, commutative.
+    pub fn add() -> BinOp {
+        BinOp::new("add", |a, b| {
+            Value::Int(a.as_int().wrapping_add(b.as_int()))
+        })
+        .commutative()
+    }
+
+    /// Integer multiplication — associative, commutative, distributes
+    /// over [`add`] (and over itself trivially not).
+    pub fn mul() -> BinOp {
+        BinOp::new("mul", |a, b| {
+            Value::Int(a.as_int().wrapping_mul(b.as_int()))
+        })
+        .commutative()
+        .distributes_over_op("add")
+    }
+
+    /// Integer maximum — associative, commutative, idempotent.
+    pub fn max() -> BinOp {
+        BinOp::new("max", |a, b| Value::Int(a.as_int().max(b.as_int()))).commutative()
+    }
+
+    /// Integer minimum.
+    pub fn min() -> BinOp {
+        BinOp::new("min", |a, b| Value::Int(a.as_int().min(b.as_int()))).commutative()
+    }
+
+    /// Tropical addition: `add` distributing over `max` — the max-plus
+    /// semiring used in dynamic-programming workloads
+    /// (`a + max(b,c) = max(a+b, a+c)`).
+    pub fn add_tropical() -> BinOp {
+        BinOp::new("add", |a, b| {
+            Value::Int(a.as_int().wrapping_add(b.as_int()))
+        })
+        .commutative()
+        .distributes_over_op("max")
+        .distributes_over_op("min")
+    }
+
+    /// Boolean AND — distributes over OR.
+    pub fn and() -> BinOp {
+        BinOp::new("and", |a, b| Value::Bool(a.as_bool() && b.as_bool()))
+            .commutative()
+            .distributes_over_op("or")
+    }
+
+    /// Boolean OR — distributes over AND.
+    pub fn or() -> BinOp {
+        BinOp::new("or", |a, b| Value::Bool(a.as_bool() || b.as_bool()))
+            .commutative()
+            .distributes_over_op("and")
+    }
+
+    /// Float addition (commutative; associativity up to rounding).
+    pub fn fadd() -> BinOp {
+        BinOp::new("fadd", |a, b| Value::Float(a.as_float() + b.as_float())).commutative()
+    }
+
+    /// Float multiplication — distributes over float addition.
+    pub fn fmul() -> BinOp {
+        BinOp::new("fmul", |a, b| Value::Float(a.as_float() * b.as_float()))
+            .commutative()
+            .distributes_over_op("fadd")
+    }
+
+    /// Modular addition (wrap at `modulus`) — commutative.
+    pub fn add_mod(modulus: i64) -> BinOp {
+        assert!(modulus > 0);
+        BinOp::new(format!("add_mod{modulus}"), move |a, b| {
+            Value::Int((a.as_int() + b.as_int()).rem_euclid(modulus))
+        })
+        .commutative()
+    }
+
+    /// MPI_MAXLOC: on pairs `(value, index)`, the larger value wins; ties
+    /// go to the smaller index. Associative and commutative, the standard
+    /// way to locate a global maximum's owner with one allreduce.
+    pub fn maxloc() -> BinOp {
+        BinOp::new("maxloc", |x, y| {
+            let (v1, i1) = (x.proj(0).as_int(), x.proj(1).as_int());
+            let (v2, i2) = (y.proj(0).as_int(), y.proj(1).as_int());
+            if v1 > v2 || (v1 == v2 && i1 <= i2) {
+                x.clone()
+            } else {
+                y.clone()
+            }
+        })
+        .commutative()
+        .with_cost(2.0)
+        .with_width(2.0)
+    }
+
+    /// MPI_MINLOC: the smaller value wins; ties go to the smaller index.
+    pub fn minloc() -> BinOp {
+        BinOp::new("minloc", |x, y| {
+            let (v1, i1) = (x.proj(0).as_int(), x.proj(1).as_int());
+            let (v2, i2) = (y.proj(0).as_int(), y.proj(1).as_int());
+            if v1 < v2 || (v1 == v2 && i1 <= i2) {
+                x.clone()
+            } else {
+                y.clone()
+            }
+        })
+        .commutative()
+        .with_cost(2.0)
+        .with_width(2.0)
+    }
+
+    /// Greatest common divisor — associative, commutative, idempotent-ish
+    /// (gcd(x,x) = x); a second non-semiring commutative operator for the
+    /// rule tests.
+    pub fn gcd() -> BinOp {
+        fn g(a: i64, b: i64) -> i64 {
+            let (mut a, mut b) = (a.abs(), b.abs());
+            while b != 0 {
+                let t = a % b;
+                a = b;
+                b = t;
+            }
+            a
+        }
+        BinOp::new("gcd", |a, b| Value::Int(g(a.as_int(), b.as_int()))).commutative()
+    }
+
+    /// String-free non-commutative associative operator: 2×2 integer
+    /// matrix multiplication over tuples `(a,b,c,d)`. Used by tests that
+    /// must detect operand-ordering bugs.
+    pub fn mat2mul() -> BinOp {
+        BinOp::new("mat2mul", |x, y| {
+            let (a, b, c, d) = (
+                x.proj(0).as_int(),
+                x.proj(1).as_int(),
+                x.proj(2).as_int(),
+                x.proj(3).as_int(),
+            );
+            let (e, f, g, h) = (
+                y.proj(0).as_int(),
+                y.proj(1).as_int(),
+                y.proj(2).as_int(),
+                y.proj(3).as_int(),
+            );
+            Value::Tuple(vec![
+                Value::Int(a * e + b * g),
+                Value::Int(a * f + b * h),
+                Value::Int(c * e + d * g),
+                Value::Int(c * f + d * h),
+            ])
+        })
+        .with_cost(8.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lib::*;
+    use super::*;
+
+    fn int_samples() -> Vec<Value> {
+        vec![
+            Value::Int(-7),
+            Value::Int(-1),
+            Value::Int(0),
+            Value::Int(1),
+            Value::Int(2),
+            Value::Int(5),
+            Value::Int(13),
+        ]
+    }
+
+    fn bool_samples() -> Vec<Value> {
+        vec![Value::Bool(false), Value::Bool(true)]
+    }
+
+    #[test]
+    fn declared_properties_hold_for_int_ops() {
+        let samples = int_samples();
+        for op in [add(), mul(), max(), min()] {
+            assert!(op.check_associative(&samples), "{} assoc", op.name());
+            assert!(op.check_commutative(&samples), "{} comm", op.name());
+        }
+    }
+
+    #[test]
+    fn mul_distributes_over_add() {
+        let samples = int_samples();
+        let m = mul();
+        let a = add();
+        assert!(m.distributes_over(&a));
+        assert!(m.check_distributes_over(&a, &samples));
+        // add does NOT distribute over mul.
+        assert!(!a.check_distributes_over(&m, &samples));
+        assert!(!a.distributes_over(&m));
+    }
+
+    #[test]
+    fn tropical_add_distributes_over_max_and_min() {
+        let samples = int_samples();
+        let t = add_tropical();
+        assert!(t.check_distributes_over(&max(), &samples));
+        assert!(t.check_distributes_over(&min(), &samples));
+        assert!(t.distributes_over(&max()));
+        assert!(t.distributes_over(&min()));
+    }
+
+    #[test]
+    fn boolean_lattice_distributes_both_ways() {
+        let samples = bool_samples();
+        assert!(and().check_distributes_over(&or(), &samples));
+        assert!(or().check_distributes_over(&and(), &samples));
+    }
+
+    #[test]
+    fn mat2mul_is_associative_but_not_commutative() {
+        let samples = vec![
+            Value::Tuple(vec![1.into(), 2.into(), 3.into(), 4.into()]),
+            Value::Tuple(vec![0.into(), 1.into(), 1.into(), 0.into()]),
+            Value::Tuple(vec![2.into(), 0.into(), 0.into(), 2.into()]),
+            Value::Tuple(vec![1.into(), 1.into(), 0.into(), 1.into()]),
+        ];
+        let m = mat2mul();
+        assert!(m.check_associative(&samples));
+        assert!(!m.check_commutative(&samples));
+        assert!(!m.is_commutative());
+    }
+
+    #[test]
+    fn maxloc_minloc_properties() {
+        let samples: Vec<Value> = [(5i64, 0i64), (5, 2), (3, 1), (9, 3), (-2, 4)]
+            .iter()
+            .map(|&(v, i)| Value::Tuple(vec![Value::Int(v), Value::Int(i)]))
+            .collect();
+        for op in [maxloc(), minloc()] {
+            assert!(op.check_associative(&samples), "{}", op.name());
+            assert!(op.check_commutative(&samples), "{}", op.name());
+        }
+        // Ties break to the smaller index in both.
+        let a = Value::Tuple(vec![Value::Int(5), Value::Int(2)]);
+        let b = Value::Tuple(vec![Value::Int(5), Value::Int(0)]);
+        assert_eq!(maxloc().apply(&a, &b).proj(1).as_int(), 0);
+        assert_eq!(minloc().apply(&a, &b).proj(1).as_int(), 0);
+    }
+
+    #[test]
+    fn gcd_is_a_commutative_monoid() {
+        let samples = int_samples();
+        let op = gcd();
+        assert!(op.check_associative(&samples));
+        assert!(op.check_commutative(&samples));
+        assert_eq!(op.apply(&Value::Int(12), &Value::Int(18)), Value::Int(6));
+        assert_eq!(op.apply(&Value::Int(0), &Value::Int(7)), Value::Int(7));
+    }
+
+    #[test]
+    fn add_mod_wraps() {
+        let op = add_mod(7);
+        assert_eq!(op.apply(&Value::Int(5), &Value::Int(4)), Value::Int(2));
+        assert!(op.check_associative(&int_samples()));
+        assert!(op.check_commutative(&int_samples()));
+    }
+
+    #[test]
+    fn apply_lifts_over_blocks() {
+        let op = add();
+        let a = Value::int_list([1, 2, 3]);
+        let b = Value::int_list([10, 20, 30]);
+        assert_eq!(op.apply(&a, &b), Value::int_list([11, 22, 33]));
+    }
+
+    #[test]
+    fn float_ops_are_close_not_exact() {
+        let samples = vec![Value::Float(0.1), Value::Float(2.5), Value::Float(-1.25)];
+        assert!(fadd().check_associative(&samples));
+        assert!(fmul().check_distributes_over(&fadd(), &samples));
+    }
+
+    #[test]
+    fn value_close_tolerates_rounding() {
+        assert!(value_close(&Value::Float(1.0), &Value::Float(1.0 + 1e-12)));
+        assert!(!value_close(&Value::Float(1.0), &Value::Float(1.001)));
+        assert!(!value_close(&Value::Int(1), &Value::Float(1.0)));
+    }
+
+    #[test]
+    fn debug_shows_declarations() {
+        let d = format!("{:?}", mul());
+        assert!(d.contains("mul") && d.contains("add"));
+    }
+}

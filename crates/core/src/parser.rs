@@ -1,0 +1,300 @@
+//! A small concrete syntax for collective pipelines.
+//!
+//! The paper writes programs as `map f ; scan (⊗) ; reduce (⊕) ; map g ;
+//! bcast`; this module parses exactly that shape so pipelines can come
+//! from the command line (see the `collopt` binary) or config files:
+//!
+//! ```text
+//! pipeline := stage (';' stage)*
+//! stage    := 'bcast' | 'gather' | 'scatter' | 'allgather'
+//!           | 'scan' '(' op ')'
+//!           | 'reduce' '(' op ')'
+//!           | 'allreduce' '(' op ')'
+//!           | 'map' ident ('@' number)?      -- opaque local stage,
+//!                                               optional ops/element
+//! op       := 'add' | 'mul' | 'max' | 'min' | 'and' | 'or'
+//!           | 'fadd' | 'fmul' | 'maxplus'    -- add distributing over max
+//! ```
+//!
+//! `map` stages parse to identity functions carrying the given label and
+//! cost — sufficient for cost analysis and rule matching, which never look
+//! inside local stages. Whitespace is free. Parse errors carry the byte
+//! offset and a description.
+
+use crate::op::{lib, BinOp};
+use crate::term::Program;
+
+/// A parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input the error was detected at.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { src, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.src[self.pos..].starts_with(|c: char| c.is_whitespace()) {
+            self.pos += self.src[self.pos..].chars().next().unwrap().len_utf8();
+        }
+    }
+
+    fn eat(&mut self, token: char) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(token) {
+            self.pos += token.len_utf8();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{token}'")))
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.src[self.pos..].chars().next()
+    }
+
+    fn ident(&mut self) -> Result<&'a str, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let rest = &self.src[start..];
+        let len = rest
+            .char_indices()
+            .take_while(|(_, c)| c.is_alphanumeric() || *c == '_')
+            .map(|(i, c)| i + c.len_utf8())
+            .last()
+            .unwrap_or(0);
+        if len == 0 {
+            return Err(self.error("expected an identifier"));
+        }
+        self.pos += len;
+        Ok(&rest[..len])
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let rest = &self.src[start..];
+        let len = rest
+            .char_indices()
+            .take_while(|(_, c)| c.is_ascii_digit() || *c == '.')
+            .map(|(i, c)| i + c.len_utf8())
+            .last()
+            .unwrap_or(0);
+        if len == 0 {
+            return Err(self.error("expected a number"));
+        }
+        self.pos += len;
+        rest[..len]
+            .parse()
+            .map_err(|e| self.error(format!("bad number: {e}")))
+    }
+
+    fn operator(&mut self) -> Result<BinOp, ParseError> {
+        let name_pos = self.pos;
+        let name = self.ident()?;
+        match name {
+            "add" => Ok(lib::add()),
+            "mul" => Ok(lib::mul()),
+            "max" => Ok(lib::max()),
+            "min" => Ok(lib::min()),
+            "and" => Ok(lib::and()),
+            "or" => Ok(lib::or()),
+            "fadd" => Ok(lib::fadd()),
+            "fmul" => Ok(lib::fmul()),
+            "maxplus" => Ok(lib::add_tropical()),
+            other => Err(ParseError {
+                at: name_pos,
+                message: format!(
+                    "unknown operator '{other}' (expected add, mul, max, min, and, or, fadd, fmul, maxplus)"
+                ),
+            }),
+        }
+    }
+
+    fn stage(&mut self, prog: Program) -> Result<Program, ParseError> {
+        let kw_pos = self.pos;
+        let kw = self.ident()?;
+        match kw {
+            "bcast" => Ok(prog.bcast()),
+            "gather" => Ok(prog.gather()),
+            "scatter" => Ok(prog.scatter()),
+            "allgather" => Ok(prog.allgather()),
+            "scan" | "reduce" | "allreduce" => {
+                self.eat('(')?;
+                let op = self.operator()?;
+                self.eat(')')?;
+                Ok(match kw {
+                    "scan" => prog.scan(op),
+                    "reduce" => prog.reduce(op),
+                    _ => prog.allreduce(op),
+                })
+            }
+            "map" => {
+                let label = self.ident()?.to_string();
+                let ops = if self.peek() == Some('@') {
+                    self.eat('@')?;
+                    self.number()?
+                } else {
+                    1.0
+                };
+                Ok(prog.map(label, ops, |v| v.clone()))
+            }
+            other => Err(ParseError {
+                at: kw_pos,
+                message: format!(
+                    "unknown stage '{other}' (expected bcast, gather, scatter, allgather, \
+                     scan, reduce, allreduce, map)"
+                ),
+            }),
+        }
+    }
+
+    fn pipeline(&mut self) -> Result<Program, ParseError> {
+        let mut prog = self.stage(Program::new())?;
+        loop {
+            self.skip_ws();
+            if self.pos >= self.src.len() {
+                return Ok(prog);
+            }
+            self.eat(';')?;
+            self.skip_ws();
+            if self.pos >= self.src.len() {
+                return Ok(prog); // tolerate a trailing semicolon
+            }
+            prog = self.stage(prog)?;
+        }
+    }
+}
+
+/// Parse a pipeline string into a [`Program`].
+pub fn parse_pipeline(src: &str) -> Result<Program, ParseError> {
+    let mut p = Parser::new(src);
+    p.skip_ws();
+    if p.pos >= src.len() {
+        return Err(p.error("empty pipeline"));
+    }
+    p.pipeline()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_example() {
+        let prog = parse_pipeline("map f ; scan(mul) ; reduce(add) ; map g ; bcast").unwrap();
+        assert_eq!(
+            prog.to_string(),
+            "map f ; scan(mul) ; reduce(add) ; map g ; bcast"
+        );
+        assert_eq!(prog.collective_count(), 3);
+    }
+
+    #[test]
+    fn parses_without_spaces() {
+        let prog = parse_pipeline("bcast;scan(add);scan(add)").unwrap();
+        assert_eq!(prog.to_string(), "bcast ; scan(add) ; scan(add)");
+    }
+
+    #[test]
+    fn parses_map_with_cost_annotation() {
+        let prog = parse_pipeline("map heavy@12.5 ; allreduce(max)").unwrap();
+        assert_eq!(prog.to_string(), "map heavy ; allreduce(max)");
+        // Cost shows up in the estimate: 12.5 ops x m.
+        let params = collopt_cost::MachineParams::new(1, 0.0, 0.0);
+        assert_eq!(crate::rewrite::program_cost(&prog, &params, 2.0), 25.0);
+    }
+
+    #[test]
+    fn parsed_operators_carry_their_algebra() {
+        let prog = parse_pipeline("scan(maxplus) ; allreduce(max)").unwrap();
+        // maxplus distributes over max: SR2 must fire.
+        let res = crate::rewrite::Rewriter::exhaustive().optimize(&prog);
+        assert_eq!(res.steps.len(), 1);
+        assert_eq!(res.steps[0].rule, crate::rules::Rule::Sr2Reduction);
+    }
+
+    #[test]
+    fn tolerates_trailing_semicolon_and_whitespace() {
+        let prog = parse_pipeline("  bcast ;  reduce( add ) ;  ").unwrap();
+        assert_eq!(prog.to_string(), "bcast ; reduce(add)");
+    }
+
+    #[test]
+    fn rejects_unknown_stage() {
+        let err = parse_pipeline("shuffle(add)").unwrap_err();
+        assert!(err.message.contains("unknown stage"));
+        assert_eq!(err.at, 0);
+    }
+
+    #[test]
+    fn parses_gather_family() {
+        let prog = parse_pipeline("gather ; scatter ; allgather").unwrap();
+        assert_eq!(prog.to_string(), "gather ; scatter ; allgather");
+    }
+
+    #[test]
+    fn rejects_unknown_operator_with_position() {
+        let err = parse_pipeline("scan(xor)").unwrap_err();
+        assert!(err.message.contains("unknown operator 'xor'"));
+        assert_eq!(err.at, 5);
+    }
+
+    #[test]
+    fn rejects_missing_parenthesis() {
+        let err = parse_pipeline("scan add").unwrap_err();
+        assert!(err.message.contains("expected '('"));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(parse_pipeline("   ").is_err());
+        assert!(parse_pipeline("").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_between_stages() {
+        let err = parse_pipeline("bcast scan(add)").unwrap_err();
+        assert!(err.message.contains("expected ';'"));
+    }
+
+    #[test]
+    fn parsed_pipeline_round_trips_through_display() {
+        for src in [
+            "bcast",
+            "scan(add) ; reduce(add)",
+            "map f ; bcast ; scan(mul) ; scan(add)",
+            "scan(fmul) ; allreduce(fadd)",
+        ] {
+            let prog = parse_pipeline(src).unwrap();
+            let reparsed = parse_pipeline(&prog.to_string()).unwrap();
+            assert_eq!(prog.to_string(), reparsed.to_string(), "{src}");
+        }
+    }
+}

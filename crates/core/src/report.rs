@@ -1,0 +1,187 @@
+//! Human-readable optimization reports.
+//!
+//! [`optimization_report`] runs the rewrite engine on a program and
+//! renders a Markdown document: the original and optimized pipelines, the
+//! applied rules with their predicted savings, the enabling
+//! transformations, and a per-stage cost table for both versions — the
+//! artifact a performance engineer would attach to a code review.
+
+use collopt_cost::MachineParams;
+use collopt_machine::ClockParams;
+
+use crate::exec::execute_profiled;
+use crate::rewrite::{program_cost, stage_cost, OptimizeResult, Rewriter};
+use crate::term::Program;
+use crate::value::Value;
+
+/// Render a per-stage cost table for one program.
+fn stage_table(prog: &Program, params: &MachineParams, m: f64) -> String {
+    let mut out = String::from("| # | stage | cost |\n|---|-------|-----:|\n");
+    for (i, stage) in prog.stages().iter().enumerate() {
+        out.push_str(&format!(
+            "| {} | `{}` | {:.0} |\n",
+            i,
+            stage.describe(),
+            stage_cost(stage, params, m)
+        ));
+    }
+    out.push_str(&format!(
+        "| | **total** | **{:.0}** |\n",
+        program_cost(prog, params, m)
+    ));
+    out
+}
+
+/// Optimize `prog` with the given rewriter and render a Markdown report
+/// for the design point `(params, m)`.
+pub fn optimization_report(
+    prog: &Program,
+    rewriter: &Rewriter,
+    params: &MachineParams,
+    m: f64,
+) -> (OptimizeResult, String) {
+    let result = rewriter.optimize(prog);
+    let before = program_cost(prog, params, m);
+    let after = program_cost(&result.program, params, m);
+
+    let mut out = String::new();
+    out.push_str("# Collective-operation optimization report\n\n");
+    out.push_str(&format!(
+        "Machine: `p = {}`, `ts = {}`, `tw = {}`; block size `m = {}`.\n\n",
+        params.p, params.ts, params.tw, m
+    ));
+    out.push_str(&format!("## Original\n\n`{prog}`\n\n"));
+    out.push_str(&stage_table(prog, params, m));
+
+    out.push_str("\n## Rewrites\n\n");
+    if result.steps.is_empty() {
+        out.push_str("No optimization rule pays off on this machine.\n");
+    }
+    for step in &result.steps {
+        match step.saving {
+            Some(s) => out.push_str(&format!(
+                "* **{}** at stage {} — predicted saving {:.0} time units\n",
+                step.rule, step.at, s
+            )),
+            None => out.push_str(&format!("* **{}** at stage {}\n", step.rule, step.at)),
+        }
+    }
+    for n in &result.normalizations {
+        out.push_str(&format!("* normalization: `{n:?}`\n"));
+    }
+
+    out.push_str(&format!("\n## Optimized\n\n`{}`\n\n", result.program));
+    out.push_str(&stage_table(&result.program, params, m));
+    if before > 0.0 {
+        out.push_str(&format!(
+            "\n**Total: {before:.0} → {after:.0} time units ({:+.1}%).**\n",
+            100.0 * (after - before) / before
+        ));
+    }
+    (result, out)
+}
+
+/// Render a per-stage table with *measured* simulated times next to the
+/// analytic predictions, by actually running the program on the machine.
+pub fn measured_stage_table(prog: &Program, inputs: &[Value], params: &MachineParams) -> String {
+    let m = inputs[0].block_len() as f64;
+    let clock = ClockParams::new(params.ts, params.tw);
+    let (outcome, finish) = execute_profiled(prog, inputs, clock);
+    let mut out = String::from(
+        "| # | stage | predicted | measured |
+|---|-------|----------:|---------:|
+",
+    );
+    let mut prev = 0.0;
+    for (i, (stage, &t)) in prog.stages().iter().zip(&finish).enumerate() {
+        out.push_str(&format!(
+            "| {} | `{}` | {:.0} | {:.0} |
+",
+            i,
+            stage.describe(),
+            stage_cost(stage, params, m),
+            t - prev
+        ));
+        prev = t;
+    }
+    out.push_str(&format!(
+        "| | **total** | **{:.0}** | **{:.0}** |
+",
+        program_cost(prog, params, m),
+        outcome.makespan
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::lib;
+    use crate::value::Value;
+
+    fn example() -> Program {
+        Program::new()
+            .map("f", 1.0, |v| v.clone())
+            .scan(lib::mul())
+            .reduce(lib::add())
+            .map("g", 1.0, |v| Value::Int(v.as_int()))
+            .bcast()
+    }
+
+    #[test]
+    fn report_contains_both_pipelines_and_savings() {
+        let params = MachineParams::parsytec_like(64);
+        let (result, report) = optimization_report(
+            &example(),
+            &Rewriter::cost_guided(params, 8.0),
+            &params,
+            8.0,
+        );
+        assert_eq!(result.steps.len(), 1);
+        assert!(report.contains("# Collective-operation optimization report"));
+        assert!(report.contains("scan(mul) ; reduce(add)"));
+        assert!(report.contains("SR2-Reduction"));
+        assert!(report.contains("op_sr2[mul,add]"));
+        assert!(report.contains("**total**"));
+        assert!(report.contains('%'));
+    }
+
+    #[test]
+    fn report_for_unoptimizable_program_says_so() {
+        let params = MachineParams::low_latency(64);
+        // SS-Scan at huge m on a fast network: no rule fires.
+        let prog = Program::new().scan(lib::add()).scan(lib::add());
+        let (result, report) =
+            optimization_report(&prog, &Rewriter::cost_guided(params, 1e6), &params, 1e6);
+        assert!(result.steps.is_empty());
+        assert!(report.contains("No optimization rule pays off"));
+    }
+
+    #[test]
+    fn measured_table_contains_both_columns() {
+        let params = MachineParams::new(8, 100.0, 2.0);
+        let prog = Program::new().scan(lib::add()).reduce(lib::add());
+        let inputs: Vec<Value> = (0..8).map(|_| Value::int_list([1, 2, 3, 4])).collect();
+        let table = measured_stage_table(&prog, &inputs, &params);
+        assert!(table.contains("predicted"));
+        assert!(table.contains("measured"));
+        // On a power-of-two machine the two total columns agree exactly,
+        // so the rendered strings coincide.
+        let total_line = table.lines().last().unwrap();
+        let nums: Vec<&str> = total_line
+            .split("**")
+            .filter(|s| s.trim().chars().next().is_some_and(|c| c.is_ascii_digit()))
+            .collect();
+        assert_eq!(nums.len(), 2);
+        assert_eq!(nums[0], nums[1], "{table}");
+    }
+
+    #[test]
+    fn stage_costs_in_report_sum_to_total() {
+        let params = MachineParams::new(16, 100.0, 2.0);
+        let prog = example();
+        let table = stage_table(&prog, &params, 4.0);
+        // The table lists every stage plus the total row.
+        assert_eq!(table.lines().count(), 2 + prog.len() + 1);
+    }
+}

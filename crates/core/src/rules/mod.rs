@@ -1,0 +1,610 @@
+//! The optimization rules of Section 3.
+//!
+//! Each rule is a *semantic equality*: a window of stages whose side
+//! condition holds may be replaced by the rule's right-hand side without
+//! changing the program's meaning. [`try_match`] implements the
+//! pattern-and-condition check and builds the replacement; the engine in
+//! [`crate::rewrite`] decides *where* and *whether* (cost-guidedly) to
+//! apply.
+//!
+//! Rule naming follows the paper: initials of the collective operations in
+//! the matched window (`B`roadcast, `S`can, `R`eduction), a `2` when the
+//! two base operators differ (requiring distributivity), and the class of
+//! the result (Reduction, Scan, Comcast, Local).
+//!
+//! ## Soundness caveat of the Local rules
+//!
+//! The paper notes (Section 3.5) that `bcast; reduce(⊕) → iter(op_br)`
+//! drops the broadcast's side effect: the original leaves every processor
+//! holding `b`, the local version touches only processor 0. The rules
+//! BR-Local, BSR2-Local and BSR-Local are therefore equalities **on the
+//! first component** of the distributed list; CR-Alllocal (which ends with
+//! a broadcast) and every other rule preserve all components. The rewrite
+//! engine only applies the first-component rules when asked to
+//! ([`crate::rewrite::Rewriter::allow_rank0_rules`]).
+
+pub mod enabling;
+pub mod fused;
+
+pub use collopt_cost::Rule;
+
+use crate::adjust;
+use crate::term::{ComcastVariant, Stage};
+
+/// Length of the stage window the rule matches (2 or 3 collectives).
+pub fn window_len(rule: Rule) -> usize {
+    match rule {
+        Rule::Sr2Reduction
+        | Rule::SrReduction
+        | Rule::Ss2Scan
+        | Rule::SsScan
+        | Rule::BsComcast
+        | Rule::BrLocal
+        | Rule::CrAlllocal => 2,
+        Rule::Bss2Comcast | Rule::BssComcast | Rule::Bsr2Local | Rule::BsrLocal => 3,
+    }
+}
+
+/// A matched rewrite: the replacement stages, plus whether the equality
+/// only covers processor 0's value (see module docs — rules whose
+/// left-hand side ends in `reduce` drop the scan/broadcast side effects on
+/// the other processors; the `allreduce` variants and all others preserve
+/// every position).
+#[derive(Clone)]
+pub struct Rewrite {
+    /// The stages replacing the matched window.
+    pub stages: Vec<Stage>,
+    /// `true` when only processor 0's value is guaranteed equal.
+    pub rank0_only: bool,
+}
+
+impl Rewrite {
+    fn full(stages: Vec<Stage>) -> Option<Rewrite> {
+        Some(Rewrite {
+            stages,
+            rank0_only: false,
+        })
+    }
+
+    fn rank0(stages: Vec<Stage>) -> Option<Rewrite> {
+        Some(Rewrite {
+            stages,
+            rank0_only: true,
+        })
+    }
+}
+
+/// Randomized verification that the algebraic side conditions a rule
+/// *declares* actually hold on the given sample values — the safety net
+/// for user-defined operators whose property declarations might be wrong.
+///
+/// Checks associativity of every operator in the window, plus the rule's
+/// own condition (commutativity or distributivity). Returns `true` when
+/// every required law holds on all sample combinations.
+pub fn verify_conditions(rule: Rule, window: &[Stage], samples: &[crate::value::Value]) -> bool {
+    if window.len() < window_len(rule) {
+        return false;
+    }
+    let ops_of = |s: &Stage| match s {
+        Stage::Scan(op) | Stage::Reduce(op) | Stage::AllReduce(op) => Some(op.clone()),
+        _ => None,
+    };
+    let ops: Vec<crate::op::BinOp> = window[..window_len(rule)]
+        .iter()
+        .filter_map(ops_of)
+        .collect();
+    for op in &ops {
+        if !op.check_associative(samples) {
+            return false;
+        }
+    }
+    match rule {
+        // Distributivity rules: first collective operator over the second.
+        Rule::Sr2Reduction | Rule::Ss2Scan | Rule::Bss2Comcast | Rule::Bsr2Local => {
+            ops.len() == 2 && ops[0].check_distributes_over(&ops[1], samples)
+        }
+        // Commutativity rules: the (shared) operator must commute.
+        Rule::SrReduction | Rule::SsScan | Rule::BssComcast | Rule::BsrLocal => {
+            ops.iter().all(|op| op.check_commutative(samples))
+        }
+        // Associativity-only rules.
+        Rule::BsComcast | Rule::BrLocal | Rule::CrAlllocal => !ops.is_empty(),
+    }
+}
+
+fn map_pair() -> Stage {
+    Stage::map("pair", 0.0, adjust::pair)
+}
+
+fn map_quadruple() -> Stage {
+    Stage::map("quadruple", 0.0, adjust::quadruple)
+}
+
+fn map_pi1() -> Stage {
+    Stage::map("pi1", 0.0, adjust::pi1)
+}
+
+/// Try to apply `rule` at the *start* of `window`. Returns the rewrite if
+/// the pattern matches and the algebraic side condition holds (by
+/// declaration on the operators), `None` otherwise.
+pub fn try_match(rule: Rule, window: &[Stage]) -> Option<Rewrite> {
+    if window.len() < window_len(rule) {
+        return None;
+    }
+    match rule {
+        Rule::Sr2Reduction => match (&window[0], &window[1]) {
+            (Stage::Scan(ot), Stage::Reduce(op)) if ot.distributes_over(op) => {
+                // The fused reduce no longer materializes the scan's
+                // prefix values on processors 1..p — equality at rank 0.
+                Rewrite::rank0(vec![
+                    map_pair(),
+                    Stage::Reduce(fused::op_sr2(ot, op)),
+                    map_pi1(),
+                ])
+            }
+            (Stage::Scan(ot), Stage::AllReduce(op)) if ot.distributes_over(op) => {
+                Rewrite::full(vec![
+                    map_pair(),
+                    Stage::AllReduce(fused::op_sr2(ot, op)),
+                    map_pi1(),
+                ])
+            }
+            _ => None,
+        },
+        Rule::SrReduction => {
+            let (op, all) = match (&window[0], &window[1]) {
+                (Stage::Scan(a), Stage::Reduce(b)) if a.name() == b.name() => (a, false),
+                (Stage::Scan(a), Stage::AllReduce(b)) if a.name() == b.name() => (a, true),
+                _ => return None,
+            };
+            if !op.is_commutative() {
+                return None;
+            }
+            let (combine, solo) = fused::op_sr(op);
+            let c = op.ops_per_word();
+            let stages = vec![
+                map_pair(),
+                Stage::ReduceBalanced {
+                    combine,
+                    solo,
+                    all,
+                    ops_combine: 4.0 * c,
+                    ops_solo: c,
+                    words_factor: 2,
+                    label: format!("op_sr[{}]", op.name()),
+                },
+                map_pi1(),
+            ];
+            if all {
+                Rewrite::full(stages)
+            } else {
+                Rewrite::rank0(stages)
+            }
+        }
+        Rule::Ss2Scan => match (&window[0], &window[1]) {
+            (Stage::Scan(ot), Stage::Scan(op))
+                if ot.name() != op.name() && ot.distributes_over(op) =>
+            {
+                Rewrite::full(vec![
+                    map_pair(),
+                    Stage::Scan(fused::op_sr2(ot, op)),
+                    map_pi1(),
+                ])
+            }
+            _ => None,
+        },
+        Rule::SsScan => match (&window[0], &window[1]) {
+            (Stage::Scan(a), Stage::Scan(b)) if a.name() == b.name() && a.is_commutative() => {
+                let (combine, solo) = fused::op_ss(a);
+                let c = a.ops_per_word();
+                Rewrite::full(vec![
+                    map_quadruple(),
+                    Stage::ScanBalanced {
+                        combine,
+                        solo,
+                        ops_lower: 5.0 * c,
+                        ops_upper: 8.0 * c,
+                        ops_solo: 0.0,
+                        words_factor: 3,
+                        label: format!("op_ss[{}]", a.name()),
+                    },
+                    map_pi1(),
+                ])
+            }
+            _ => None,
+        },
+        Rule::BsComcast => match (&window[0], &window[1]) {
+            (Stage::Bcast, Stage::Scan(op)) => {
+                let (e, o) = fused::bs_eo(op);
+                let c = op.ops_per_word();
+                Rewrite::full(vec![Stage::Comcast {
+                    e,
+                    o,
+                    inject: std::sync::Arc::new(adjust::pair),
+                    project: std::sync::Arc::new(adjust::pi1),
+                    ops_e: c,
+                    ops_o: 2.0 * c,
+                    words_factor: 2,
+                    variant: ComcastVariant::BcastRepeat,
+                    label: format!("op_comp_bs[{}]", op.name()),
+                }])
+            }
+            _ => None,
+        },
+        Rule::Bss2Comcast => match (&window[0], &window[1], &window[2]) {
+            (Stage::Bcast, Stage::Scan(ot), Stage::Scan(op))
+                if ot.name() != op.name() && ot.distributes_over(op) =>
+            {
+                let (e, o) = fused::bss2_eo(ot, op);
+                let (co, cp) = (ot.ops_per_word(), op.ops_per_word());
+                Rewrite::full(vec![Stage::Comcast {
+                    e,
+                    o,
+                    inject: std::sync::Arc::new(adjust::triple),
+                    project: std::sync::Arc::new(adjust::pi1),
+                    ops_e: cp + 2.0 * co,
+                    ops_o: 2.0 * cp + 3.0 * co,
+                    words_factor: 3,
+                    variant: ComcastVariant::BcastRepeat,
+                    label: format!("op_comp_bss2[{},{}]", ot.name(), op.name()),
+                }])
+            }
+            _ => None,
+        },
+        Rule::BssComcast => match (&window[0], &window[1], &window[2]) {
+            (Stage::Bcast, Stage::Scan(a), Stage::Scan(b))
+                if a.name() == b.name() && a.is_commutative() =>
+            {
+                let (e, o) = fused::bss_eo(a);
+                let c = a.ops_per_word();
+                Rewrite::full(vec![Stage::Comcast {
+                    e,
+                    o,
+                    inject: std::sync::Arc::new(adjust::quadruple),
+                    project: std::sync::Arc::new(adjust::pi1),
+                    ops_e: 5.0 * c,
+                    ops_o: 8.0 * c,
+                    words_factor: 4,
+                    variant: ComcastVariant::BcastRepeat,
+                    label: format!("op_comp_bss[{}]", a.name()),
+                }])
+            }
+            _ => None,
+        },
+        Rule::BrLocal => match (&window[0], &window[1]) {
+            (Stage::Bcast, Stage::Reduce(op)) => {
+                let (combine, solo) = fused::br_iter(op);
+                Rewrite::rank0(vec![Stage::IterLocal {
+                    combine,
+                    solo,
+                    all: false,
+                    ops_combine: op.ops_per_word(),
+                    ops_solo: 0.0,
+                    label: format!("op_br[{}]", op.name()),
+                }])
+            }
+            _ => None,
+        },
+        Rule::Bsr2Local => match (&window[0], &window[1], &window[2]) {
+            (Stage::Bcast, Stage::Scan(ot), Stage::Reduce(op)) if ot.distributes_over(op) => {
+                let (combine, solo) = fused::bsr2_iter(ot, op);
+                Rewrite::rank0(vec![
+                    map_pair(),
+                    Stage::IterLocal {
+                        combine,
+                        solo,
+                        all: false,
+                        ops_combine: op.ops_per_word() + 2.0 * ot.ops_per_word(),
+                        ops_solo: 0.0,
+                        label: format!("op_bsr2[{},{}]", ot.name(), op.name()),
+                    },
+                    map_pi1(),
+                ])
+            }
+            _ => None,
+        },
+        Rule::BsrLocal => match (&window[0], &window[1], &window[2]) {
+            (Stage::Bcast, Stage::Scan(a), Stage::Reduce(b))
+                if a.name() == b.name() && a.is_commutative() =>
+            {
+                let (combine, solo) = fused::bsr_iter(a);
+                let c = a.ops_per_word();
+                Rewrite::rank0(vec![
+                    map_pair(),
+                    Stage::IterLocal {
+                        combine,
+                        solo,
+                        all: false,
+                        ops_combine: 4.0 * c,
+                        ops_solo: c,
+                        label: format!("op_bsr[{}]", a.name()),
+                    },
+                    map_pi1(),
+                ])
+            }
+            _ => None,
+        },
+        Rule::CrAlllocal => match (&window[0], &window[1]) {
+            (Stage::Bcast, Stage::AllReduce(op)) => {
+                let (combine, solo) = fused::br_iter(op);
+                Rewrite::full(vec![Stage::IterLocal {
+                    combine,
+                    solo,
+                    all: true,
+                    ops_combine: op.ops_per_word(),
+                    ops_solo: 0.0,
+                    label: format!("op_br[{}]", op.name()),
+                }])
+            }
+            _ => None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::lib;
+    use crate::semantics::eval_program;
+    use crate::term::Program;
+    use crate::value::Value;
+
+    fn ints(vs: &[i64]) -> Vec<Value> {
+        vs.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    fn apply_at(prog: &Program, rule: Rule, at: usize) -> Program {
+        let rw =
+            try_match(rule, &prog.stages()[at..]).unwrap_or_else(|| panic!("{rule} must match"));
+        prog.splice(at, window_len(rule), rw.stages)
+    }
+
+    fn rank0_only(prog: &Program, rule: Rule) -> bool {
+        try_match(rule, prog.stages())
+            .expect("must match")
+            .rank0_only
+    }
+
+    #[test]
+    fn sr2_matches_only_with_distributivity() {
+        let good = Program::new().scan(lib::mul()).reduce(lib::add());
+        assert!(try_match(Rule::Sr2Reduction, good.stages()).is_some());
+        // add does not distribute over mul.
+        let bad = Program::new().scan(lib::add()).reduce(lib::mul());
+        assert!(try_match(Rule::Sr2Reduction, bad.stages()).is_none());
+    }
+
+    #[test]
+    fn sr2_preserves_semantics_at_rank0() {
+        // The reduce variant is a rank-0 equality: the fused term no
+        // longer materializes the scan prefixes on processors 1..p.
+        let prog = Program::new().scan(lib::mul()).reduce(lib::add());
+        assert!(rank0_only(&prog, Rule::Sr2Reduction));
+        let opt = apply_at(&prog, Rule::Sr2Reduction, 0);
+        for input in [vec![2i64], vec![1, 2, 3], vec![3, -1, 2, 2, 4, 1]] {
+            let xs = ints(&input);
+            assert_eq!(
+                eval_program(&prog, &xs)[0],
+                eval_program(&opt, &xs)[0],
+                "{input:?}"
+            );
+        }
+        assert_eq!(opt.collective_count(), 1);
+    }
+
+    #[test]
+    fn sr2_allreduce_variant_preserves_all_positions() {
+        let prog = Program::new()
+            .scan(lib::add_tropical())
+            .allreduce(lib::max());
+        assert!(!rank0_only(&prog, Rule::Sr2Reduction));
+        let opt = apply_at(&prog, Rule::Sr2Reduction, 0);
+        let xs = ints(&[3, -5, 7, 1, 0, 2]);
+        assert_eq!(eval_program(&prog, &xs), eval_program(&opt, &xs));
+    }
+
+    #[test]
+    fn sr_matches_same_commutative_op_only() {
+        let good = Program::new().scan(lib::add()).reduce(lib::add());
+        assert!(try_match(Rule::SrReduction, good.stages()).is_some());
+        let diff_ops = Program::new().scan(lib::mul()).reduce(lib::add());
+        assert!(try_match(Rule::SrReduction, diff_ops.stages()).is_none());
+        let non_comm = Program::new().scan(lib::mat2mul()).reduce(lib::mat2mul());
+        assert!(try_match(Rule::SrReduction, non_comm.stages()).is_none());
+    }
+
+    #[test]
+    fn sr_preserves_semantics_all_sizes() {
+        let prog = Program::new().scan(lib::add()).reduce(lib::add());
+        let opt = apply_at(&prog, Rule::SrReduction, 0);
+        for p in 1..=17usize {
+            let input: Vec<i64> = (0..p as i64).map(|i| i * 3 - 4).collect();
+            let xs = ints(&input);
+            assert_eq!(
+                eval_program(&prog, &xs)[0],
+                eval_program(&opt, &xs)[0],
+                "p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn sr_allreduce_variant() {
+        let prog = Program::new().scan(lib::add()).allreduce(lib::add());
+        let opt = apply_at(&prog, Rule::SrReduction, 0);
+        let xs = ints(&[2, 5, 9, 1, 2, 6]);
+        let expected = eval_program(&prog, &xs);
+        assert_eq!(expected, ints(&[86, 86, 86, 86, 86, 86]));
+        assert_eq!(eval_program(&opt, &xs), expected);
+    }
+
+    #[test]
+    fn ss2_preserves_semantics() {
+        let prog = Program::new().scan(lib::mul()).scan(lib::add());
+        let opt = apply_at(&prog, Rule::Ss2Scan, 0);
+        for p in 1..=12usize {
+            let input: Vec<i64> = (0..p as i64).map(|i| (i % 3) + 1).collect();
+            let xs = ints(&input);
+            assert_eq!(eval_program(&prog, &xs), eval_program(&opt, &xs), "p={p}");
+        }
+    }
+
+    #[test]
+    fn ss2_requires_distinct_distributive_ops() {
+        let same = Program::new().scan(lib::add()).scan(lib::add());
+        assert!(try_match(Rule::Ss2Scan, same.stages()).is_none());
+        let nondist = Program::new().scan(lib::add()).scan(lib::mul());
+        assert!(try_match(Rule::Ss2Scan, nondist.stages()).is_none());
+    }
+
+    #[test]
+    fn ss_scan_figure5_result() {
+        let prog = Program::new().scan(lib::add()).scan(lib::add());
+        let opt = apply_at(&prog, Rule::SsScan, 0);
+        let xs = ints(&[2, 5, 9, 1, 2, 6]);
+        let expected = ints(&[2, 9, 25, 42, 61, 86]);
+        assert_eq!(eval_program(&prog, &xs), expected);
+        assert_eq!(eval_program(&opt, &xs), expected);
+    }
+
+    #[test]
+    fn ss_scan_preserves_semantics_all_sizes() {
+        let prog = Program::new().scan(lib::add()).scan(lib::add());
+        let opt = apply_at(&prog, Rule::SsScan, 0);
+        for p in 1..=20usize {
+            let input: Vec<i64> = (0..p as i64).map(|i| 7 - 2 * i).collect();
+            let xs = ints(&input);
+            assert_eq!(eval_program(&prog, &xs), eval_program(&opt, &xs), "p={p}");
+        }
+    }
+
+    #[test]
+    fn bs_comcast_preserves_semantics() {
+        let prog = Program::new().bcast().scan(lib::add());
+        let opt = apply_at(&prog, Rule::BsComcast, 0);
+        for p in 1..=16usize {
+            let mut input = vec![0i64; p];
+            input[0] = 5;
+            let xs = ints(&input);
+            assert_eq!(eval_program(&prog, &xs), eval_program(&opt, &xs), "p={p}");
+        }
+    }
+
+    #[test]
+    fn bss2_comcast_preserves_semantics() {
+        let prog = Program::new().bcast().scan(lib::mul()).scan(lib::add());
+        let opt = apply_at(&prog, Rule::Bss2Comcast, 0);
+        assert_eq!(opt.collective_count(), 1);
+        for p in 1..=10usize {
+            let mut input = vec![0i64; p];
+            input[0] = 2;
+            let xs = ints(&input);
+            assert_eq!(eval_program(&prog, &xs), eval_program(&opt, &xs), "p={p}");
+        }
+    }
+
+    #[test]
+    fn bss_comcast_preserves_semantics() {
+        let prog = Program::new().bcast().scan(lib::add()).scan(lib::add());
+        let opt = apply_at(&prog, Rule::BssComcast, 0);
+        for p in 1..=16usize {
+            let mut input = vec![0i64; p];
+            input[0] = 3;
+            let xs = ints(&input);
+            assert_eq!(eval_program(&prog, &xs), eval_program(&opt, &xs), "p={p}");
+        }
+    }
+
+    #[test]
+    fn br_local_preserves_first_component() {
+        let prog = Program::new().bcast().reduce(lib::add());
+        let opt = apply_at(&prog, Rule::BrLocal, 0);
+        for p in 1..=20usize {
+            let mut input = vec![9i64; p];
+            input[0] = 4;
+            let xs = ints(&input);
+            let orig = eval_program(&prog, &xs);
+            let local = eval_program(&opt, &xs);
+            assert_eq!(orig[0], local[0], "p={p}");
+            assert_eq!(local[0], Value::Int(4 * p as i64));
+        }
+    }
+
+    #[test]
+    fn br_local_drops_broadcast_side_effect() {
+        // The paper's caveat: positions 1.. differ (b vs the old values).
+        let prog = Program::new().bcast().reduce(lib::add());
+        let opt = apply_at(&prog, Rule::BrLocal, 0);
+        let xs = ints(&[4, 9, 9]);
+        let orig = eval_program(&prog, &xs);
+        let local = eval_program(&opt, &xs);
+        assert_eq!(orig[1], Value::Int(4)); // broadcast happened
+        assert_eq!(local[1], Value::Int(9)); // untouched
+        assert!(rank0_only(&prog, Rule::BrLocal));
+    }
+
+    #[test]
+    fn bsr2_local_preserves_first_component() {
+        let prog = Program::new().bcast().scan(lib::mul()).reduce(lib::add());
+        let opt = apply_at(&prog, Rule::Bsr2Local, 0);
+        assert_eq!(opt.collective_count(), 0);
+        for p in 1..=12usize {
+            let mut input = vec![0i64; p];
+            input[0] = 2;
+            let xs = ints(&input);
+            assert_eq!(
+                eval_program(&prog, &xs)[0],
+                eval_program(&opt, &xs)[0],
+                "p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn bsr_local_preserves_first_component() {
+        let prog = Program::new().bcast().scan(lib::add()).reduce(lib::add());
+        let opt = apply_at(&prog, Rule::BsrLocal, 0);
+        for p in 1..=20usize {
+            let mut input = vec![0i64; p];
+            input[0] = 3;
+            let xs = ints(&input);
+            let expected = eval_program(&prog, &xs)[0].clone();
+            let n = p as i64;
+            assert_eq!(expected, Value::Int(3 * n * (n + 1) / 2));
+            assert_eq!(eval_program(&opt, &xs)[0], expected, "p={p}");
+        }
+    }
+
+    #[test]
+    fn cr_alllocal_preserves_everything() {
+        let prog = Program::new().bcast().allreduce(lib::add());
+        assert!(!rank0_only(&prog, Rule::CrAlllocal));
+        let opt = apply_at(&prog, Rule::CrAlllocal, 0);
+        for p in 1..=16usize {
+            let mut input = vec![7i64; p];
+            input[0] = 4;
+            let xs = ints(&input);
+            assert_eq!(eval_program(&prog, &xs), eval_program(&opt, &xs), "p={p}");
+        }
+    }
+
+    #[test]
+    fn rules_work_on_blocks_too() {
+        let prog = Program::new().scan(lib::mul()).allreduce(lib::add());
+        let opt = apply_at(&prog, Rule::Sr2Reduction, 0);
+        let input = vec![
+            Value::int_list([2, 1]),
+            Value::int_list([3, 5]),
+            Value::int_list([1, 2]),
+        ];
+        assert_eq!(eval_program(&prog, &input), eval_program(&opt, &input));
+    }
+
+    #[test]
+    fn window_too_short_never_matches() {
+        let prog = Program::new().bcast();
+        for rule in Rule::ALL {
+            assert!(try_match(rule, prog.stages()).is_none(), "{rule}");
+        }
+    }
+}

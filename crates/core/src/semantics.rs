@@ -1,0 +1,287 @@
+//! Reference (sequential) semantics of program terms.
+//!
+//! [`eval_program`] interprets a [`Program`] directly on a plain vector of
+//! per-processor values — the denotations (4)–(8) of the paper, plus the
+//! definitions of the special collectives. This is the semantic ground
+//! truth: the rewrite rules are *semantic equalities*, so an optimized
+//! program must evaluate to the same distributed list as the original
+//! (on the positions the paper defines — see the caveat on the Local
+//! rules below), and the distributed executor must agree with this
+//! evaluator on every program.
+//!
+//! **Undefined positions.** `bcast` ignores everything but the first
+//! element; `reduce` leaves elements 2…n unchanged; the `iter` local
+//! stages define only the first element (the paper writes `_` for the
+//! rest). This evaluator makes the deterministic choice of *keeping the
+//! incoming values* in those positions, which is also what the distributed
+//! executor does, so the two stay comparable everywhere.
+
+use collopt_machine::topology::{butterfly_partner, ceil_log2, BalancedTree};
+
+use crate::adjust::{iter_balanced, repeat};
+use crate::term::{Program, Stage};
+use crate::value::Value;
+
+/// Evaluate a whole program on an input distributed list.
+pub fn eval_program(prog: &Program, input: &[Value]) -> Vec<Value> {
+    assert!(
+        !input.is_empty(),
+        "a distributed list needs at least one element"
+    );
+    let mut xs = input.to_vec();
+    for stage in prog.stages() {
+        eval_stage(stage, &mut xs);
+    }
+    xs
+}
+
+/// Evaluate a single stage in place.
+pub fn eval_stage(stage: &Stage, xs: &mut Vec<Value>) {
+    let p = xs.len();
+    match stage {
+        Stage::Map { f, .. } => {
+            for x in xs.iter_mut() {
+                *x = f(x);
+            }
+        }
+        Stage::MapIndexed { f, .. } => {
+            for (i, x) in xs.iter_mut().enumerate() {
+                *x = f(i, x);
+            }
+        }
+        Stage::Bcast => {
+            let v = xs[0].clone();
+            for x in xs.iter_mut() {
+                *x = v.clone();
+            }
+        }
+        Stage::Scan(op) => {
+            let mut acc = xs[0].clone();
+            for x in xs.iter_mut().skip(1) {
+                acc = op.apply(&acc, x);
+                *x = acc.clone();
+            }
+        }
+        Stage::Reduce(op) => {
+            let mut acc = xs[0].clone();
+            for x in xs.iter().skip(1) {
+                acc = op.apply(&acc, x);
+            }
+            xs[0] = acc;
+        }
+        Stage::AllReduce(op) => {
+            let mut acc = xs[0].clone();
+            for x in xs.iter().skip(1) {
+                acc = op.apply(&acc, x);
+            }
+            for x in xs.iter_mut() {
+                *x = acc.clone();
+            }
+        }
+        Stage::ReduceBalanced {
+            combine, solo, all, ..
+        } => {
+            let tree = BalancedTree::new(p);
+            let mut vals = xs.clone();
+            for level in tree.schedule() {
+                for step in level {
+                    match step {
+                        collopt_machine::topology::BalancedStep::Combine {
+                            left_rep,
+                            right_rep,
+                            ..
+                        } => {
+                            vals[left_rep] = combine(&vals[left_rep], &vals[right_rep]);
+                        }
+                        collopt_machine::topology::BalancedStep::Unary { rep, .. } => {
+                            vals[rep] = solo(&vals[rep]);
+                        }
+                    }
+                }
+            }
+            if *all {
+                for x in xs.iter_mut() {
+                    *x = vals[0].clone();
+                }
+            } else {
+                xs[0] = vals[0].clone();
+            }
+        }
+        Stage::ScanBalanced { combine, solo, .. } => {
+            let mut vals = xs.clone();
+            for round in 0..ceil_log2(p) {
+                let mut next = vals.clone();
+                for r in 0..p {
+                    match butterfly_partner(r, round, p) {
+                        Some(partner) if r < partner => {
+                            let (lo, hi) = combine(&vals[r], &vals[partner]);
+                            next[r] = lo;
+                            next[partner] = hi;
+                        }
+                        Some(_) => {} // handled by the lower partner
+                        None => next[r] = solo(&vals[r]),
+                    }
+                }
+                vals = next;
+            }
+            *xs = vals;
+        }
+        Stage::Comcast {
+            e,
+            o,
+            inject,
+            project,
+            ..
+        } => {
+            // Both variants implement the same pattern; variant choice only
+            // affects cost, not semantics.
+            let rounds = ceil_log2(p);
+            let seed = inject(&xs[0]);
+            for (k, x) in xs.iter_mut().enumerate() {
+                let state = repeat(&**e, &**o, k, rounds, seed.clone());
+                *x = project(&state);
+            }
+        }
+        Stage::Gather => {
+            xs[0] = Value::List(xs.clone());
+        }
+        Stage::Scatter => {
+            let list = xs[0].as_list().to_vec();
+            assert_eq!(list.len(), p, "scatter needs one element per processor");
+            *xs = list;
+        }
+        Stage::AllGather => {
+            let all = Value::List(xs.clone());
+            for x in xs.iter_mut() {
+                *x = all.clone();
+            }
+        }
+        Stage::IterLocal {
+            combine, solo, all, ..
+        } => {
+            let (v, _, _) = iter_balanced(p, &xs[0], &**combine, &**solo);
+            if *all {
+                for x in xs.iter_mut() {
+                    *x = v.clone();
+                }
+            } else {
+                xs[0] = v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::lib;
+    use crate::term::Program;
+
+    fn ints(vs: &[i64]) -> Vec<Value> {
+        vs.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn scan_semantics_eq7() {
+        let p = Program::new().scan(lib::add());
+        let out = eval_program(&p, &ints(&[1, 2, 3, 4]));
+        assert_eq!(out, ints(&[1, 3, 6, 10]));
+    }
+
+    #[test]
+    fn reduce_semantics_eq5_keeps_tail() {
+        let p = Program::new().reduce(lib::add());
+        let out = eval_program(&p, &ints(&[1, 2, 3, 4]));
+        assert_eq!(out, ints(&[10, 2, 3, 4]));
+    }
+
+    #[test]
+    fn allreduce_semantics_eq6() {
+        let p = Program::new().allreduce(lib::mul());
+        let out = eval_program(&p, &ints(&[1, 2, 3, 4]));
+        assert_eq!(out, ints(&[24, 24, 24, 24]));
+    }
+
+    #[test]
+    fn bcast_semantics_eq8() {
+        let p = Program::new().bcast();
+        let out = eval_program(&p, &ints(&[7, 1, 2]));
+        assert_eq!(out, ints(&[7, 7, 7]));
+    }
+
+    #[test]
+    fn example_program_of_section_2_runs() {
+        // example = map f ; scan(⊗) ; reduce(⊕) ; map g ; bcast — with
+        // f = (+1), ⊗ = mul, ⊕ = add, g = (*2).
+        let p = Program::new()
+            .map("f", 1.0, |v| Value::Int(v.as_int() + 1))
+            .scan(lib::mul())
+            .reduce(lib::add())
+            .map("g", 1.0, |v| Value::Int(v.as_int() * 2))
+            .bcast();
+        let out = eval_program(&p, &ints(&[0, 1, 2, 3]));
+        // f: [1,2,3,4]; scan(mul): [1,2,6,24]; reduce(add): [33,2,6,24];
+        // g: [66,4,12,48]; bcast: [66,66,66,66].
+        assert_eq!(out, ints(&[66, 66, 66, 66]));
+    }
+
+    #[test]
+    fn figure2_p1_equals_p2() {
+        // P1 = allreduce(+); P2 = map pair; allreduce(op_new); map π1 with
+        // op_new((a1,b1),(a2,b2)) = (a1+a2, b1*b2). Paper's input [1,2,3,4].
+        let p1 = Program::new().allreduce(lib::add());
+        let op_new = crate::op::BinOp::new("op_new", |x, y| {
+            Value::Tuple(vec![
+                Value::Int(x.proj(0).as_int() + y.proj(0).as_int()),
+                Value::Int(x.proj(1).as_int() * y.proj(1).as_int()),
+            ])
+        })
+        .with_cost(2.0);
+        let p2 = Program::new()
+            .map("pair", 0.0, crate::adjust::pair)
+            .allreduce(op_new)
+            .map("pi1", 0.0, crate::adjust::pi1);
+        let input = ints(&[1, 2, 3, 4]);
+        let out1 = eval_program(&p1, &input);
+        let out2 = eval_program(&p2, &input);
+        assert_eq!(out1, out2);
+        assert_eq!(out1, ints(&[10, 10, 10, 10]));
+    }
+
+    #[test]
+    fn map_indexed_sees_ranks() {
+        let p = Program::new().map_indexed("idx", 0.0, |i, v| Value::Int(v.as_int() + i as i64));
+        let out = eval_program(&p, &ints(&[10, 10, 10]));
+        assert_eq!(out, ints(&[10, 11, 12]));
+    }
+
+    #[test]
+    fn stages_work_on_blocks() {
+        let p = Program::new().scan(lib::add());
+        let input = vec![
+            Value::int_list([1, 10]),
+            Value::int_list([2, 20]),
+            Value::int_list([3, 30]),
+        ];
+        let out = eval_program(&p, &input);
+        assert_eq!(
+            out,
+            vec![
+                Value::int_list([1, 10]),
+                Value::int_list([3, 30]),
+                Value::int_list([6, 60])
+            ]
+        );
+    }
+
+    #[test]
+    fn singleton_machine_all_stages() {
+        let p = Program::new()
+            .bcast()
+            .scan(lib::add())
+            .reduce(lib::add())
+            .allreduce(lib::add());
+        let out = eval_program(&p, &ints(&[5]));
+        assert_eq!(out, ints(&[5]));
+    }
+}

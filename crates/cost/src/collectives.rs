@@ -1,0 +1,106 @@
+//! Per-phase costs of the individual collective operations, from which the
+//! Table-1 rows are assembled.
+//!
+//! Conventions (paper §4.1): every collective runs `log p` phases; each
+//! phase of a communicating collective pays one start-up `ts`; a message
+//! of `f·m` words pays `f·m·tw`; computation charges per-word operation
+//! counts. A *local* stage (the result of the Local rules) runs `log p`
+//! iterations with no communication at all.
+
+use crate::phase::PhaseCost;
+
+/// Broadcast: no computation (eq. 15).
+pub const fn bcast() -> PhaseCost {
+    PhaseCost::new(1.0, 1.0, 0.0)
+}
+
+/// Reduction with an operator costing `ops` per word, on tuples `f` words
+/// wide (eq. 16 is `reduce(1.0, 1.0)`): one combine per phase.
+pub const fn reduce(ops: f64, words_factor: f64) -> PhaseCost {
+    PhaseCost::new(1.0, words_factor, ops)
+}
+
+/// Scan with an operator costing `ops` per word on `f`-word tuples
+/// (eq. 17 is `scan(1.0, 1.0)`): two combines per phase on the critical
+/// path.
+pub const fn scan(ops: f64, words_factor: f64) -> PhaseCost {
+    PhaseCost::new(1.0, words_factor, 2.0 * ops)
+}
+
+/// Balanced reduction (rule SR-Reduction's target): one `op_sr`-style
+/// combine per phase, tuples `f` words wide.
+pub const fn reduce_balanced(ops_combine: f64, words_factor: f64) -> PhaseCost {
+    PhaseCost::new(1.0, words_factor, ops_combine)
+}
+
+/// Balanced scan (rule SS-Scan's target): the critical path charges the
+/// upper partner's operation count; only `words_factor` words of the tuple
+/// cross the link per direction (3 of op_ss's 4 components).
+pub const fn scan_balanced(ops_upper: f64, words_factor: f64) -> PhaseCost {
+    PhaseCost::new(1.0, words_factor, ops_upper)
+}
+
+/// Comcast in the broadcast-then-`repeat` implementation: the broadcast's
+/// `ts + m·tw` per phase plus the `o` step's operations (the heavier of
+/// `e`/`o`, which dominates the critical path).
+pub const fn comcast_bcast_repeat(ops_o: f64) -> PhaseCost {
+    PhaseCost::new(1.0, 1.0, ops_o)
+}
+
+/// Comcast in the cost-optimal successive-doubling implementation: the
+/// full auxiliary tuple (`f` words per block word) crosses the link each
+/// phase, and active processors compute both `e` and `o`.
+pub const fn comcast_cost_optimal(ops_e: f64, ops_o: f64, words_factor: f64) -> PhaseCost {
+    PhaseCost::new(1.0, words_factor, ops_e + ops_o)
+}
+
+/// A purely local iteration (the Local rules' target): `ops` operations
+/// per word per phase, no communication.
+pub const fn local_iter(ops: f64) -> PhaseCost {
+    PhaseCost::new(0.0, 0.0, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MachineParams;
+
+    #[test]
+    fn standard_collectives_match_eqs_15_to_17() {
+        let p = MachineParams::new(64, 100.0, 2.0);
+        let m = 32.0;
+        // eq. 15: log p (ts + m tw) = 6 * (100 + 64) = 984.
+        assert_eq!(bcast().eval(&p, m), 984.0);
+        // eq. 16: log p (ts + m (tw+1)) = 6 * (100 + 96) = 1176.
+        assert_eq!(reduce(1.0, 1.0).eval(&p, m), 1176.0);
+        // eq. 17: log p (ts + m (tw+2)) = 6 * (100 + 128) = 1368.
+        assert_eq!(scan(1.0, 1.0).eval(&p, m), 1368.0);
+    }
+
+    #[test]
+    fn collective_ordering_bcast_reduce_scan() {
+        // For any parameters, T_bcast ≤ T_reduce ≤ T_scan.
+        for (ts, tw, m) in [(0.0, 0.0, 1.0), (100.0, 2.0, 32.0), (1.0, 50.0, 7.0)] {
+            let p = MachineParams::new(16, ts, tw);
+            assert!(bcast().eval(&p, m) <= reduce(1.0, 1.0).eval(&p, m));
+            assert!(reduce(1.0, 1.0).eval(&p, m) <= scan(1.0, 1.0).eval(&p, m));
+        }
+    }
+
+    #[test]
+    fn local_iter_is_communication_free() {
+        let c = local_iter(3.0);
+        assert_eq!(c.ts, 0.0);
+        assert_eq!(c.mtw, 0.0);
+        let p = MachineParams::new(8, 1e9, 1e9);
+        assert_eq!(c.eval(&p, 10.0), 3.0 * 3.0 * 10.0);
+    }
+
+    #[test]
+    fn cost_optimal_comcast_is_never_cheaper_than_bcast_repeat() {
+        // Same ops, wider messages and extra `e` work: §3.4's remark.
+        let fast = comcast_bcast_repeat(2.0);
+        let opt = comcast_cost_optimal(1.0, 2.0, 2.0);
+        assert!(opt.always_exceeds(&fast));
+    }
+}

@@ -1,0 +1,132 @@
+//! Exact analytic costs for the collectives whose makespan does *not*
+//! factor into the `(per-phase) × log p` shape of [`crate::phase`]:
+//! gather/scatter (doubling message sizes along the tree), ring
+//! allgather, all-to-all, the pipelined chain broadcast and the van de
+//! Geijn broadcast.
+//!
+//! Each formula here is validated against the simulated machine to
+//! machine precision (or a stated tolerance) in the workspace's
+//! integration tests — the same analytic-vs-measured discipline as
+//! Table 1.
+
+use crate::params::MachineParams;
+
+/// Binomial gather/scatter of one `m`-word block per rank: `⌈log₂ p⌉`
+/// start-ups on the critical path, and the root moves `(p−1)·m` words in
+/// total (message sizes double/halve along the tree).
+pub fn gather_cost(params: &MachineParams, m: f64) -> f64 {
+    if params.p <= 1 {
+        return 0.0;
+    }
+    params.log_p() * params.ts + (params.p - 1) as f64 * m * params.tw
+}
+
+/// See [`gather_cost`] — the scatter tree is its time reversal.
+pub fn scatter_cost(params: &MachineParams, m: f64) -> f64 {
+    gather_cost(params, m)
+}
+
+/// Gather followed by a broadcast of the assembled `p·m`-word vector.
+pub fn allgather_cost(params: &MachineParams, m: f64) -> f64 {
+    if params.p <= 1 {
+        return 0.0;
+    }
+    gather_cost(params, m) + params.log_p() * (params.ts + params.p as f64 * m * params.tw)
+}
+
+/// Ring allgather of one `m`-word block per rank: `p − 1` steps, each
+/// costing `2(ts + m·tw)` on the store-and-forward critical path (a rank
+/// serializes its send and its receive).
+pub fn allgather_ring_cost(params: &MachineParams, m: f64) -> f64 {
+    if params.p <= 1 {
+        return 0.0;
+    }
+    2.0 * (params.p - 1) as f64 * (params.ts + m * params.tw)
+}
+
+/// Linear-shift all-to-all with one `m`-word block per destination:
+/// `p − 1` rounds; per round a rank pays its send (eager) plus its
+/// receive — `2(ts + m·tw)` on the critical path — except the middle
+/// round of an even `p`, where source and destination coincide and a
+/// single simultaneous exchange suffices. Hence
+/// `(2(p−1) − [p even])·(ts + m·tw)`.
+pub fn alltoall_cost(params: &MachineParams, m: f64) -> f64 {
+    let p = params.p;
+    if p <= 1 {
+        return 0.0;
+    }
+    let rounds = 2.0 * (p - 1) as f64 - f64::from(p.is_multiple_of(2));
+    rounds * (params.ts + m * params.tw)
+}
+
+/// Van de Geijn scatter+ring broadcast of an `m`-word block: the phases
+/// overlap, leaving `log p` scatter start-ups plus the ring's
+/// `2(p−1)` store-and-forward steps of `m/p` words.
+pub fn bcast_scatter_allgather_cost(params: &MachineParams, m: f64) -> f64 {
+    if params.p <= 1 {
+        return 0.0;
+    }
+    params.log_p() * params.ts
+        + 2.0 * (params.p - 1) as f64 * (params.ts + (m / params.p as f64) * params.tw)
+}
+
+/// Fold-excess commutative allreduce: one fold-in phase, the butterfly on
+/// the leading power-of-two block, one result-return phase. For
+/// power-of-two `p` it is just the butterfly.
+pub fn allreduce_commutative_cost(params: &MachineParams, m: f64, ops: f64) -> f64 {
+    let phase = params.ts + m * (params.tw + ops);
+    if params.p.is_power_of_two() {
+        return params.log_p() * phase;
+    }
+    let k_log = (params.p as f64).log2().floor();
+    // Fold-in phase + butterfly on the leading 2^k block + result return.
+    (params.ts + m * params.tw + m * ops) + k_log * phase + (params.ts + m * params.tw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(p: usize) -> MachineParams {
+        MachineParams::new(p, 100.0, 2.0)
+    }
+
+    #[test]
+    fn degenerate_single_rank_costs_nothing() {
+        let one = params(1);
+        assert_eq!(gather_cost(&one, 10.0), 0.0);
+        assert_eq!(allgather_ring_cost(&one, 10.0), 0.0);
+        assert_eq!(alltoall_cost(&one, 10.0), 0.0);
+        assert_eq!(bcast_scatter_allgather_cost(&one, 10.0), 0.0);
+    }
+
+    #[test]
+    fn gather_has_logp_startups_and_linear_volume() {
+        let p8 = params(8);
+        // 3 startups + 7 m tw.
+        assert_eq!(gather_cost(&p8, 10.0), 3.0 * 100.0 + 7.0 * 20.0);
+        assert_eq!(scatter_cost(&p8, 10.0), gather_cost(&p8, 10.0));
+    }
+
+    #[test]
+    fn ring_and_alltoall_are_linear_in_p() {
+        let m = 4.0;
+        let c8 = alltoall_cost(&params(8), m);
+        let c16 = alltoall_cost(&params(16), m);
+        assert!(c16 / c8 > 2.0, "alltoall roughly doubles with p");
+        // p = 2: a single exchange.
+        assert_eq!(alltoall_cost(&params(2), m), 100.0 + 8.0);
+        // p = 6 (even): 2*5 - 1 = 9 rounds-worth.
+        assert_eq!(alltoall_cost(&params(6), m), 9.0 * 108.0);
+        assert_eq!(allgather_ring_cost(&params(5), m), 2.0 * 4.0 * 108.0);
+    }
+
+    #[test]
+    fn vdg_cost_crossover_against_binomial() {
+        // For large m, vdG < binomial; for tiny m, the reverse.
+        let p = params(16);
+        let binomial = |m: f64| p.log_p() * (p.ts + m * p.tw);
+        assert!(bcast_scatter_allgather_cost(&p, 32_000.0) < binomial(32_000.0));
+        assert!(bcast_scatter_allgather_cost(&p, 4.0) > binomial(4.0));
+    }
+}

@@ -1,0 +1,203 @@
+//! Affine per-phase cost expressions.
+//!
+//! Every entry of the paper's Table 1 has the shape
+//! `(α·ts + β·m·tw + γ·m) · log p`. [`PhaseCost`] captures the
+//! parenthesized part symbolically, so costs can be added (sequential
+//! composition of collectives), compared, evaluated, and solved for
+//! crossover points exactly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::MachineParams;
+
+/// A per-`log p` cost `α·ts + β·m·tw + γ·m`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhaseCost {
+    /// Coefficient of `ts` — number of message start-ups per phase.
+    pub ts: f64,
+    /// Coefficient of `m·tw` — words on the wire per block word per phase.
+    pub mtw: f64,
+    /// Coefficient of `m` — computation operations per block word per phase.
+    pub m: f64,
+}
+
+impl PhaseCost {
+    /// `α·ts + β·m·tw + γ·m`.
+    pub const fn new(ts: f64, mtw: f64, m: f64) -> Self {
+        PhaseCost { ts, mtw, m }
+    }
+
+    /// The zero cost.
+    pub const fn zero() -> Self {
+        PhaseCost {
+            ts: 0.0,
+            mtw: 0.0,
+            m: 0.0,
+        }
+    }
+
+    /// Evaluate for one phase at block size `m`.
+    pub fn eval_phase(&self, params: &MachineParams, m: f64) -> f64 {
+        self.ts * params.ts + self.mtw * m * params.tw + self.m * m
+    }
+
+    /// Full estimate: `log p` phases at block size `m`.
+    pub fn eval(&self, params: &MachineParams, m: f64) -> f64 {
+        params.log_p() * self.eval_phase(params, m)
+    }
+
+    /// Symbolic difference `self − other` (still a [`PhaseCost`]).
+    pub fn minus(&self, other: &PhaseCost) -> PhaseCost {
+        PhaseCost {
+            ts: self.ts - other.ts,
+            mtw: self.mtw - other.mtw,
+            m: self.m - other.m,
+        }
+    }
+
+    /// Does this cost dominate `other` for *every* machine and block size
+    /// (all coefficients ≥, at least one >)? This is the paper's "always"
+    /// column: the rule improves independently of the machine parameters.
+    pub fn always_exceeds(&self, other: &PhaseCost) -> bool {
+        let d = self.minus(other);
+        d.ts >= 0.0 && d.mtw >= 0.0 && d.m >= 0.0 && (d.ts > 0.0 || d.mtw > 0.0 || d.m > 0.0)
+    }
+
+    /// Render as the paper writes it, e.g. `2ts + m*(2tw + 3)`.
+    pub fn render(&self) -> String {
+        let fmt_c = |c: f64| {
+            if (c - c.round()).abs() < 1e-12 {
+                format!("{}", c.round() as i64)
+            } else {
+                format!("{c}")
+            }
+        };
+        let mut parts: Vec<String> = Vec::new();
+        if self.ts != 0.0 {
+            parts.push(if self.ts == 1.0 {
+                "ts".into()
+            } else {
+                format!("{}ts", fmt_c(self.ts))
+            });
+        }
+        match (self.mtw != 0.0, self.m != 0.0) {
+            (true, true) => {
+                let twc = if self.mtw == 1.0 {
+                    "tw".into()
+                } else {
+                    format!("{}tw", fmt_c(self.mtw))
+                };
+                parts.push(format!("m*({twc} + {})", fmt_c(self.m)));
+            }
+            (true, false) => {
+                let twc = if self.mtw == 1.0 {
+                    "tw".into()
+                } else {
+                    format!("{}tw", fmt_c(self.mtw))
+                };
+                parts.push(format!("m*{twc}"));
+            }
+            (false, true) => {
+                parts.push(if self.m == 1.0 {
+                    "m".into()
+                } else {
+                    format!("{}m", fmt_c(self.m))
+                });
+            }
+            (false, false) => {}
+        }
+        if parts.is_empty() {
+            "0".into()
+        } else {
+            parts.join(" + ")
+        }
+    }
+}
+
+impl std::ops::Add for PhaseCost {
+    type Output = PhaseCost;
+    fn add(self, rhs: PhaseCost) -> PhaseCost {
+        PhaseCost {
+            ts: self.ts + rhs.ts,
+            mtw: self.mtw + rhs.mtw,
+            m: self.m + rhs.m,
+        }
+    }
+}
+
+impl std::ops::Mul<f64> for PhaseCost {
+    type Output = PhaseCost;
+    fn mul(self, k: f64) -> PhaseCost {
+        PhaseCost {
+            ts: self.ts * k,
+            mtw: self.mtw * k,
+            m: self.m * k,
+        }
+    }
+}
+
+impl std::iter::Sum for PhaseCost {
+    fn sum<I: Iterator<Item = PhaseCost>>(iter: I) -> PhaseCost {
+        iter.fold(PhaseCost::zero(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_matches_hand_computation() {
+        // 2ts + m(2tw + 3) at ts=100, tw=2, m=10, p=8 (log p = 3):
+        // 3 * (200 + 10*2*2 + 3*10) = 3 * 270 = 810.
+        let c = PhaseCost::new(2.0, 2.0, 3.0);
+        let params = MachineParams::new(8, 100.0, 2.0);
+        assert_eq!(c.eval(&params, 10.0), 810.0);
+    }
+
+    #[test]
+    fn addition_composes_sequential_stages() {
+        let bcast = PhaseCost::new(1.0, 1.0, 0.0);
+        let scan = PhaseCost::new(1.0, 1.0, 2.0);
+        let both = bcast + scan;
+        assert_eq!(both, PhaseCost::new(2.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn always_exceeds_is_coefficientwise() {
+        let before = PhaseCost::new(2.0, 2.0, 3.0);
+        let after = PhaseCost::new(1.0, 2.0, 3.0);
+        assert!(before.always_exceeds(&after)); // saves one ts per phase
+        let worse_compute = PhaseCost::new(1.0, 2.0, 4.0);
+        assert!(!before.always_exceeds(&worse_compute)); // trade-off: depends on params
+        assert!(!before.always_exceeds(&before)); // no strict saving
+    }
+
+    #[test]
+    fn render_matches_paper_style() {
+        assert_eq!(PhaseCost::new(2.0, 2.0, 3.0).render(), "2ts + m*(2tw + 3)");
+        assert_eq!(PhaseCost::new(1.0, 1.0, 0.0).render(), "ts + m*tw");
+        assert_eq!(PhaseCost::new(0.0, 0.0, 1.0).render(), "m");
+        assert_eq!(PhaseCost::new(0.0, 0.0, 3.0).render(), "3m");
+        assert_eq!(PhaseCost::zero().render(), "0");
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: PhaseCost = vec![PhaseCost::new(1.0, 0.0, 0.0); 3].into_iter().sum();
+        assert_eq!(total.ts, 3.0);
+    }
+
+    #[test]
+    fn scaling_by_constant() {
+        let c = PhaseCost::new(1.0, 2.0, 3.0) * 2.0;
+        assert_eq!(c, PhaseCost::new(2.0, 4.0, 6.0));
+    }
+
+    #[test]
+    fn single_processor_costs_nothing() {
+        let c = PhaseCost::new(5.0, 5.0, 5.0);
+        let params = MachineParams::new(1, 100.0, 2.0);
+        assert_eq!(c.eval(&params, 1000.0), 0.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Type-erased point-to-point mailboxes between ranks.
+//!
+//! The machine is fully connected: every ordered pair of ranks `(src, dst)`
+//! gets its own FIFO channel, so a receive from a specific source needs no
+//! tag matching and two messages from the same source can never overtake
+//! each other. Payloads are type-erased (`Box<dyn Any + Send>`) so that a
+//! single SPMD program can exchange values of several types — e.g. a
+//! broadcast of `Vec<f64>` followed by a scan over pairs.
+
+use std::any::Any;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::error::MachineError;
+
+/// A message in flight: payload, declared size in words (for cost
+/// accounting), and the sender's simulated clock at the moment of sending.
+pub struct Packet {
+    /// The type-erased payload.
+    pub payload: Box<dyn Any + Send>,
+    /// Size in machine words, as charged by the cost model.
+    pub words: u64,
+    /// Sender's simulated time when the message entered the network.
+    pub send_time: f64,
+}
+
+impl std::fmt::Debug for Packet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Packet")
+            .field("words", &self.words)
+            .field("send_time", &self.send_time)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The sending half of the full mesh, owned by one rank: one [`Sender`]
+/// per destination.
+pub struct Mailboxes {
+    rank: usize,
+    senders: Vec<Sender<Packet>>,
+    receivers: Vec<Receiver<Packet>>,
+}
+
+impl Mailboxes {
+    /// Rank that owns this set of mailboxes.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the mesh.
+    pub fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Enqueue a packet for `dst`. Panics on an invalid destination — the
+    /// collectives never produce one, so this is an assertion, not a
+    /// recoverable condition.
+    pub fn push(&self, dst: usize, packet: Packet) -> Result<(), MachineError> {
+        if dst >= self.senders.len() {
+            return Err(MachineError::InvalidRank {
+                rank: dst,
+                size: self.senders.len(),
+            });
+        }
+        self.senders[dst]
+            .send(packet)
+            .map_err(|_| MachineError::Disconnected { rank: dst })
+    }
+
+    /// Block until a packet from `src` arrives.
+    pub fn pop(&self, src: usize) -> Result<Packet, MachineError> {
+        if src >= self.receivers.len() {
+            return Err(MachineError::InvalidRank {
+                rank: src,
+                size: self.receivers.len(),
+            });
+        }
+        self.receivers[src]
+            .recv()
+            .map_err(|_| MachineError::Disconnected { rank: src })
+    }
+
+    /// Block until a packet arrives from *any* source (MPI_ANY_SOURCE);
+    /// returns `(source, packet)`. Uses a fair crossbeam `Select` over all
+    /// incoming channels.
+    pub fn pop_any(&self) -> Result<(usize, Packet), MachineError> {
+        let mut sel = crossbeam::channel::Select::new();
+        for rx in &self.receivers {
+            sel.recv(rx);
+        }
+        let mut live = self.receivers.len();
+        loop {
+            let op = sel.select();
+            let src = op.index();
+            match op.recv(&self.receivers[src]) {
+                Ok(p) => return Ok((src, p)),
+                Err(_) => {
+                    // This peer finished and its channel drained; stop
+                    // polling it. Only when every source is gone is the
+                    // caller's protocol broken.
+                    sel.remove(src);
+                    live -= 1;
+                    if live == 0 {
+                        return Err(MachineError::Disconnected { rank: src });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-blocking variant of [`pop`](Self::pop): `Ok(None)` when the
+    /// mailbox from `src` is currently empty.
+    pub fn try_pop(&self, src: usize) -> Result<Option<Packet>, MachineError> {
+        if src >= self.receivers.len() {
+            return Err(MachineError::InvalidRank {
+                rank: src,
+                size: self.receivers.len(),
+            });
+        }
+        match self.receivers[src].try_recv() {
+            Ok(p) => Ok(Some(p)),
+            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                Err(MachineError::Disconnected { rank: src })
+            }
+        }
+    }
+}
+
+/// Builds the full `p × p` mesh and hands each rank its mailboxes.
+pub fn build_mesh(p: usize) -> Vec<Mailboxes> {
+    // senders[src][dst] / receivers[dst][src]
+    let mut senders: Vec<Vec<Sender<Packet>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
+    let mut receivers: Vec<Vec<Receiver<Packet>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
+    for src in 0..p {
+        for _dst in 0..p {
+            let (tx, rx) = unbounded();
+            senders[src].push(tx);
+            receivers[src].push(rx); // placeholder position, fixed below
+        }
+    }
+    // receivers[dst][src] must be the rx end of channel (src -> dst); the
+    // loop above filled receivers[src][dst], so transpose.
+    let mut transposed: Vec<Vec<Receiver<Packet>>> =
+        (0..p).map(|_| Vec::with_capacity(p)).collect();
+    let mut taken: Vec<Vec<Option<Receiver<Packet>>>> = receivers
+        .into_iter()
+        .map(|row| row.into_iter().map(Some).collect())
+        .collect();
+    for dst in 0..p {
+        for row in taken.iter_mut() {
+            transposed[dst].push(row[dst].take().expect("transpose visits each cell once"));
+        }
+    }
+    senders
+        .into_iter()
+        .zip(transposed)
+        .enumerate()
+        .map(|(rank, (senders, receivers))| Mailboxes {
+            rank,
+            senders,
+            receivers,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet<T: Send + 'static>(v: T, words: u64) -> Packet {
+        Packet {
+            payload: Box::new(v),
+            words,
+            send_time: 0.0,
+        }
+    }
+
+    #[test]
+    fn mesh_routes_point_to_point() {
+        let mut mesh = build_mesh(3);
+        let m2 = mesh.pop().unwrap();
+        let m1 = mesh.pop().unwrap();
+        let m0 = mesh.pop().unwrap();
+        assert_eq!(m0.rank(), 0);
+        assert_eq!(m1.rank(), 1);
+        assert_eq!(m2.rank(), 2);
+
+        m0.push(2, packet(41u32, 1)).unwrap();
+        m1.push(2, packet("hello", 1)).unwrap();
+        let p = m2.pop(0).unwrap();
+        assert_eq!(*p.payload.downcast::<u32>().unwrap(), 41);
+        let p = m2.pop(1).unwrap();
+        assert_eq!(*p.payload.downcast::<&str>().unwrap(), "hello");
+    }
+
+    #[test]
+    fn fifo_order_per_pair() {
+        let mesh = build_mesh(2);
+        mesh[0].push(1, packet(1u8, 1)).unwrap();
+        mesh[0].push(1, packet(2u8, 1)).unwrap();
+        mesh[0].push(1, packet(3u8, 1)).unwrap();
+        for expected in 1..=3u8 {
+            let p = mesh[1].pop(0).unwrap();
+            assert_eq!(*p.payload.downcast::<u8>().unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn self_send_works() {
+        let mesh = build_mesh(1);
+        mesh[0].push(0, packet(7i64, 1)).unwrap();
+        let p = mesh[0].pop(0).unwrap();
+        assert_eq!(*p.payload.downcast::<i64>().unwrap(), 7);
+    }
+
+    #[test]
+    fn try_pop_empty_returns_none() {
+        let mesh = build_mesh(2);
+        assert!(mesh[0].try_pop(1).unwrap().is_none());
+        mesh[1].push(0, packet(9u16, 1)).unwrap();
+        let got = mesh[0].try_pop(1).unwrap().unwrap();
+        assert_eq!(*got.payload.downcast::<u16>().unwrap(), 9);
+    }
+
+    #[test]
+    fn invalid_rank_is_reported() {
+        let mesh = build_mesh(2);
+        assert_eq!(
+            mesh[0].push(5, packet(0u8, 1)).unwrap_err(),
+            MachineError::InvalidRank { rank: 5, size: 2 }
+        );
+        assert_eq!(
+            mesh[0].pop(9).unwrap_err(),
+            MachineError::InvalidRank { rank: 9, size: 2 }
+        );
+    }
+
+    #[test]
+    fn packets_carry_metadata() {
+        let mesh = build_mesh(2);
+        mesh[0]
+            .push(
+                1,
+                Packet {
+                    payload: Box::new(0u8),
+                    words: 42,
+                    send_time: 3.5,
+                },
+            )
+            .unwrap();
+        let p = mesh[1].pop(0).unwrap();
+        assert_eq!(p.words, 42);
+        assert_eq!(p.send_time, 3.5);
+    }
+}

@@ -1,0 +1,416 @@
+//! The paper's cost model as a deterministic per-rank clock.
+//!
+//! Section 4.1 of the paper: a virtual, fully connected machine where two
+//! processors can exchange blocks of `m` words simultaneously in
+//! `T_sendrecv = ts + m·tw` (bidirectional links), and one computation
+//! operation costs one time unit.
+//!
+//! Every rank of the simulated machine carries a [`SimClock`]; every message
+//! carries the sender's clock at the moment of sending. A receive completes
+//! at `max(receiver_clock, sender_clock) + ts + m·tw` — a rendezvous under
+//! the bidirectional-link assumption — and both sides of a blocking
+//! exchange end up at that same instant. The resulting *makespan*
+//! (maximum final clock over all ranks) is deterministic: it depends only
+//! on the communication structure and the declared computation amounts,
+//! never on OS scheduling. This is what lets the benches reproduce the
+//! paper's Table 1 and Figures 7–8 exactly.
+
+/// How ranks map onto SMP nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeAssignment {
+    /// Consecutive blocks: node of rank `r` is `r / node_size`. The
+    /// MPI-default layout; power-of-two communication strides below
+    /// `node_size` stay on-node, so binomial trees are automatically
+    /// locality-friendly.
+    Block {
+        /// Ranks per node.
+        node_size: usize,
+    },
+    /// Round-robin: node of rank `r` is `r % nodes`. Arises when a
+    /// scheduler interleaves ranks across nodes; for a non-power-of-two
+    /// node count, *every* power-of-two stride crosses nodes, which is
+    /// what makes two-level algorithms win.
+    Cyclic {
+        /// Number of nodes.
+        nodes: usize,
+    },
+}
+
+impl NodeAssignment {
+    /// The node housing `rank`.
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> usize {
+        match *self {
+            NodeAssignment::Block { node_size } => rank / node_size,
+            NodeAssignment::Cyclic { nodes } => rank % nodes,
+        }
+    }
+}
+
+/// Two-level cluster extension: processors are grouped into SMP nodes;
+/// messages *within* a node use the cheap `local_ts`/`local_tw`
+/// parameters instead of the network's `ts`/`tw`. This models the
+/// clusters-of-SMPs platforms (SIMPLE et al.) the paper's Section 2.2
+/// names as a target of the framework.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterParams {
+    /// Rank-to-node mapping.
+    pub assignment: NodeAssignment,
+    /// Intra-node message start-up time.
+    pub local_ts: f64,
+    /// Intra-node per-word transfer time.
+    pub local_tw: f64,
+}
+
+/// Deterministic straggler injection: every message completion is
+/// stretched by a pseudo-random factor in `[1, 1 + amplitude]`, derived
+/// by hashing `(seed, rank, message index)` — so a run's makespan is
+/// still a pure function of its communication structure (reruns agree),
+/// but the machine behaves like one with OS jitter and link-speed
+/// variation. Used by the robustness tests to show the optimization
+/// rules' wins survive noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JitterParams {
+    /// Seed mixed into every stretch factor.
+    pub seed: u64,
+    /// Maximum relative slowdown (0.5 = up to 50% longer transfers).
+    pub amplitude: f64,
+}
+
+impl JitterParams {
+    /// The stretch factor for this rank's `nth` message.
+    #[inline]
+    pub fn stretch(&self, rank: usize, nth: u64) -> f64 {
+        // SplitMix64 over the combined identity.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(rank as u64 + 1))
+            .wrapping_add(nth.wrapping_mul(0xbf58476d1ce4e5b9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+        1.0 + self.amplitude * unit
+    }
+}
+
+/// Machine cost parameters: start-up time `ts` and per-word transfer time
+/// `tw`, in units of one computation operation (the paper's convention).
+/// Optionally a two-level [`ClusterParams`] for SMP-cluster simulation
+/// and deterministic [`JitterParams`] straggler injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockParams {
+    /// Message start-up time (latency), in compute-op units.
+    pub ts: f64,
+    /// Per-word transfer time (inverse bandwidth), in compute-op units.
+    pub tw: f64,
+    /// Optional SMP-cluster structure; `None` = the paper's flat machine.
+    pub cluster: Option<ClusterParams>,
+    /// Optional deterministic message-time jitter.
+    pub jitter: Option<JitterParams>,
+}
+
+impl ClockParams {
+    /// New parameter set. Both parameters must be non-negative.
+    pub fn new(ts: f64, tw: f64) -> Self {
+        assert!(ts >= 0.0 && tw >= 0.0, "ts and tw must be non-negative");
+        ClockParams {
+            ts,
+            tw,
+            cluster: None,
+            jitter: None,
+        }
+    }
+
+    /// A clustered parameter set with the block layout: inter-node
+    /// messages cost `ts + m·tw`, intra-node messages (between ranks in
+    /// the same block of `node_size` consecutive ranks) cost
+    /// `local_ts + m·local_tw`.
+    pub fn clustered(ts: f64, tw: f64, node_size: usize, local_ts: f64, local_tw: f64) -> Self {
+        assert!(ts >= 0.0 && tw >= 0.0 && local_ts >= 0.0 && local_tw >= 0.0);
+        assert!(node_size >= 1, "a node holds at least one rank");
+        ClockParams {
+            ts,
+            tw,
+            cluster: Some(ClusterParams {
+                assignment: NodeAssignment::Block { node_size },
+                local_ts,
+                local_tw,
+            }),
+            jitter: None,
+        }
+    }
+
+    /// A clustered parameter set with the cyclic (round-robin) layout
+    /// over `nodes` nodes.
+    pub fn clustered_cyclic(ts: f64, tw: f64, nodes: usize, local_ts: f64, local_tw: f64) -> Self {
+        assert!(ts >= 0.0 && tw >= 0.0 && local_ts >= 0.0 && local_tw >= 0.0);
+        assert!(nodes >= 1);
+        ClockParams {
+            ts,
+            tw,
+            cluster: Some(ClusterParams {
+                assignment: NodeAssignment::Cyclic { nodes },
+                local_ts,
+                local_tw,
+            }),
+            jitter: None,
+        }
+    }
+
+    /// A zero-cost clock: makespans become pure computation counts.
+    pub fn free() -> Self {
+        ClockParams {
+            ts: 0.0,
+            tw: 0.0,
+            cluster: None,
+            jitter: None,
+        }
+    }
+
+    /// A "Parsytec-like" preset: a network with a high start-up cost
+    /// relative to bandwidth, as in the paper's experiments (Section 5.2).
+    /// The message start-up of mid-90s MPP networks was two orders of
+    /// magnitude above the per-word cost, which is the regime where every
+    /// fusion rule of Table 1 pays off for small blocks.
+    pub fn parsytec_like() -> Self {
+        ClockParams {
+            ts: 200.0,
+            tw: 2.0,
+            cluster: None,
+            jitter: None,
+        }
+    }
+
+    /// A low-latency preset resembling shared-memory transport, where the
+    /// `always`-rules still win but the conditional rules (SS2-Scan etc.)
+    /// stop paying off beyond small blocks.
+    pub fn low_latency() -> Self {
+        ClockParams {
+            ts: 4.0,
+            tw: 0.5,
+            cluster: None,
+            jitter: None,
+        }
+    }
+
+    /// Enable deterministic straggler injection (see [`JitterParams`]).
+    pub fn with_jitter(mut self, seed: u64, amplitude: f64) -> Self {
+        assert!(amplitude >= 0.0);
+        self.jitter = Some(JitterParams { seed, amplitude });
+        self
+    }
+
+    /// Transfer time for a message of `words` words: `ts + words·tw`
+    /// (the flat inter-node cost; cluster locality is decided by
+    /// [`transfer_between`](Self::transfer_between)).
+    #[inline]
+    pub fn transfer(&self, words: u64) -> f64 {
+        self.ts + words as f64 * self.tw
+    }
+
+    /// Transfer time between two specific ranks, honouring cluster
+    /// locality when configured.
+    #[inline]
+    pub fn transfer_between(&self, a: usize, b: usize, words: u64) -> f64 {
+        match &self.cluster {
+            Some(c) if c.assignment.node_of(a) == c.assignment.node_of(b) => {
+                c.local_ts + words as f64 * c.local_tw
+            }
+            _ => self.transfer(words),
+        }
+    }
+
+    /// Are two ranks on the same SMP node? (Always true on a flat
+    /// machine only when `a == b`.)
+    #[inline]
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        match &self.cluster {
+            Some(c) => c.assignment.node_of(a) == c.assignment.node_of(b),
+            None => a == b,
+        }
+    }
+}
+
+impl Default for ClockParams {
+    fn default() -> Self {
+        ClockParams::parsytec_like()
+    }
+}
+
+/// A per-rank simulated clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimClock {
+    now: f64,
+    params: ClockParams,
+    compute_ops: f64,
+    messages: u64,
+    words_sent: u64,
+    rank: usize,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new(params: ClockParams) -> Self {
+        Self::new_for_rank(params, 0)
+    }
+
+    /// A clock at time zero, owned by `rank` (keys the jitter stream).
+    pub fn new_for_rank(params: ClockParams, rank: usize) -> Self {
+        SimClock {
+            now: 0.0,
+            params,
+            compute_ops: 0.0,
+            messages: 0,
+            words_sent: 0,
+            rank,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The cost parameters this clock charges with.
+    #[inline]
+    pub fn params(&self) -> ClockParams {
+        self.params
+    }
+
+    /// Charge `ops` computation operations (1 unit each).
+    #[inline]
+    pub fn charge_compute(&mut self, ops: f64) {
+        debug_assert!(ops >= 0.0);
+        self.now += ops;
+        self.compute_ops += ops;
+    }
+
+    /// Record the completion of a message exchange of `words` words whose
+    /// peer clock read `peer_time` when it entered the exchange: both sides
+    /// rendezvous and pay `ts + words·tw`.
+    ///
+    /// Returns the completion time the clock advanced to.
+    #[inline]
+    pub fn complete_exchange(&mut self, peer_time: f64, words: u64) -> f64 {
+        let cost = self.params.transfer(words);
+        self.complete_exchange_costing(peer_time, words, cost)
+    }
+
+    /// [`complete_exchange`](Self::complete_exchange) with an explicit
+    /// transfer cost (used by the machine for cluster-local links).
+    /// Applies the configured jitter stretch, keyed by this rank's
+    /// message counter so reruns reproduce the same noise.
+    #[inline]
+    pub fn complete_exchange_costing(&mut self, peer_time: f64, words: u64, cost: f64) -> f64 {
+        let cost = match &self.params.jitter {
+            Some(j) => cost * j.stretch(self.rank, self.messages),
+            None => cost,
+        };
+        let start = self.now.max(peer_time);
+        self.now = start + cost;
+        self.messages += 1;
+        self.words_sent += words;
+        self.now
+    }
+
+    /// Synchronize with an absolute time (used by barriers): the clock
+    /// jumps forward to `t` if it is behind, never backward.
+    #[inline]
+    pub fn sync_to(&mut self, t: f64) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Total computation operations charged so far.
+    pub fn compute_ops(&self) -> f64 {
+        self.compute_ops
+    }
+
+    /// Number of message exchanges this rank participated in.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Total words this rank moved through exchanges.
+    pub fn words(&self) -> u64 {
+        self.words_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_is_affine_in_words() {
+        let p = ClockParams::new(100.0, 2.0);
+        assert_eq!(p.transfer(0), 100.0);
+        assert_eq!(p.transfer(1), 102.0);
+        assert_eq!(p.transfer(32), 164.0);
+    }
+
+    #[test]
+    fn compute_accumulates() {
+        let mut c = SimClock::new(ClockParams::free());
+        c.charge_compute(5.0);
+        c.charge_compute(2.5);
+        assert_eq!(c.now(), 7.5);
+        assert_eq!(c.compute_ops(), 7.5);
+    }
+
+    #[test]
+    fn exchange_rendezvous_takes_max_of_clocks() {
+        let params = ClockParams::new(10.0, 1.0);
+        let mut a = SimClock::new(params);
+        let mut b = SimClock::new(params);
+        a.charge_compute(100.0); // a is ahead
+                                 // b exchanges with a: completes at max(0, 100) + 10 + 5*1 = 115.
+        let t_b = b.complete_exchange(a.now(), 5);
+        assert_eq!(t_b, 115.0);
+        // a exchanges with b's pre-exchange time 0: max(100,0)+15 = 115.
+        let t_a = a.complete_exchange(0.0, 5);
+        assert_eq!(t_a, 115.0);
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn sync_never_moves_backward() {
+        let mut c = SimClock::new(ClockParams::free());
+        c.charge_compute(50.0);
+        c.sync_to(20.0);
+        assert_eq!(c.now(), 50.0);
+        c.sync_to(80.0);
+        assert_eq!(c.now(), 80.0);
+    }
+
+    #[test]
+    fn stats_are_tracked() {
+        let mut c = SimClock::new(ClockParams::new(1.0, 1.0));
+        c.complete_exchange(0.0, 10);
+        c.complete_exchange(0.0, 20);
+        assert_eq!(c.messages(), 2);
+        assert_eq!(c.words(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_ts_rejected() {
+        let _ = ClockParams::new(-1.0, 0.0);
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        let p = ClockParams::parsytec_like();
+        assert!(
+            p.ts > 10.0 * p.tw,
+            "parsytec preset must be latency-dominated"
+        );
+        let l = ClockParams::low_latency();
+        assert!(l.ts < p.ts);
+        let f = ClockParams::free();
+        assert_eq!(f.transfer(1_000_000), 0.0);
+    }
+}

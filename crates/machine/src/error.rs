@@ -1,0 +1,98 @@
+//! Error types for the simulated machine.
+
+use std::fmt;
+
+/// Errors raised by the machine runtime.
+///
+/// The collective algorithms in `collopt-collectives` are structured so that
+/// a well-formed SPMD program never triggers these; they surface programming
+/// errors (mismatched message types, invalid ranks) rather than runtime
+/// conditions a caller should recover from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// A rank argument was `>= p`.
+    InvalidRank {
+        /// The offending rank.
+        rank: usize,
+        /// The number of processors in the machine.
+        size: usize,
+    },
+    /// A received message could not be downcast to the expected type.
+    ///
+    /// The machine's mailboxes are type-erased so that one SPMD program can
+    /// exchange payloads of several types; a mismatch between the type sent
+    /// and the type expected by `recv` is a bug in the program.
+    TypeMismatch {
+        /// Source rank of the offending message.
+        from: usize,
+        /// Receiving rank.
+        to: usize,
+        /// The type the receiver expected.
+        expected: &'static str,
+    },
+    /// A channel was disconnected, i.e. a peer thread panicked mid-run.
+    Disconnected {
+        /// The rank whose mailbox was disconnected.
+        rank: usize,
+    },
+    /// The machine was constructed with zero processors.
+    EmptyMachine,
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::InvalidRank { rank, size } => {
+                write!(f, "invalid rank {rank} for a machine of {size} processors")
+            }
+            MachineError::TypeMismatch { from, to, expected } => write!(
+                f,
+                "message from rank {from} to rank {to} is not of the expected type {expected}"
+            ),
+            MachineError::Disconnected { rank } => {
+                write!(
+                    f,
+                    "mailbox of rank {rank} disconnected (peer thread panicked?)"
+                )
+            }
+            MachineError::EmptyMachine => write!(f, "a machine needs at least one processor"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_ranks() {
+        let e = MachineError::InvalidRank { rank: 9, size: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+
+        let e = MachineError::TypeMismatch {
+            from: 1,
+            to: 2,
+            expected: "alloc::vec::Vec<u64>",
+        };
+        assert!(e.to_string().contains("Vec<u64>"));
+
+        let e = MachineError::Disconnected { rank: 3 };
+        assert!(e.to_string().contains('3'));
+
+        assert!(MachineError::EmptyMachine
+            .to_string()
+            .contains("at least one"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(MachineError::EmptyMachine, MachineError::EmptyMachine);
+        assert_ne!(
+            MachineError::InvalidRank { rank: 0, size: 1 },
+            MachineError::InvalidRank { rank: 1, size: 1 }
+        );
+    }
+}

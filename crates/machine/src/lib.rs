@@ -1,0 +1,65 @@
+//! # collopt-machine — a simulated SPMD message-passing machine
+//!
+//! This crate is the substrate on which the collective operations of
+//! Gorlatch, Wedler & Lengauer, *"Optimization Rules for Programming with
+//! Collective Operations"* (IPPS 1999) are implemented and measured.
+//!
+//! The paper assumes (Section 4.1) a *virtual, fully connected* machine:
+//! every processor can communicate with every other processor at the same
+//! cost, links are bidirectional, and a message of `m` words costs
+//! `ts + m*tw` (start-up time plus per-word transfer time). One local
+//! computation operation costs one time unit.
+//!
+//! This crate provides exactly that machine, twice over:
+//!
+//! * a **threaded runtime** ([`Machine::run`]) that spawns one OS thread per
+//!   virtual processor and moves real data through typed channels — used for
+//!   wall-clock benchmarking and for exercising the real concurrency of the
+//!   algorithms; and
+//! * a **deterministic simulated clock** ([`clock`]) carried by every
+//!   message, so each run also yields an exact, scheduler-independent
+//!   *simulated makespan* under the paper's `ts`/`tw` cost model. This is
+//!   what lets us regenerate the paper's Table 1 and Figures 7–8 without the
+//!   authors' 64-processor Parsytec.
+//!
+//! The [`topology`] module contains the rank arithmetic shared by all
+//! collective algorithms: binomial trees, butterfly (hypercube) partners,
+//! and the paper's *virtual balanced tree* — the unique tree for any number
+//! of leaves in which all leaves have the same depth and the right subtree
+//! of any node with a non-empty left subtree is complete (Section 3.2).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use collopt_machine::{Machine, ClockParams};
+//!
+//! // Four processors; each sends its rank to rank 0.
+//! let machine = Machine::new(4, ClockParams::new(10.0, 1.0));
+//! let run = machine.run(|ctx| {
+//!     if ctx.rank() == 0 {
+//!         let mut sum = 0usize;
+//!         for src in 1..ctx.size() {
+//!             sum += ctx.recv::<usize>(src);
+//!         }
+//!         sum
+//!     } else {
+//!         ctx.send(0, ctx.rank(), 1);
+//!         0
+//!     }
+//! });
+//! assert_eq!(run.results[0], 6);
+//! assert!(run.makespan > 0.0);
+//! ```
+
+pub mod channel;
+pub mod clock;
+pub mod error;
+pub mod machine;
+pub mod topology;
+pub mod trace;
+
+pub use clock::{ClockParams, ClusterParams};
+pub use error::MachineError;
+pub use machine::{Ctx, Machine, RunResult};
+pub use topology::BalancedTree;
+pub use trace::{Event, EventKind, Trace};

@@ -1,0 +1,650 @@
+//! The SPMD runtime: one thread per virtual processor, plus the
+//! deterministic simulated clock.
+//!
+//! A [`Machine`] is configured with a processor count `p` and
+//! [`ClockParams`]. [`Machine::run`] executes one SPMD program: the given
+//! closure runs once per rank, each instance receiving a [`Ctx`] with the
+//! rank's identity, its mailboxes, its simulated clock and its trace.
+//!
+//! ## Cost semantics
+//!
+//! * [`Ctx::charge`] — local computation, 1 unit per operation (paper §4.1).
+//! * [`Ctx::send`] / [`Ctx::recv`] — a one-way message of `m` words. The
+//!   sender is *eager*: it pays `ts + m·tw` from its own clock and moves
+//!   on. The receiver completes at `max(own clock, sender's clock at send
+//!   start) + ts + m·tw`.
+//! * [`Ctx::exchange`] — the paper's simultaneous bidirectional exchange:
+//!   both partners rendezvous and pay a *single* `ts + m·tw`
+//!   (`T_sendrecv`, §4.1), ending at the same instant.
+//! * [`Ctx::barrier`] — synchronizes control *and* clocks (all ranks leave
+//!   at the global maximum time).
+//!
+//! Because message timestamps travel with the data, the simulated makespan
+//! of a run is a pure function of the communication structure — identical
+//! across reruns regardless of OS scheduling.
+
+use std::sync::{Barrier, Mutex};
+
+use crate::channel::{build_mesh, Mailboxes, Packet};
+use crate::clock::{ClockParams, SimClock};
+use crate::error::MachineError;
+use crate::trace::{EventKind, Trace};
+
+/// Clock-aware barrier: all ranks leave with their clocks advanced to the
+/// maximum entry time. The running maximum is monotonic (clocks never move
+/// backward), so it never needs resetting between rounds; a second wait
+/// keeps a fast rank's *next* barrier write from being observed early.
+struct ClockBarrier {
+    barrier: Barrier,
+    max_time: Mutex<f64>,
+}
+
+impl ClockBarrier {
+    fn new(p: usize) -> Self {
+        ClockBarrier {
+            barrier: Barrier::new(p),
+            max_time: Mutex::new(0.0),
+        }
+    }
+
+    fn wait(&self, t: f64) -> f64 {
+        {
+            let mut m = self.max_time.lock().expect("barrier lock poisoned");
+            if t > *m {
+                *m = t;
+            }
+        }
+        self.barrier.wait();
+        let out = *self.max_time.lock().expect("barrier lock poisoned");
+        self.barrier.wait();
+        out
+    }
+}
+
+/// Per-rank execution context handed to the SPMD closure.
+pub struct Ctx {
+    mailboxes: Mailboxes,
+    clock: SimClock,
+    trace: Trace,
+    barrier: std::sync::Arc<ClockBarrier>,
+}
+
+impl Ctx {
+    /// This rank's id, `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.mailboxes.rank()
+    }
+
+    /// Number of processors in the machine.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.mailboxes.size()
+    }
+
+    /// Current simulated time on this rank.
+    #[inline]
+    pub fn time(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// The machine's cost parameters.
+    #[inline]
+    pub fn params(&self) -> ClockParams {
+        self.clock.params()
+    }
+
+    /// Immutable view of this rank's simulated clock (statistics).
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Charge `ops` units of local computation, labelled for the trace.
+    pub fn charge(&mut self, ops: f64, label: &str) {
+        self.clock.charge_compute(ops);
+        if self.trace.is_enabled() {
+            self.trace.record(
+                self.rank(),
+                self.clock.now(),
+                EventKind::Compute {
+                    ops,
+                    label: label.to_string(),
+                },
+            );
+        }
+    }
+
+    /// Record a free-form marker in the trace (used by tests to capture
+    /// intermediate values, e.g. the tuples of the paper's Figures 4–6).
+    pub fn mark(&mut self, note: impl Into<String>) {
+        if self.trace.is_enabled() {
+            let rank = self.rank();
+            let now = self.clock.now();
+            self.trace
+                .record(rank, now, EventKind::Mark { note: note.into() });
+        }
+    }
+
+    /// Send `value` (declared size `words`) to rank `to`. Eager: this
+    /// rank's clock advances by `ts + words·tw`.
+    pub fn send<T: Send + 'static>(&mut self, to: usize, value: T, words: u64) {
+        let send_time = self.clock.now();
+        self.mailboxes
+            .push(
+                to,
+                Packet {
+                    payload: Box::new(value),
+                    words,
+                    send_time,
+                },
+            )
+            .unwrap_or_else(|e| panic!("send from rank {}: {e}", self.rank()));
+        // The sender pays the transfer from its own clock.
+        let cost = self.params().transfer_between(self.rank(), to, words);
+        let t = self.clock.complete_exchange_costing(send_time, words, cost);
+        if self.trace.is_enabled() {
+            let rank = self.rank();
+            self.trace.record(rank, t, EventKind::Send { to, words });
+        }
+    }
+
+    /// Receive the next value from rank `from`, blocking until it arrives.
+    /// Completes at `max(own clock, sender's send-start) + ts + words·tw`.
+    ///
+    /// # Panics
+    /// Panics if the payload is not a `T` — a type mismatch is a bug in the
+    /// SPMD program, not a runtime condition.
+    pub fn recv<T: Send + 'static>(&mut self, from: usize) -> T {
+        let packet = self
+            .mailboxes
+            .pop(from)
+            .unwrap_or_else(|e| panic!("recv on rank {}: {e}", self.rank()));
+        let words = packet.words;
+        let cost = self.params().transfer_between(self.rank(), from, words);
+        let t = self
+            .clock
+            .complete_exchange_costing(packet.send_time, words, cost);
+        if self.trace.is_enabled() {
+            let rank = self.rank();
+            self.trace.record(rank, t, EventKind::Recv { from, words });
+        }
+        let to = self.rank();
+        *packet.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "{}",
+                MachineError::TypeMismatch {
+                    from,
+                    to,
+                    expected: std::any::type_name::<T>()
+                }
+            )
+        })
+    }
+
+    /// Receive the next message from *any* source (MPI_ANY_SOURCE),
+    /// returning `(source, value)`. Cost accounting is identical to
+    /// [`recv`](Self::recv) from the actual source.
+    ///
+    /// # Panics
+    /// Panics if the payload is not a `T`.
+    pub fn recv_any<T: Send + 'static>(&mut self) -> (usize, T) {
+        let (from, packet) = self
+            .mailboxes
+            .pop_any()
+            .unwrap_or_else(|e| panic!("recv_any on rank {}: {e}", self.rank()));
+        let words = packet.words;
+        let cost = self.params().transfer_between(self.rank(), from, words);
+        let t = self
+            .clock
+            .complete_exchange_costing(packet.send_time, words, cost);
+        if self.trace.is_enabled() {
+            let rank = self.rank();
+            self.trace.record(rank, t, EventKind::Recv { from, words });
+        }
+        let to = self.rank();
+        let v = *packet.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "{}",
+                MachineError::TypeMismatch {
+                    from,
+                    to,
+                    expected: std::any::type_name::<T>()
+                }
+            )
+        });
+        (from, v)
+    }
+
+    /// Simultaneous bidirectional exchange with `partner`: sends `value`,
+    /// returns the partner's value. Both sides pay a single
+    /// `ts + max_words·tw` and end at the same simulated instant
+    /// (the paper's `T_sendrecv`).
+    pub fn exchange<T: Send + 'static>(&mut self, partner: usize, value: T, words: u64) -> T {
+        let my_time = self.clock.now();
+        self.mailboxes
+            .push(
+                partner,
+                Packet {
+                    payload: Box::new(value),
+                    words,
+                    send_time: my_time,
+                },
+            )
+            .unwrap_or_else(|e| panic!("exchange push on rank {}: {e}", self.rank()));
+        let packet = self
+            .mailboxes
+            .pop(partner)
+            .unwrap_or_else(|e| panic!("exchange pop on rank {}: {e}", self.rank()));
+        let w = words.max(packet.words);
+        let cost = self.params().transfer_between(self.rank(), partner, w);
+        let t = self
+            .clock
+            .complete_exchange_costing(packet.send_time, w, cost);
+        if self.trace.is_enabled() {
+            let rank = self.rank();
+            self.trace
+                .record(rank, t, EventKind::Exchange { partner, words: w });
+        }
+        let from = partner;
+        let to = self.rank();
+        *packet.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "{}",
+                MachineError::TypeMismatch {
+                    from,
+                    to,
+                    expected: std::any::type_name::<T>()
+                }
+            )
+        })
+    }
+
+    /// Barrier across all ranks; clocks leave at the global maximum.
+    pub fn barrier(&mut self) {
+        let t = self.barrier.wait(self.clock.now());
+        self.clock.sync_to(t);
+        if self.trace.is_enabled() {
+            let rank = self.rank();
+            self.trace.record(rank, t, EventKind::Barrier);
+        }
+    }
+
+    fn into_parts(self) -> (SimClock, Trace) {
+        (self.clock, self.trace)
+    }
+}
+
+/// Outcome of one SPMD run.
+#[derive(Debug)]
+pub struct RunResult<T> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<T>,
+    /// Maximum final simulated time over all ranks — the paper's notion of
+    /// parallel run time.
+    pub makespan: f64,
+    /// Final simulated time of each rank.
+    pub finish_times: Vec<f64>,
+    /// Total computation operations charged, per rank.
+    pub compute_ops: Vec<f64>,
+    /// Message exchanges each rank participated in.
+    pub messages: Vec<u64>,
+    /// Merged event trace (empty unless tracing was enabled).
+    pub trace: Trace,
+}
+
+/// A virtual machine of `p` fully connected processors.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    p: usize,
+    params: ClockParams,
+    tracing: bool,
+}
+
+impl Machine {
+    /// A machine with `p ≥ 1` processors and the given cost parameters.
+    pub fn new(p: usize, params: ClockParams) -> Self {
+        assert!(p >= 1, "{}", MachineError::EmptyMachine);
+        Machine {
+            p,
+            params,
+            tracing: false,
+        }
+    }
+
+    /// Enable event tracing for subsequent runs.
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    /// Number of processors.
+    pub fn size(&self) -> usize {
+        self.p
+    }
+
+    /// Cost parameters.
+    pub fn params(&self) -> ClockParams {
+        self.params
+    }
+
+    /// Run one SPMD program: `f` executes once per rank, concurrently.
+    ///
+    /// The closure is shared between threads, so captured state must be
+    /// `Sync`; per-rank inputs are typically captured in an `Arc<Vec<_>>`
+    /// and indexed by `ctx.rank()`.
+    pub fn run<T, F>(&self, f: F) -> RunResult<T>
+    where
+        T: Send,
+        F: Fn(&mut Ctx) -> T + Sync,
+    {
+        let mesh = build_mesh(self.p);
+        let barrier = std::sync::Arc::new(ClockBarrier::new(self.p));
+        let tracing = self.tracing;
+        let params = self.params;
+
+        let mut slots: Vec<Option<(T, SimClock, Trace)>> = Vec::with_capacity(self.p);
+        slots.resize_with(self.p, || None);
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.p);
+            for mailboxes in mesh {
+                let barrier = barrier.clone();
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let rank = mailboxes.rank();
+                    let mut ctx = Ctx {
+                        mailboxes,
+                        clock: SimClock::new_for_rank(params, rank),
+                        trace: if tracing {
+                            Trace::enabled()
+                        } else {
+                            Trace::disabled()
+                        },
+                        barrier,
+                    };
+                    let out = f(&mut ctx);
+                    let (clock, trace) = ctx.into_parts();
+                    (out, clock, trace)
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                slots[rank] = Some(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+            }
+        });
+
+        let mut results = Vec::with_capacity(self.p);
+        let mut finish_times = Vec::with_capacity(self.p);
+        let mut compute_ops = Vec::with_capacity(self.p);
+        let mut messages = Vec::with_capacity(self.p);
+        let mut trace = Trace::enabled();
+        for slot in slots {
+            let (out, clock, t) = slot.expect("every rank produces a result");
+            results.push(out);
+            finish_times.push(clock.now());
+            compute_ops.push(clock.compute_ops());
+            messages.push(clock.messages());
+            trace.merge(t);
+        }
+        let makespan = finish_times.iter().cloned().fold(0.0, f64::max);
+        RunResult {
+            results,
+            makespan,
+            finish_times,
+            compute_ops,
+            messages,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass_accumulates() {
+        let m = Machine::new(4, ClockParams::free());
+        let run = m.run(|ctx| {
+            // Each rank adds its id and passes a token around the ring.
+            if ctx.rank() == 0 {
+                ctx.send(1, 0usize, 1);
+                ctx.recv::<usize>(3)
+            } else {
+                let v = ctx.recv::<usize>(ctx.rank() - 1);
+                let next = (ctx.rank() + 1) % ctx.size();
+                ctx.send(next, v + ctx.rank(), 1);
+                0
+            }
+        });
+        assert_eq!(run.results[0], 1 + 2 + 3);
+    }
+
+    #[test]
+    fn exchange_is_symmetric_and_synchronizing() {
+        let m = Machine::new(2, ClockParams::new(10.0, 1.0));
+        let run = m.run(|ctx| {
+            // Rank 1 computes first, then both exchange.
+            if ctx.rank() == 1 {
+                ctx.charge(100.0, "work");
+            }
+            let got = ctx.exchange(1 - ctx.rank(), ctx.rank() as u64, 5);
+            (got, ctx.time())
+        });
+        assert_eq!(run.results[0].0, 1);
+        assert_eq!(run.results[1].0, 0);
+        // Both end at max(0, 100) + 10 + 5 = 115.
+        assert_eq!(run.results[0].1, 115.0);
+        assert_eq!(run.results[1].1, 115.0);
+        assert_eq!(run.makespan, 115.0);
+    }
+
+    #[test]
+    fn sends_from_one_rank_serialize_on_its_clock() {
+        let m = Machine::new(3, ClockParams::new(10.0, 1.0));
+        let run = m.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, (), 4);
+                ctx.send(2, (), 4);
+                ctx.time()
+            } else {
+                ctx.recv::<()>(0);
+                ctx.time()
+            }
+        });
+        // Sender: two eager sends of 14 each -> 28.
+        assert_eq!(run.results[0], 28.0);
+        // First receiver: max(0, 0) + 14.
+        assert_eq!(run.results[1], 14.0);
+        // Second receiver: sender started its send at t=14 -> 14 + 14.
+        assert_eq!(run.results[2], 28.0);
+    }
+
+    #[test]
+    fn barrier_aligns_clocks_to_max() {
+        let m = Machine::new(4, ClockParams::free());
+        let run = m.run(|ctx| {
+            ctx.charge((ctx.rank() * 10) as f64, "skew");
+            ctx.barrier();
+            ctx.time()
+        });
+        for t in run.results {
+            assert_eq!(t, 30.0);
+        }
+    }
+
+    #[test]
+    fn repeated_barriers_stay_consistent() {
+        let m = Machine::new(3, ClockParams::free());
+        let run = m.run(|ctx| {
+            let mut times = Vec::new();
+            for round in 0..5 {
+                ctx.charge(((ctx.rank() + round) % 3) as f64, "w");
+                ctx.barrier();
+                times.push(ctx.time());
+            }
+            times
+        });
+        for round in 0..5 {
+            let t0 = run.results[0][round];
+            assert!(
+                run.results.iter().all(|r| r[round] == t0),
+                "round {round} disagrees"
+            );
+        }
+        // Times strictly increase across rounds (some rank always works).
+        for r in &run.results {
+            for w in r.windows(2) {
+                assert!(w[1] > w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_is_deterministic_across_reruns() {
+        let m = Machine::new(8, ClockParams::new(50.0, 2.0));
+        let prog = |ctx: &mut Ctx| {
+            // A butterfly allreduce-like exchange pattern.
+            let mut v = ctx.rank() as u64;
+            for round in 0..3 {
+                let partner = ctx.rank() ^ (1 << round);
+                let got = ctx.exchange(partner, v, 8);
+                v += got;
+                ctx.charge(8.0, "combine");
+            }
+            v
+        };
+        let a = m.run(prog);
+        let b = m.run(prog);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.results, vec![28; 8]);
+        // 3 rounds x (50 + 8*2 + 8 compute) = 3 * 74 = 222.
+        assert_eq!(a.makespan, 222.0);
+    }
+
+    #[test]
+    fn recv_any_collects_from_all_sources() {
+        let m = Machine::new(5, ClockParams::free());
+        let run = m.run(|ctx| {
+            if ctx.rank() == 0 {
+                let mut seen = vec![false; ctx.size()];
+                let mut sum = 0u64;
+                for _ in 1..ctx.size() {
+                    let (src, v): (usize, u64) = ctx.recv_any();
+                    assert!(!seen[src], "duplicate source {src}");
+                    seen[src] = true;
+                    assert_eq!(v, src as u64 * 7);
+                    sum += v;
+                }
+                sum
+            } else {
+                // Stagger the sends so arrival order is nontrivial.
+                ctx.charge((ctx.rank() * 13 % 5) as f64, "skew");
+                ctx.send(0, ctx.rank() as u64 * 7, 1);
+                0
+            }
+        });
+        assert_eq!(run.results[0], 7 * (1 + 2 + 3 + 4));
+    }
+
+    #[test]
+    fn recv_any_is_cost_equivalent_to_directed_recv() {
+        let m = Machine::new(2, ClockParams::new(10.0, 1.0));
+        let any = m.run(|ctx| {
+            if ctx.rank() == 0 {
+                let (_, _v): (usize, ()) = ctx.recv_any();
+            } else {
+                ctx.send(0, (), 5);
+            }
+            ctx.time()
+        });
+        let directed = m.run(|ctx| {
+            if ctx.rank() == 0 {
+                let _: () = ctx.recv(1);
+            } else {
+                ctx.send(0, (), 5);
+            }
+            ctx.time()
+        });
+        assert_eq!(any.results, directed.results);
+    }
+
+    #[test]
+    fn tracing_collects_events_from_all_ranks() {
+        let m = Machine::new(2, ClockParams::free()).with_tracing();
+        let run = m.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1u8, 1);
+            } else {
+                ctx.recv::<u8>(0);
+            }
+            ctx.mark(format!("done-{}", ctx.rank()));
+        });
+        let marks = run.trace.marks();
+        assert!(marks.contains(&"done-0"));
+        assert!(marks.contains(&"done-1"));
+        let sends = run
+            .trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Send { .. }))
+            .count();
+        assert_eq!(sends, 1);
+    }
+
+    #[test]
+    fn mixed_payload_types_in_one_program() {
+        let m = Machine::new(2, ClockParams::free());
+        let run = m.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, vec![1.5f64, 2.5], 2);
+                ctx.send(1, String::from("tag"), 1);
+                0.0
+            } else {
+                let v: Vec<f64> = ctx.recv(0);
+                let s: String = ctx.recv(0);
+                assert_eq!(s, "tag");
+                v.iter().sum()
+            }
+        });
+        assert_eq!(run.results[1], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not of the expected type")]
+    fn type_mismatch_panics_with_context() {
+        let m = Machine::new(2, ClockParams::free());
+        m.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1u32, 1);
+            } else {
+                let _: u64 = ctx.recv(0);
+            }
+        });
+    }
+
+    #[test]
+    fn single_rank_machine_runs() {
+        let m = Machine::new(1, ClockParams::free());
+        let run = m.run(|ctx| {
+            ctx.barrier();
+            ctx.charge(3.0, "solo");
+            ctx.rank()
+        });
+        assert_eq!(run.results, vec![0]);
+        assert_eq!(run.makespan, 3.0);
+    }
+
+    #[test]
+    fn run_result_stats_match_activity() {
+        let m = Machine::new(2, ClockParams::new(1.0, 1.0));
+        let run = m.run(|ctx| {
+            ctx.charge(7.0, "w");
+            ctx.exchange(1 - ctx.rank(), (), 3);
+        });
+        assert_eq!(run.compute_ops, vec![7.0, 7.0]);
+        assert_eq!(run.messages, vec![1, 1]);
+        assert_eq!(run.finish_times[0], run.finish_times[1]);
+        assert_eq!(run.makespan, 7.0 + 1.0 + 3.0);
+    }
+}

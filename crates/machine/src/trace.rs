@@ -1,0 +1,230 @@
+//! Event tracing.
+//!
+//! Every rank can record what it does — sends, receives, exchanges, local
+//! computation steps — together with the simulated time at which the action
+//! completed. Traces are how the test-suite and the figure generators
+//! reproduce the paper's step-by-step value tables (Figures 4, 5 and 6)
+//! and how the ASCII timeline of Figure 1/3 is rendered.
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A message of `words` words left for rank `to`.
+    Send {
+        /// Destination rank.
+        to: usize,
+        /// Message size in words.
+        words: u64,
+    },
+    /// A message of `words` words arrived from rank `from`.
+    Recv {
+        /// Source rank.
+        from: usize,
+        /// Message size in words.
+        words: u64,
+    },
+    /// A simultaneous exchange with `partner` (both directions, one cost).
+    Exchange {
+        /// Partner rank.
+        partner: usize,
+        /// Words sent (the larger direction is charged).
+        words: u64,
+    },
+    /// `ops` units of local computation, with a free-form label
+    /// (e.g. the collective stage it belongs to).
+    Compute {
+        /// Number of unit operations.
+        ops: f64,
+        /// Human-readable stage label.
+        label: String,
+    },
+    /// A barrier completed.
+    Barrier,
+    /// A free-form marker, used by tests to record intermediate values
+    /// (the per-step tuples of Figures 4–6).
+    Mark {
+        /// Marker text.
+        note: String,
+    },
+}
+
+/// One trace record: the rank it happened on, the simulated completion
+/// time, and the action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Rank the event belongs to.
+    pub rank: usize,
+    /// Simulated time at which the action completed.
+    pub time: f64,
+    /// The action.
+    pub kind: EventKind,
+}
+
+/// A per-rank event log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    events: Vec<Event>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A trace that records events.
+    pub fn enabled() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// A trace that drops everything (zero overhead beyond a branch).
+    pub fn disabled() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Is recording on?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn record(&mut self, rank: usize, time: f64, kind: EventKind) {
+        if self.enabled {
+            self.events.push(Event { rank, time, kind });
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The `Mark` notes in order — the hook tests use to compare against
+    /// the paper's figures.
+    pub fn marks(&self) -> Vec<&str> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Mark { note } => Some(note.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Merge another trace (e.g. from another rank) into this one,
+    /// keeping events sorted by time (stable for equal times).
+    pub fn merge(&mut self, other: Trace) {
+        self.events.extend(other.events);
+        self.events.sort_by(|a, b| {
+            a.time
+                .partial_cmp(&b.time)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
+
+    /// Renders a compact ASCII timeline: one row per rank, one column per
+    /// distinct event time, `*` where the rank acted. A lightweight
+    /// regeneration of the paper's Figure 1 style run-time diagrams.
+    pub fn ascii_timeline(&self, ranks: usize) -> String {
+        let mut times: Vec<f64> = self.events.iter().map(|e| e.time).collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        times.dedup();
+        let col = |t: f64| times.iter().position(|&x| x == t).unwrap();
+        let mut grid = vec![vec![b' '; times.len()]; ranks];
+        for e in &self.events {
+            if e.rank < ranks {
+                let c = match e.kind {
+                    EventKind::Send { .. } => b'>',
+                    EventKind::Recv { .. } => b'<',
+                    EventKind::Exchange { .. } => b'x',
+                    EventKind::Compute { .. } => b'*',
+                    EventKind::Barrier => b'|',
+                    EventKind::Mark { .. } => b'.',
+                };
+                grid[e.rank][col(e.time)] = c;
+            }
+        }
+        let mut out = String::new();
+        for (rank, row) in grid.into_iter().enumerate() {
+            out.push_str(&format!("P{rank:<3} "));
+            out.push_str(std::str::from_utf8(&row).unwrap());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(0, 1.0, EventKind::Barrier);
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled();
+        t.record(0, 1.0, EventKind::Send { to: 1, words: 4 });
+        t.record(
+            0,
+            2.0,
+            EventKind::Compute {
+                ops: 3.0,
+                label: "scan".into(),
+            },
+        );
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].time, 1.0);
+    }
+
+    #[test]
+    fn marks_are_extracted() {
+        let mut t = Trace::enabled();
+        t.record(
+            0,
+            0.0,
+            EventKind::Mark {
+                note: "(2,2)".into(),
+            },
+        );
+        t.record(0, 1.0, EventKind::Barrier);
+        t.record(
+            1,
+            2.0,
+            EventKind::Mark {
+                note: "(9,14)".into(),
+            },
+        );
+        assert_eq!(t.marks(), vec!["(2,2)", "(9,14)"]);
+    }
+
+    #[test]
+    fn merge_sorts_by_time() {
+        let mut a = Trace::enabled();
+        a.record(0, 5.0, EventKind::Barrier);
+        let mut b = Trace::enabled();
+        b.record(1, 2.0, EventKind::Barrier);
+        a.merge(b);
+        assert_eq!(a.events()[0].rank, 1);
+        assert_eq!(a.events()[1].rank, 0);
+    }
+
+    #[test]
+    fn ascii_timeline_has_one_row_per_rank() {
+        let mut t = Trace::enabled();
+        t.record(0, 0.0, EventKind::Send { to: 1, words: 1 });
+        t.record(1, 1.0, EventKind::Recv { from: 0, words: 1 });
+        let s = t.ascii_timeline(2);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('>'));
+        assert!(lines[1].contains('<'));
+    }
+}

@@ -1,0 +1,131 @@
+//! Power iteration on a 2-D processor grid — collective operations over
+//! communicators (the PLAPACK-style pattern the paper's introduction
+//! cites as the success story of collective programming).
+//!
+//! An `n × n` matrix is block-distributed over a `g × g` processor grid:
+//! processor `(i, j)` owns block `A_ij`. One power-method step is built
+//! entirely from collectives over *row* and *column* communicators:
+//!
+//! 1. local block mat-vec: `t = A_ij · x_j`;
+//! 2. **row allreduce(+)** of the partials: every processor in row `i`
+//!    obtains `y_i = Σ_j A_ij x_j`;
+//! 3. **column allreduce(max)** of `max|y_i|`: the ∞-norm, consistent
+//!    everywhere (each column sees every row segment);
+//! 4. normalize locally, then **column bcast** from the diagonal
+//!    processor `(j, j)` gives everyone in column `j` its new `x_j`.
+//!
+//! The dominant eigenvalue estimate is checked against a sequential
+//! power iteration on the same matrix.
+//!
+//! Run with `cargo run --example grid_power`.
+
+use std::sync::Arc;
+
+use collopt::collectives::{Combine, Comm};
+use collopt::prelude::{ClockParams, Machine};
+
+/// Deterministic test matrix: diagonally dominant so the power method
+/// converges quickly and the dominant eigenvalue is well separated.
+fn matrix(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| {
+                    if i == j {
+                        4.0 + (i as f64) * 0.5
+                    } else {
+                        0.3 / (1.0 + (i as f64 - j as f64).abs())
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Sequential reference: `iters` power steps, returns the Rayleigh-free
+/// eigenvalue estimate `‖Ax‖∞ / ‖x‖∞`.
+fn sequential_power(a: &[Vec<f64>], iters: usize) -> f64 {
+    let n = a.len();
+    let mut x = vec![1.0f64; n];
+    let mut lambda = 0.0;
+    for _ in 0..iters {
+        let y: Vec<f64> = (0..n)
+            .map(|i| (0..n).map(|j| a[i][j] * x[j]).sum())
+            .collect();
+        lambda = y.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        x = y.iter().map(|v| v / lambda).collect();
+    }
+    lambda
+}
+
+fn main() {
+    let g = 4usize; // grid side: g x g processors
+    let b = 8usize; // block side: each processor owns a b x b block
+    let n = g * b;
+    let iters = 20;
+
+    let a = Arc::new(matrix(n));
+    let expected = sequential_power(&a, iters);
+
+    let machine = Machine::new(g * g, ClockParams::parsytec_like());
+    let a2 = a.clone();
+    let run = machine.run(move |ctx| {
+        let rank = ctx.rank();
+        let (row, col) = (rank / g, rank % g);
+        // Local block A_ij and the initial segment x_j = 1.
+        let block: Vec<Vec<f64>> = (0..b)
+            .map(|bi| (0..b).map(|bj| a2[row * b + bi][col * b + bj]).collect())
+            .collect();
+        let mut x_seg = vec![1.0f64; b];
+        let mut lambda = 0.0f64;
+
+        let add =
+            |u: &Vec<f64>, v: &Vec<f64>| u.iter().zip(v).map(|(a, b)| a + b).collect::<Vec<f64>>();
+        let fmax = |u: &f64, v: &f64| u.max(*v);
+
+        for _ in 0..iters {
+            // 1. local partial product t = A_ij * x_j.
+            let t: Vec<f64> = (0..b)
+                .map(|bi| (0..b).map(|bj| block[bi][bj] * x_seg[bj]).sum())
+                .collect();
+            // 2. row allreduce: y_i on every processor of row `row`.
+            let y_seg = {
+                let mut row_comm = Comm::split(ctx, |r| (r / g) as u64);
+                row_comm.allreduce(t, b as u64, &Combine::new(&add))
+            };
+            // 3. column allreduce(max) of the segment ∞-norms — every
+            // column contains one processor of each row, so the result is
+            // the global ∞-norm, identical everywhere.
+            let local_max = y_seg.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            lambda = {
+                let mut col_comm = Comm::split(ctx, |r| (r % g) as u64);
+                col_comm.allreduce(local_max, 1, &Combine::new(&fmax))
+            };
+            // 4. the diagonal processor (col, col) of this column holds
+            // the y-segment this column needs as its next x; normalize
+            // and broadcast it down the column.
+            let mut col_comm = Comm::split(ctx, |r| (r % g) as u64);
+            let root_group_rank = col; // group rank r in column = machine row r
+            let value =
+                (row == col).then(|| y_seg.iter().map(|v| v / lambda).collect::<Vec<f64>>());
+            x_seg = col_comm.bcast(root_group_rank, value, b as u64);
+        }
+        (lambda, x_seg)
+    });
+
+    let (lambda, _) = &run.results[0];
+    println!("grid      : {g} x {g} processors, {b} x {b} blocks, n = {n}");
+    println!("estimate  : λ ≈ {lambda:.9} (distributed, {iters} iterations)");
+    println!("reference : λ ≈ {expected:.9} (sequential)");
+    println!("makespan  : {:.0} simulated units", run.makespan);
+    let err = (lambda - expected).abs();
+    assert!(
+        err < 1e-9,
+        "distributed and sequential estimates must agree: err = {err}"
+    );
+    // Every processor converged to the same estimate.
+    for (r, (l, _)) in run.results.iter().enumerate() {
+        assert!((l - expected).abs() < 1e-9, "rank {r}");
+    }
+    println!("all {} processors agree to 1e-9 ✓", g * g);
+}

@@ -1,0 +1,120 @@
+//! Maximum segment sum — collective programming with a non-commutative
+//! tuple operator.
+//!
+//! The classic workload of the skeleton/homomorphism literature the paper
+//! builds on (Gorlatch's scan/reduce derivations): the maximum sum of a
+//! contiguous segment of a distributed sequence is an `allreduce` with the
+//! 4-tuple operator
+//!
+//! ```text
+//! (mss, mps, mts, ts) ⊙ (mss', mps', mts', ts') =
+//!     (max(mss, mss', mts + mps'),   -- best segment anywhere
+//!      max(mps, ts + mps'),          -- best prefix
+//!      max(mts', mts + ts'),         -- best suffix
+//!      ts + ts')                     -- total sum
+//! ```
+//!
+//! `⊙` is associative but **not** commutative — exactly the kind of
+//! operator for which the rewrite rules' side conditions matter. This
+//! example shows:
+//!
+//! 1. the operator expressed as a [`BinOp`] with randomized property
+//!    *verification* (associativity passes, commutativity fails);
+//! 2. the MSS pipeline running on the simulated machine, validated
+//!    against a sequential Kadane reference;
+//! 3. the rewriter correctly *refusing* to fuse `scan(⊙); reduce(⊙)`
+//!    (no commutativity), while a follow-up phase with commutative `+`
+//!    does fuse.
+//!
+//! Run with `cargo run --example mss`.
+
+use collopt::prelude::*;
+
+/// The MSS combine on 4-tuples (values are nonempty-segment sums).
+fn op_mss() -> BinOp {
+    BinOp::new("mss", |x, y| {
+        let (mss1, mps1, mts1, ts1) = (
+            x.proj(0).as_int(),
+            x.proj(1).as_int(),
+            x.proj(2).as_int(),
+            x.proj(3).as_int(),
+        );
+        let (mss2, mps2, mts2, ts2) = (
+            y.proj(0).as_int(),
+            y.proj(1).as_int(),
+            y.proj(2).as_int(),
+            y.proj(3).as_int(),
+        );
+        Value::Tuple(vec![
+            Value::Int(mss1.max(mss2).max(mts1 + mps2)),
+            Value::Int(mps1.max(ts1 + mps2)),
+            Value::Int(mts2.max(mts1 + ts2)),
+            Value::Int(ts1 + ts2),
+        ])
+    })
+    .with_cost(8.0)
+    .with_width(4.0)
+}
+
+/// Sequential Kadane's algorithm (nonempty segments).
+fn kadane(xs: &[i64]) -> i64 {
+    let mut best = i64::MIN;
+    let mut cur = 0i64;
+    for &x in xs {
+        cur = x.max(cur + x);
+        best = best.max(cur);
+    }
+    best
+}
+
+fn main() {
+    // ---- 1. Verify the operator's algebra before trusting it. ----
+    let op = op_mss();
+    let samples: Vec<Value> = [-3i64, -1, 0, 2, 5]
+        .iter()
+        .map(|&v| Value::Tuple(vec![v.into(), v.into(), v.into(), v.into()]))
+        .collect();
+    assert!(op.check_associative(&samples), "op_mss must be associative");
+    assert!(!op.check_commutative(&samples), "op_mss is NOT commutative");
+    println!("op_mss: associative = yes, commutative = no (verified on samples)");
+
+    // ---- 2. The distributed MSS pipeline. ----
+    let p = 16;
+    let data: Vec<i64> = (0..p as i64)
+        .map(|i| [3, -5, 4, -1, 2, -7, 6, -2][i as usize % 8])
+        .collect();
+    let expected = kadane(&data);
+
+    let mss = Program::new()
+        .map("embed", 0.0, |v| {
+            // x ↦ (x, x, x, x): a single element is its own best segment,
+            // prefix, suffix and total.
+            Value::Tuple(vec![v.clone(), v.clone(), v.clone(), v.clone()])
+        })
+        .allreduce(op_mss())
+        .map("pi1", 0.0, |v| v.proj(0));
+    println!("pipeline: {mss}");
+
+    let input: Vec<Value> = data.iter().map(|&x| Value::Int(x)).collect();
+    let run = execute(&mss, &input, ClockParams::parsytec_like());
+    assert!(run.outputs.iter().all(|v| v.as_int() == expected));
+    println!("maximum segment sum of {data:?}\n        = {expected} (every processor agrees)");
+
+    // ---- 3. The rules respect the missing commutativity. ----
+    let tempting = Program::new().scan(op_mss()).reduce(op_mss());
+    let res = Rewriter::exhaustive().optimize(&tempting);
+    assert!(
+        res.steps.is_empty(),
+        "SR-Reduction must not fire: op_mss is not commutative"
+    );
+    println!("scan(mss); reduce(mss): no rule applies (needs commutativity) — correct");
+
+    // A follow-up phase on plain sums fuses as usual.
+    let followup = Program::new().bcast().scan(ops::add()).reduce(ops::add());
+    let res = Rewriter::exhaustive().optimize(&followup);
+    assert_eq!(res.steps.len(), 1);
+    println!(
+        "bcast; scan(+); reduce(+): {} fires -> {}",
+        res.steps[0].rule, res.program
+    );
+}

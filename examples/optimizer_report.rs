@@ -1,0 +1,117 @@
+//! Performance-directed programming report: which rule fires where.
+//!
+//! Sweeps a suite of collective pipelines across machine presets and block
+//! sizes, and prints which optimization rules the cost-guided rewriter
+//! applies — a working demonstration of the paper's central claim that
+//! rule application must be *machine-dependent* (Section 4). Ends with the
+//! analytic Table 1.
+//!
+//! Run with `cargo run --example optimizer_report`.
+
+use collopt::cost::table1::render_table1;
+use collopt::prelude::*;
+
+fn suite() -> Vec<(&'static str, Program)> {
+    vec![
+        (
+            "scan(*);allreduce(+)",
+            Program::new().scan(ops::mul()).allreduce(ops::add()),
+        ),
+        (
+            "scan(+);allreduce(+)",
+            Program::new().scan(ops::add()).allreduce(ops::add()),
+        ),
+        (
+            "scan(*);scan(+)",
+            Program::new().scan(ops::mul()).scan(ops::add()),
+        ),
+        (
+            "scan(+);scan(+)",
+            Program::new().scan(ops::add()).scan(ops::add()),
+        ),
+        ("bcast;scan(+)", Program::new().bcast().scan(ops::add())),
+        (
+            "bcast;scan(*);scan(+)",
+            Program::new().bcast().scan(ops::mul()).scan(ops::add()),
+        ),
+        (
+            "bcast;scan(+);scan(+)",
+            Program::new().bcast().scan(ops::add()).scan(ops::add()),
+        ),
+        ("bcast;reduce(+)", Program::new().bcast().reduce(ops::add())),
+        (
+            "bcast;allreduce(+)",
+            Program::new().bcast().allreduce(ops::add()),
+        ),
+        (
+            "bcast;scan(*);reduce(+)",
+            Program::new().bcast().scan(ops::mul()).reduce(ops::add()),
+        ),
+        (
+            "bcast;scan(+);reduce(+)",
+            Program::new().bcast().scan(ops::add()).reduce(ops::add()),
+        ),
+    ]
+}
+
+fn main() {
+    let p = 64;
+    let machines = [
+        (
+            "parsytec-like (ts=200, tw=2)",
+            MachineParams::parsytec_like(p),
+        ),
+        ("low-latency  (ts=4, tw=0.5)", MachineParams::low_latency(p)),
+    ];
+    let blocks = [1.0_f64, 32.0, 1024.0, 32768.0];
+
+    for (mname, params) in machines {
+        println!("=== machine: {mname}, p = {p} ===");
+        println!(
+            "{:<26} {:>8} {:>8} {:>8} {:>8}",
+            "pipeline \\ block m", 1, 32, 1024, 32768
+        );
+        for (pname, prog) in suite() {
+            let mut cells = Vec::new();
+            for &m in &blocks {
+                let res = Rewriter::cost_guided(params, m).optimize(&prog);
+                let cell = if res.steps.is_empty() {
+                    "-".to_string()
+                } else {
+                    res.steps
+                        .iter()
+                        .map(|s| short(&s.rule.to_string()))
+                        .collect::<Vec<_>>()
+                        .join("+")
+                };
+                cells.push(format!("{cell:>8}"));
+            }
+            println!("{:<26} {}", pname, cells.join(" "));
+        }
+        println!();
+    }
+
+    println!("=== Table 1 (analytic, per log p phase) ===");
+    print!("{}", render_table1());
+
+    // Sanity: the "always" rules fire in every cell of their row.
+    for &m in &blocks {
+        for (_, params) in machines {
+            let prog = Program::new().scan(ops::mul()).allreduce(ops::add());
+            assert_eq!(
+                Rewriter::cost_guided(params, m).optimize(&prog).steps.len(),
+                1,
+                "SR2 must always fire"
+            );
+        }
+    }
+}
+
+/// Compress rule names for the table cells.
+fn short(name: &str) -> String {
+    name.replace("-Reduction", "")
+        .replace("-Comcast", "c")
+        .replace("-Local", "l")
+        .replace("-Scan", "s")
+        .replace("-Alllocal", "al")
+}

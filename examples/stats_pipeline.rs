@@ -1,0 +1,113 @@
+//! Domain scenario: streaming statistics over distributed sensor blocks.
+//!
+//! Two pipelines that arise naturally when each processor holds a window
+//! of sensor readings:
+//!
+//! 1. **Global running total** — `scan(+)` gives every processor the
+//!    cumulative sum up to its window, and a final `allreduce(+)` of those
+//!    prefixes yields a smoothing weight used by all. Same operator, so
+//!    rule **SR-Reduction** (commutativity) fuses them into one
+//!    `allreduce_balanced(op_sr)` — profitable iff `ts > m` (Table 1).
+//!
+//! 2. **High-watermark detection** — the largest prefix sum of a stream of
+//!    deltas. In the (max, +) *tropical* algebra, `scan(+)` followed by
+//!    `allreduce(max)` computes exactly `max_k Σ_{i≤k} δ_i`; since `+`
+//!    distributes over `max`, rule **SR2-Reduction** fuses the pair — an
+//!    *always* rule.
+//!
+//! Run with `cargo run --example stats_pipeline`.
+
+use collopt::prelude::*;
+
+fn main() {
+    let p = 32;
+    let m = 8; // readings per processor window
+
+    // Synthetic sensor data: processor i, slot j holds a small signed delta.
+    let input: Vec<Value> = (0..p)
+        .map(|i| {
+            Value::List(
+                (0..m)
+                    .map(|j| Value::Int(((i * 7 + j * 3) % 11) as i64 - 5))
+                    .collect(),
+            )
+        })
+        .collect();
+
+    // ---------- Pipeline 1: running totals + global weight. ----------
+    let totals = Program::new().scan(ops::add()).allreduce(ops::add());
+    println!("pipeline 1: {totals}");
+
+    // On a latency-bound machine with small windows, ts > m: SR fires.
+    let latency_bound = MachineParams::parsytec_like(p); // ts = 200 >> m = 8
+    let opt = Rewriter::cost_guided(latency_bound, m as f64).optimize(&totals);
+    assert_eq!(opt.steps.len(), 1);
+    println!(
+        "  latency-bound machine: {} fires -> {}",
+        opt.steps[0].rule, opt.program
+    );
+
+    // On a low-latency machine with big blocks the condition fails and the
+    // cost-guided rewriter leaves the program alone.
+    let fast_net = MachineParams::low_latency(p); // ts = 4 < m = 8
+    let kept = Rewriter::cost_guided(fast_net, m as f64).optimize(&totals);
+    assert!(kept.steps.is_empty());
+    println!(
+        "  low-latency machine : no rule pays off (ts = {} < m = {m})",
+        fast_net.ts
+    );
+
+    // Semantics are preserved and the fused version is faster where predicted.
+    let clock = ClockParams::new(latency_bound.ts, latency_bound.tw);
+    let before = execute(&totals, &input, clock);
+    let after = execute(&opt.program, &input, clock);
+    assert_eq!(before.outputs, after.outputs);
+    println!(
+        "  simulated time: {:.0} -> {:.0} units ({} -> {} messages)",
+        before.makespan, after.makespan, before.total_messages, after.total_messages
+    );
+    assert!(after.makespan < before.makespan);
+
+    // ---------- Pipeline 2: high-watermark via (max, +). ----------
+    let watermark = Program::new()
+        .scan(ops::add_tropical())
+        .allreduce(ops::max());
+    println!("pipeline 2: {watermark}");
+    let opt2 = Rewriter::cost_guided(fast_net, m as f64).optimize(&watermark);
+    assert_eq!(
+        opt2.steps.len(),
+        1,
+        "SR2 is an always-rule: fires even on fast networks"
+    );
+    println!(
+        "  {} fires on ANY machine -> {}",
+        opt2.steps[0].rule, opt2.program
+    );
+
+    let w_before = execute(
+        &watermark,
+        &input,
+        ClockParams::new(fast_net.ts, fast_net.tw),
+    );
+    let w_after = execute(
+        &opt2.program,
+        &input,
+        ClockParams::new(fast_net.ts, fast_net.tw),
+    );
+    assert_eq!(w_before.outputs, w_after.outputs);
+
+    // Cross-check the watermark against a sequential computation, slot 0.
+    let deltas: Vec<i64> = input.iter().map(|v| v.as_list()[0].as_int()).collect();
+    let mut run = 0;
+    let mut high = i64::MIN;
+    for d in deltas {
+        run += d;
+        high = high.max(run);
+    }
+    assert_eq!(w_after.outputs[0].as_list()[0].as_int(), high);
+    println!("  high watermark (slot 0): {high}");
+    println!(
+        "  simulated time: {:.0} -> {:.0} units",
+        w_before.makespan, w_after.makespan
+    );
+}

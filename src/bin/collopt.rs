@@ -1,0 +1,147 @@
+//! `collopt` — command-line pipeline optimizer.
+//!
+//! Parse a collective pipeline, optimize it for a machine, and report the
+//! rewrite log and cost estimates:
+//!
+//! ```text
+//! $ collopt "map f ; scan(mul) ; reduce(add) ; map g ; bcast" --p 64 --ts 200 --tw 2 --m 32
+//! original : map f ; scan(mul) ; reduce(add) ; map g ; bcast
+//! applied  : SR2-Reduction at stage 1 (saving 1200)
+//! optimized: map f;pair ; reduce(op_sr2[mul,add]) ; map pi1;g ; bcast
+//! cost     : 4296 -> 3096 time units (27.9% saved)
+//! ```
+//!
+//! Options:
+//!
+//! * `--p N`    processors (default 64)
+//! * `--ts X`   message start-up time (default 200)
+//! * `--tw X`   per-word transfer time (default 2)
+//! * `--m X`    block size in words (default 32)
+//! * `--exhaustive`  ignore the cost model, fuse everything fusible
+//! * `--optimal`     exhaustive search over rule orders for the cheapest plan
+//! * `--all-ranks`   only apply rules preserving every processor's value
+//! * `--report`      emit a full Markdown report instead of the summary
+//! * `--table1`      also print the analytic Table 1 and exit
+
+use collopt::core::parser::parse_pipeline;
+use collopt::core::report::optimization_report;
+use collopt::core::rewrite::{program_cost, Rewriter};
+use collopt::cost::table1::render_table1;
+use collopt::cost::MachineParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: collopt \"<pipeline>\" [--p N] [--ts X] [--tw X] [--m X] \
+             [--exhaustive] [--all-ranks] [--table1]"
+        );
+        eprintln!("  pipeline: e.g. \"map f ; scan(mul) ; reduce(add) ; bcast\"");
+        eprintln!("  operators: add mul max min and or fadd fmul maxplus");
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args.iter().any(|a| a == "--table1") {
+        print!("{}", render_table1());
+        return;
+    }
+
+    let mut pipeline = None;
+    let mut p = 64usize;
+    let mut ts = 200.0f64;
+    let mut tw = 2.0f64;
+    let mut m = 32.0f64;
+    let mut exhaustive = false;
+    let mut all_ranks = false;
+    let mut report = false;
+    let mut optimal = false;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--p" => p = grab("--p").parse().expect("--p expects an integer"),
+            "--ts" => ts = grab("--ts").parse().expect("--ts expects a number"),
+            "--tw" => tw = grab("--tw").parse().expect("--tw expects a number"),
+            "--m" => m = grab("--m").parse().expect("--m expects a number"),
+            "--exhaustive" => exhaustive = true,
+            "--all-ranks" => all_ranks = true,
+            "--report" => report = true,
+            "--optimal" => optimal = true,
+            other if other.starts_with("--") => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+            other => {
+                if pipeline.replace(other.to_string()).is_some() {
+                    eprintln!("multiple pipeline arguments");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    let Some(src) = pipeline else {
+        eprintln!("no pipeline given");
+        std::process::exit(2);
+    };
+
+    let prog = match parse_pipeline(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("  {src}");
+            eprintln!("  {}^", " ".repeat(e.at));
+            std::process::exit(1);
+        }
+    };
+
+    let params = MachineParams::new(p, ts, tw);
+    let rewriter = if exhaustive {
+        Rewriter::exhaustive()
+    } else {
+        Rewriter::cost_guided(params, m)
+    }
+    .allow_rank0_rules(!all_ranks);
+
+    if report {
+        let (_, md) = optimization_report(&prog, &rewriter, &params, m);
+        print!("{md}");
+        return;
+    }
+
+    println!("machine  : p={p}, ts={ts}, tw={tw}, block m={m}");
+    println!("original : {prog}");
+    let before = program_cost(&prog, &params, m);
+    let result = if optimal {
+        rewriter.optimize_optimal(&prog, &params, m)
+    } else {
+        rewriter.optimize(&prog)
+    };
+    for step in &result.steps {
+        match step.saving {
+            Some(s) => println!(
+                "applied  : {} at stage {} (predicted saving {s:.0})",
+                step.rule, step.at
+            ),
+            None => println!("applied  : {} at stage {}", step.rule, step.at),
+        }
+    }
+    for n in &result.normalizations {
+        println!("normalize: {n:?}");
+    }
+    if result.steps.is_empty() {
+        println!("applied  : (no rule pays off on this machine)");
+    }
+    println!("optimized: {}", result.program);
+    let after = program_cost(&result.program, &params, m);
+    if before > 0.0 {
+        println!(
+            "cost     : {before:.0} -> {after:.0} time units ({:+.1}%)",
+            100.0 * (after - before) / before
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! # collopt — optimization rules for programming with collective operations
+//!
+//! A Rust reproduction of
+//!
+//! > S. Gorlatch, C. Wedler, C. Lengauer. *Optimization Rules for
+//! > Programming with Collective Operations.* IPPS 1999.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`machine`] — the simulated SPMD message-passing machine
+//!   (thread-per-rank runtime + deterministic `ts`/`tw` cost clock);
+//! * [`collectives`] — butterfly/binomial implementations of broadcast,
+//!   reduction, scan, gather/scatter, plus the paper's special collectives
+//!   (`reduce_balanced`, `scan_balanced`, comcast);
+//! * [`cost`] — the Table-1 cost calculus with per-rule improvement
+//!   predicates and crossover solvers;
+//! * [`core`] — the formal framework: program terms, operator algebra,
+//!   the eleven fusion rules, the cost-guided rewrite engine, and the
+//!   machine executor.
+//!
+//! See `examples/quickstart.rs` for a guided tour, `DESIGN.md` for the
+//! system inventory, and `EXPERIMENTS.md` for the paper-vs-measured record
+//! of every table and figure.
+//!
+//! ```
+//! use collopt::prelude::*;
+//!
+//! // The paper's Example program: map f ; scan(⊗) ; reduce(⊕) ; map g ; bcast.
+//! let program = Program::new()
+//!     .map("f", 1.0, |v| Value::Int(v.as_int() + 1))
+//!     .scan(ops::mul())
+//!     .reduce(ops::add())
+//!     .map("g", 1.0, |v| Value::Int(v.as_int() * 2))
+//!     .bcast();
+//!
+//! // Optimize for a latency-bound 64-processor machine, 1-word blocks.
+//! let params = MachineParams::parsytec_like(64);
+//! let optimized = Rewriter::cost_guided(params, 1.0).optimize(&program);
+//! assert_eq!(optimized.steps.len(), 1); // SR2-Reduction fires
+//! assert!(program_cost(&optimized.program, &params, 1.0)
+//!     < program_cost(&program, &params, 1.0));
+//! ```
+
+pub use collopt_collectives as collectives;
+pub use collopt_core as core;
+pub use collopt_cost as cost;
+pub use collopt_machine as machine;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use collopt_collectives::{
+        allgather, allreduce, bcast_binomial, gather_binomial, reduce_binomial, scan_butterfly,
+        scatter_binomial, Combine,
+    };
+    pub use collopt_core::op::lib as ops;
+    pub use collopt_core::rewrite::{program_cost, Rewriter};
+    pub use collopt_core::semantics::eval_program;
+    pub use collopt_core::{execute, BinOp, ExecOutcome, Program, Rule, Stage, Value};
+    pub use collopt_cost::{MachineParams, PhaseCost, Rule as CostRule};
+    pub use collopt_machine::{ClockParams, Ctx, Machine};
+}

@@ -1,0 +1,182 @@
+//! Cross-validation of the analytic cost calculus (Table 1) against the
+//! simulated machine.
+//!
+//! The cost crate and the machine are independent implementations of the
+//! same model (Section 4.1): the former computes
+//! `log p · (α·ts + β·m·tw + γ·m)` symbolically, the latter charges every
+//! message and operation as it happens. For power-of-two machines —
+//! where the butterfly is regular and `⌈log₂ p⌉` is exact — the two must
+//! agree *exactly*, for both sides of every rule. The empirical
+//! improvement must then match the paper's "improved if" column wherever
+//! the analytic saving is bounded away from zero.
+
+use collopt::core::rules::{try_match, window_len, Rule};
+use collopt::prelude::*;
+
+/// LHS program for each rule (operators chosen to satisfy the condition
+/// with unit-cost base operators, as Table 1 assumes).
+fn lhs(rule: Rule) -> Program {
+    match rule {
+        Rule::Sr2Reduction => Program::new().scan(ops::mul()).reduce(ops::add()),
+        Rule::SrReduction => Program::new().scan(ops::add()).reduce(ops::add()),
+        Rule::Ss2Scan => Program::new().scan(ops::mul()).scan(ops::add()),
+        Rule::SsScan => Program::new().scan(ops::add()).scan(ops::add()),
+        Rule::BsComcast => Program::new().bcast().scan(ops::add()),
+        Rule::Bss2Comcast => Program::new().bcast().scan(ops::mul()).scan(ops::add()),
+        Rule::BssComcast => Program::new().bcast().scan(ops::add()).scan(ops::add()),
+        Rule::BrLocal => Program::new().bcast().reduce(ops::add()),
+        Rule::Bsr2Local => Program::new().bcast().scan(ops::mul()).reduce(ops::add()),
+        Rule::BsrLocal => Program::new().bcast().scan(ops::add()).reduce(ops::add()),
+        Rule::CrAlllocal => Program::new().bcast().allreduce(ops::add()),
+    }
+}
+
+fn rhs(rule: Rule) -> Program {
+    let l = lhs(rule);
+    let rw = try_match(rule, l.stages()).expect("condition holds by construction");
+    l.splice(0, window_len(rule), rw.stages)
+}
+
+/// A block input that keeps integer arithmetic small (1s everywhere) —
+/// we only care about timing here, overflow-free.
+fn block_input(p: usize, m: usize) -> Vec<Value> {
+    (0..p)
+        .map(|_| Value::List(vec![Value::Int(1); m]))
+        .collect()
+}
+
+#[test]
+fn measured_makespans_match_analytic_estimates_exactly() {
+    let p = 8usize;
+    for rule in Rule::ALL {
+        for (ts, tw, m) in [(100.0, 2.0, 4usize), (50.0, 1.0, 16), (300.0, 0.5, 1)] {
+            let params = MachineParams::new(p, ts, tw);
+            let clock = ClockParams::new(ts, tw);
+            let input = block_input(p, m);
+
+            let before = execute(&lhs(rule), &input, clock);
+            let predicted_before = program_cost(&lhs(rule), &params, m as f64);
+            assert!(
+                (before.makespan - predicted_before).abs() < 1e-6,
+                "{rule} LHS: measured {} vs predicted {predicted_before} (ts={ts} tw={tw} m={m})",
+                before.makespan
+            );
+
+            let after = execute(&rhs(rule), &input, clock);
+            let predicted_after = program_cost(&rhs(rule), &params, m as f64);
+            assert!(
+                (after.makespan - predicted_after).abs() < 1e-6,
+                "{rule} RHS: measured {} vs predicted {predicted_after} (ts={ts} tw={tw} m={m})",
+                after.makespan
+            );
+        }
+    }
+}
+
+#[test]
+fn analytic_rows_match_program_level_costs() {
+    // Table 1's before/after columns, reconstructed from the stage costs
+    // of the actual LHS/RHS programs (with unit base operators).
+    let params = MachineParams::new(64, 123.0, 3.0);
+    for rule in Rule::ALL {
+        let est = rule.estimate();
+        for m in [1.0, 8.0, 100.0] {
+            let b = program_cost(&lhs(rule), &params, m);
+            let a = program_cost(&rhs(rule), &params, m);
+            assert!(
+                (b - est.before.eval(&params, m)).abs() < 1e-9,
+                "{rule} before at m={m}"
+            );
+            assert!(
+                (a - est.after.eval(&params, m)).abs() < 1e-9,
+                "{rule} after at m={m}"
+            );
+        }
+    }
+}
+
+#[test]
+fn empirical_improvement_matches_table1_conditions() {
+    // Pick parameter points clearly on each side of every conditional
+    // rule's crossover and check the measured sign agrees.
+    let p = 8usize;
+    let cases: Vec<(Rule, f64, f64, usize, bool)> = vec![
+        // (rule, ts, tw, m, expected improvement)
+        (Rule::SrReduction, 100.0, 2.0, 4, true), // ts > m
+        (Rule::SrReduction, 2.0, 2.0, 64, false), // ts < m
+        (Rule::Ss2Scan, 100.0, 2.0, 4, true),     // ts > 2m
+        (Rule::Ss2Scan, 10.0, 2.0, 64, false),    // ts < 2m
+        (Rule::SsScan, 400.0, 1.0, 4, true),      // ts > m(tw+4)
+        (Rule::SsScan, 20.0, 1.0, 64, false),     // ts < m(tw+4)
+        (Rule::Bss2Comcast, 100.0, 2.0, 4, true), // tw + ts/m > 1/2
+        (Rule::Bss2Comcast, 1.0, 0.1, 64, false), // 0.1 + tiny < 1/2
+        (Rule::BssComcast, 100.0, 3.0, 4, true),  // tw + ts/m > 2
+        (Rule::BssComcast, 2.0, 0.5, 64, false),  // < 2
+        (Rule::BsrLocal, 100.0, 2.0, 4, true),    // tw + ts/m > 1/3
+        (Rule::BsrLocal, 0.5, 0.1, 64, false),    // < 1/3
+    ];
+    for (rule, ts, tw, m, expected) in cases {
+        let clock = ClockParams::new(ts, tw);
+        let input = block_input(p, m);
+        let before = execute(&lhs(rule), &input, clock).makespan;
+        let after = execute(&rhs(rule), &input, clock).makespan;
+        assert_eq!(
+            after < before,
+            expected,
+            "{rule} at ts={ts} tw={tw} m={m}: measured {before} -> {after}"
+        );
+        // And the analytic predicate agrees with the paper's condition.
+        let params = MachineParams::new(p, ts, tw);
+        assert_eq!(
+            rule.estimate().improves(&params, m as f64),
+            expected,
+            "{rule} predicate"
+        );
+    }
+}
+
+#[test]
+fn always_rules_improve_for_every_sampled_machine() {
+    let p = 16usize;
+    for rule in [
+        Rule::Sr2Reduction,
+        Rule::BsComcast,
+        Rule::BrLocal,
+        Rule::Bsr2Local,
+    ] {
+        for (ts, tw, m) in [
+            (1.0, 0.1, 64usize),
+            (500.0, 8.0, 1),
+            (10.0, 10.0, 10),
+            (0.5, 0.0, 128),
+        ] {
+            let clock = ClockParams::new(ts, tw);
+            let input = block_input(p, m);
+            let before = execute(&lhs(rule), &input, clock).makespan;
+            let after = execute(&rhs(rule), &input, clock).makespan;
+            assert!(
+                after < before,
+                "{rule} must always improve: {before} -> {after} at ts={ts} tw={tw} m={m}"
+            );
+        }
+    }
+}
+
+#[test]
+fn crossover_block_size_is_observable_on_the_machine() {
+    // §4.2's worked example: SS2-Scan stops paying at m* = ts/2.
+    let p = 8usize;
+    let (ts, tw) = (128.0, 2.0);
+    let m_star = Rule::Ss2Scan.estimate().crossover_m(ts, tw).unwrap();
+    assert_eq!(m_star, 64.0);
+    let clock = ClockParams::new(ts, tw);
+
+    let below = block_input(p, 32);
+    let above = block_input(p, 128);
+    let lb = execute(&lhs(Rule::Ss2Scan), &below, clock).makespan;
+    let rb = execute(&rhs(Rule::Ss2Scan), &below, clock).makespan;
+    assert!(rb < lb, "below m*: rule helps ({lb} -> {rb})");
+    let la = execute(&lhs(Rule::Ss2Scan), &above, clock).makespan;
+    let ra = execute(&rhs(Rule::Ss2Scan), &above, clock).makespan;
+    assert!(ra > la, "above m*: rule hurts ({la} -> {ra})");
+}

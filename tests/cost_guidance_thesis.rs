@@ -1,0 +1,119 @@
+//! The paper's central thesis, end to end: rule application must be
+//! **machine-dependent**. Fusing blindly can *hurt*; the cost-guided
+//! engine never does.
+//!
+//! Also exercises `execute_profiled`: the measured per-stage times agree
+//! with the analytic stage costs on power-of-two machines.
+
+use collopt::core::exec::execute_profiled;
+use collopt::core::rewrite::stage_cost;
+use collopt::prelude::*;
+
+fn block_input(p: usize, m: usize) -> Vec<Value> {
+    (0..p)
+        .map(|_| Value::List(vec![Value::Int(1); m]))
+        .collect()
+}
+
+#[test]
+fn blind_fusion_hurts_on_fast_networks_cost_guidance_does_not() {
+    // SS-Scan's condition is ts > m(tw+4): on a low-latency machine with
+    // big blocks it is badly violated.
+    let p = 8usize;
+    let m = 256usize;
+    let clock = ClockParams::low_latency(); // ts=4, tw=0.5
+    let prog = Program::new().scan(ops::add()).scan(ops::add());
+    let input = block_input(p, m);
+
+    let baseline = execute(&prog, &input, clock).makespan;
+
+    // Exhaustive (cost-blind) rewriting fuses anyway — and loses.
+    let blind = Rewriter::exhaustive().optimize(&prog);
+    assert_eq!(blind.steps.len(), 1);
+    let blind_time = execute(&blind.program, &input, clock).makespan;
+    assert!(
+        blind_time > baseline,
+        "blind fusion must hurt here: {blind_time} vs baseline {baseline}"
+    );
+
+    // Cost-guided rewriting leaves the program alone — never worse.
+    let params = MachineParams::new(p, clock.ts, clock.tw);
+    let guided = Rewriter::cost_guided(params, m as f64).optimize(&prog);
+    assert!(guided.steps.is_empty());
+    let guided_time = execute(&guided.program, &input, clock).makespan;
+    assert_eq!(guided_time, baseline);
+}
+
+#[test]
+fn cost_guidance_is_never_worse_across_a_machine_grid() {
+    // For every fusible pipeline and a grid of machines, the cost-guided
+    // result is never slower than the original on the simulated machine.
+    let pipelines: Vec<Program> = vec![
+        Program::new().scan(ops::add()).allreduce(ops::add()),
+        Program::new().scan(ops::mul()).allreduce(ops::add()),
+        Program::new().scan(ops::add()).scan(ops::add()),
+        Program::new().scan(ops::mul()).scan(ops::add()),
+        Program::new().bcast().scan(ops::add()).scan(ops::add()),
+        Program::new().bcast().allreduce(ops::add()),
+    ];
+    let p = 8usize;
+    for (ts, tw) in [(200.0, 2.0), (20.0, 1.0), (4.0, 0.5), (1.0, 0.1)] {
+        for m in [1usize, 16, 256] {
+            let clock = ClockParams::new(ts, tw);
+            let params = MachineParams::new(p, ts, tw);
+            let input = block_input(p, m);
+            for prog in &pipelines {
+                let baseline = execute(prog, &input, clock).makespan;
+                let guided = Rewriter::cost_guided(params, m as f64).optimize(prog);
+                let t = execute(&guided.program, &input, clock).makespan;
+                assert!(
+                    t <= baseline + 1e-9,
+                    "{prog} at ts={ts} tw={tw} m={m}: guided {t} vs baseline {baseline}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn profiled_execution_matches_analytic_stage_costs() {
+    let p = 8usize;
+    let m = 16usize;
+    let (ts, tw) = (100.0, 2.0);
+    let prog = Program::new()
+        .map("f", 1.0, |v| v.clone())
+        .scan(ops::add())
+        .reduce(ops::add())
+        .bcast();
+    let input = block_input(p, m);
+    let (outcome, finish) = execute_profiled(&prog, &input, ClockParams::new(ts, tw));
+    assert_eq!(finish.len(), prog.len());
+    // Per-stage makespans from the profile vs the analytic stage costs.
+    let params = MachineParams::new(p, ts, tw);
+    let mut prev = 0.0;
+    for (stage, &t) in prog.stages().iter().zip(&finish) {
+        let measured = t - prev;
+        let predicted = stage_cost(stage, &params, m as f64);
+        assert!(
+            (measured - predicted).abs() < 1e-9,
+            "stage `{}`: measured {measured} vs predicted {predicted}",
+            stage.describe()
+        );
+        prev = t;
+    }
+    assert_eq!(*finish.last().unwrap(), outcome.makespan);
+}
+
+#[test]
+fn profile_is_monotone_and_ends_at_the_makespan() {
+    let prog = Program::new()
+        .bcast()
+        .scan(ops::add())
+        .allreduce(ops::max());
+    let input = block_input(6, 4);
+    let (outcome, finish) = execute_profiled(&prog, &input, ClockParams::parsytec_like());
+    for w in finish.windows(2) {
+        assert!(w[1] >= w[0]);
+    }
+    assert_eq!(*finish.last().unwrap(), outcome.makespan);
+}

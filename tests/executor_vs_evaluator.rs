@@ -1,0 +1,121 @@
+//! Random-program agreement between the two interpreters.
+//!
+//! The sequential evaluator ([`collopt::core::semantics`]) defines what a
+//! program *means*; the machine executor ([`collopt::core::exec`]) is a
+//! full message-passing implementation. This suite generates random
+//! pipelines from a small grammar and random inputs (scalars and blocks,
+//! any processor count) and checks the two agree bit for bit — including
+//! the deliberately under-defined positions (non-root values after
+//! `reduce`), where both take the same deterministic choice.
+
+use collopt::core::semantics::eval_program;
+use collopt::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Piece {
+    MapInc,
+    MapIndexedAdd,
+    Bcast,
+    ScanAdd,
+    ScanMax,
+    ReduceAdd,
+    AllReduceAdd,
+    AllReduceMin,
+    ScanTropical,
+}
+
+fn piece_strategy() -> impl Strategy<Value = Piece> {
+    prop_oneof![
+        Just(Piece::MapInc),
+        Just(Piece::MapIndexedAdd),
+        Just(Piece::Bcast),
+        Just(Piece::ScanAdd),
+        Just(Piece::ScanMax),
+        Just(Piece::ReduceAdd),
+        Just(Piece::AllReduceAdd),
+        Just(Piece::AllReduceMin),
+        Just(Piece::ScanTropical),
+    ]
+}
+
+fn build(pieces: &[Piece]) -> Program {
+    let mut prog = Program::new();
+    for p in pieces {
+        prog = match p {
+            Piece::MapInc => prog.map("inc", 1.0, |v| {
+                v.map_block(&|x| Value::Int(x.as_int().wrapping_add(1)))
+            }),
+            Piece::MapIndexedAdd => prog.map_indexed("addrank", 1.0, |i, v| {
+                v.map_block(&|x| Value::Int(x.as_int().wrapping_add(i as i64)))
+            }),
+            Piece::Bcast => prog.bcast(),
+            Piece::ScanAdd => prog.scan(ops::add()),
+            Piece::ScanMax => prog.scan(ops::max()),
+            Piece::ReduceAdd => prog.reduce(ops::add()),
+            Piece::AllReduceAdd => prog.allreduce(ops::add()),
+            Piece::AllReduceMin => prog.allreduce(ops::min()),
+            Piece::ScanTropical => prog.scan(ops::add_tropical()),
+        };
+    }
+    prog
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn executor_agrees_with_evaluator_on_scalars(
+        pieces in prop::collection::vec(piece_strategy(), 1..6),
+        xs in prop::collection::vec(-25i64..25, 1..14),
+    ) {
+        let prog = build(&pieces);
+        let input: Vec<Value> = xs.iter().map(|&v| Value::Int(v)).collect();
+        let expected = eval_program(&prog, &input);
+        let got = execute(&prog, &input, ClockParams::free());
+        prop_assert_eq!(got.outputs, expected, "{}", prog);
+    }
+
+    #[test]
+    fn executor_agrees_with_evaluator_on_blocks(
+        pieces in prop::collection::vec(piece_strategy(), 1..5),
+        rows in prop::collection::vec(prop::collection::vec(-15i64..15, 4), 1..10),
+    ) {
+        let prog = build(&pieces);
+        let input: Vec<Value> =
+            rows.iter().map(|r| Value::int_list(r.iter().copied())).collect();
+        let expected = eval_program(&prog, &input);
+        let got = execute(&prog, &input, ClockParams::free());
+        prop_assert_eq!(got.outputs, expected, "{}", prog);
+    }
+
+    #[test]
+    fn optimized_random_pipelines_agree_with_their_originals(
+        pieces in prop::collection::vec(piece_strategy(), 2..6),
+        xs in prop::collection::vec(-6i64..7, 2..10),
+    ) {
+        let prog = build(&pieces);
+        let opt = Rewriter::exhaustive().allow_rank0_rules(false).optimize(&prog);
+        let input: Vec<Value> = xs.iter().map(|&v| Value::Int(v)).collect();
+        prop_assert_eq!(
+            eval_program(&prog, &input),
+            eval_program(&opt.program, &input),
+            "{} vs {}", prog, opt.program
+        );
+        let a = execute(&prog, &input, ClockParams::free());
+        let b = execute(&opt.program, &input, ClockParams::free());
+        prop_assert_eq!(a.outputs, b.outputs, "{} vs {}", prog, opt.program);
+    }
+
+    #[test]
+    fn makespan_is_monotone_in_latency(
+        xs in prop::collection::vec(-10i64..10, 2..10),
+    ) {
+        let prog = build(&[Piece::ScanAdd, Piece::AllReduceAdd]);
+        let input: Vec<Value> = xs.iter().map(|&v| Value::Int(v)).collect();
+        let slow = execute(&prog, &input, ClockParams::new(500.0, 2.0));
+        let fast = execute(&prog, &input, ClockParams::new(5.0, 2.0));
+        prop_assert!(slow.makespan >= fast.makespan);
+        prop_assert_eq!(slow.outputs, fast.outputs);
+    }
+}

@@ -1,0 +1,110 @@
+//! Floating-point instantiations of the rules.
+//!
+//! Float `+`/`×` are only associative up to rounding, so tree-shaped
+//! combining may differ from the sequential fold in the last few ulps.
+//! These tests check the rules on float operators with the same tolerance
+//! the operator library's property checkers use
+//! ([`collopt::core::op::value_close`]): the fused versions must agree
+//! with the originals to relative 1e-9 — plenty for the reorderings the
+//! rules introduce on well-conditioned data.
+
+use collopt::core::op::value_close;
+use collopt::core::rules::{try_match, window_len, Rule};
+use collopt::core::semantics::eval_program;
+use collopt::prelude::*;
+
+fn floats(p: usize, salt: u64) -> Vec<Value> {
+    (0..p as u64)
+        .map(|i| {
+            let h = i.wrapping_mul(6364136223846793005).wrapping_add(salt);
+            // Magnitudes near 1 keep products over many ranks conditioned.
+            Value::Float(0.75 + ((h >> 33) % 1000) as f64 / 2000.0)
+        })
+        .collect()
+}
+
+fn check_close(rule: Rule, prog: &Program, inputs: &[Value]) {
+    let rw = try_match(rule, prog.stages()).expect("rule must match");
+    let rank0 = rw.rank0_only;
+    let opt = prog.splice(0, window_len(rule), rw.stages);
+    let a = eval_program(prog, inputs);
+    let b = eval_program(&opt, inputs);
+    let ea = execute(prog, inputs, ClockParams::free()).outputs;
+    let eb = execute(&opt, inputs, ClockParams::free()).outputs;
+    let positions = if rank0 { 0..1 } else { 0..inputs.len() };
+    for i in positions {
+        assert!(
+            value_close(&a[i], &b[i]),
+            "{rule} evaluator at {i}: {} vs {}",
+            a[i],
+            b[i]
+        );
+        assert!(
+            value_close(&ea[i], &eb[i]),
+            "{rule} executor at {i}: {} vs {}",
+            ea[i],
+            eb[i]
+        );
+    }
+}
+
+#[test]
+fn float_distributive_rules_agree_within_tolerance() {
+    for p in [1usize, 4, 7, 16, 33] {
+        for salt in 0..3 {
+            let inputs = floats(p, salt);
+            check_close(
+                Rule::Sr2Reduction,
+                &Program::new().scan(ops::fmul()).allreduce(ops::fadd()),
+                &inputs,
+            );
+            check_close(
+                Rule::Ss2Scan,
+                &Program::new().scan(ops::fmul()).scan(ops::fadd()),
+                &inputs,
+            );
+        }
+    }
+}
+
+#[test]
+fn float_commutative_rules_agree_within_tolerance() {
+    for p in [1usize, 5, 8, 21] {
+        for salt in 0..3 {
+            let inputs = floats(p, salt);
+            check_close(
+                Rule::SrReduction,
+                &Program::new().scan(ops::fadd()).allreduce(ops::fadd()),
+                &inputs,
+            );
+            check_close(
+                Rule::SsScan,
+                &Program::new().scan(ops::fadd()).scan(ops::fadd()),
+                &inputs,
+            );
+        }
+    }
+}
+
+#[test]
+fn float_comcast_rules_agree_within_tolerance() {
+    for p in [1usize, 6, 16] {
+        let mut inputs = floats(p, 9);
+        inputs[0] = Value::Float(1.25);
+        check_close(
+            Rule::BsComcast,
+            &Program::new().bcast().scan(ops::fadd()),
+            &inputs,
+        );
+        check_close(
+            Rule::Bss2Comcast,
+            &Program::new().bcast().scan(ops::fmul()).scan(ops::fadd()),
+            &inputs,
+        );
+        check_close(
+            Rule::BssComcast,
+            &Program::new().bcast().scan(ops::fadd()).scan(ops::fadd()),
+            &inputs,
+        );
+    }
+}

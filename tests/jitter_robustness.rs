@@ -1,0 +1,107 @@
+//! Straggler-injection robustness: the optimization rules' improvements
+//! must survive machine noise, and the noise itself must be reproducible.
+//!
+//! The clock's deterministic jitter stretches every message completion by
+//! a pseudo-random factor keyed on `(seed, rank, message index)` —
+//! "failure injection" for timing: links slow down unpredictably, but a
+//! rerun with the same seed sees the same machine.
+
+use collopt::core::semantics::eval_program;
+use collopt::prelude::*;
+
+fn block_input(p: usize, m: usize) -> Vec<Value> {
+    (0..p)
+        .map(|_| Value::List(vec![Value::Int(1); m]))
+        .collect()
+}
+
+#[test]
+fn jitter_is_reproducible_and_bounded() {
+    let p = 8usize;
+    let m = 16usize;
+    let prog = Program::new().scan(ops::add()).allreduce(ops::add());
+    let input = block_input(p, m);
+    let clean = execute(&prog, &input, ClockParams::new(100.0, 2.0));
+    let noisy_clock = ClockParams::new(100.0, 2.0).with_jitter(42, 0.5);
+    let a = execute(&prog, &input, noisy_clock);
+    let b = execute(&prog, &input, noisy_clock);
+    // Same seed → identical makespans; results unaffected by timing.
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.outputs, clean.outputs);
+    // Jitter only ever slows messages down, by at most the amplitude.
+    assert!(a.makespan >= clean.makespan);
+    assert!(a.makespan <= clean.makespan * 1.5 + 1e-9);
+    // A different seed gives a different (still valid) schedule.
+    let c = execute(
+        &prog,
+        &input,
+        ClockParams::new(100.0, 2.0).with_jitter(43, 0.5),
+    );
+    assert_ne!(a.makespan, c.makespan);
+    assert_eq!(c.outputs, clean.outputs);
+}
+
+#[test]
+fn rule_improvements_survive_noise() {
+    // The always-rules' savings are structural (fewer message rounds), so
+    // they must persist under every jitter seed.
+    let p = 8usize;
+    let m = 8usize;
+    let input = block_input(p, m);
+    let prog = Program::new().scan(ops::mul()).allreduce(ops::add());
+    let fused = Rewriter::exhaustive().optimize(&prog).program;
+    for seed in 0..10u64 {
+        let clock = ClockParams::parsytec_like().with_jitter(seed, 0.4);
+        let before = execute(&prog, &input, clock);
+        let after = execute(&fused, &input, clock);
+        assert_eq!(before.outputs, after.outputs, "seed {seed}");
+        assert!(
+            after.makespan < before.makespan,
+            "seed {seed}: fused {} must still beat original {}",
+            after.makespan,
+            before.makespan
+        );
+    }
+}
+
+#[test]
+fn semantics_are_immune_to_arbitrary_noise() {
+    // Heavy jitter perturbs only time, never values — across every kind
+    // of stage at once.
+    let prog = Program::new()
+        .map("f", 1.0, |v| v.map_block(&|x| Value::Int(x.as_int() * 2)))
+        .bcast()
+        .scan(ops::add())
+        .scan(ops::add())
+        .reduce(ops::add());
+    let input = block_input(7, 4);
+    let want = eval_program(&prog, &input);
+    for seed in [1u64, 999, 123456] {
+        let clock = ClockParams::new(50.0, 1.0).with_jitter(seed, 3.0);
+        let run = execute(&prog, &input, clock);
+        assert_eq!(run.outputs, want, "seed {seed}");
+    }
+}
+
+#[test]
+fn noise_breaks_exact_model_agreement_but_not_by_much() {
+    // With amplitude a, the makespan sits in [T, (1+a)·T]; the expected
+    // stretch of the critical path is below the worst case because
+    // independent per-message draws rarely all hit the maximum.
+    let p = 8usize;
+    let m = 32usize;
+    let prog = Program::new().scan(ops::add());
+    let input = block_input(p, m);
+    let ideal = execute(&prog, &input, ClockParams::new(100.0, 2.0)).makespan;
+    let mut stretches = Vec::new();
+    for seed in 0..20u64 {
+        let clock = ClockParams::new(100.0, 2.0).with_jitter(seed, 0.5);
+        let t = execute(&prog, &input, clock).makespan;
+        stretches.push(t / ideal);
+    }
+    let avg: f64 = stretches.iter().sum::<f64>() / stretches.len() as f64;
+    assert!(avg > 1.0 && avg < 1.5, "average stretch {avg}");
+    // The critical path takes near-max draws somewhere, so the average
+    // sits in the upper half of [1, 1.5] — but strictly below the bound.
+    assert!(stretches.iter().all(|&s| (1.0..=1.5 + 1e-9).contains(&s)));
+}

@@ -1,0 +1,246 @@
+//! The full rule × operator matrix.
+//!
+//! Every optimization rule, instantiated with every operator (pair) from
+//! the standard library that satisfies its side condition, checked for
+//! semantic equivalence on several machine sizes — by the sequential
+//! evaluator and by the simulated machine, scoped to what the rule
+//! guarantees. This is the breadth test: the per-rule property tests go
+//! deep on one instantiation, this one goes wide across the algebra.
+
+use collopt::core::rules::{try_match, window_len, Rule};
+use collopt::core::semantics::eval_program;
+use collopt::prelude::*;
+
+/// Distributive pairs (⊗ distributes over ⊕) from the operator library.
+fn distributive_pairs() -> Vec<(BinOp, BinOp)> {
+    vec![
+        (ops::mul(), ops::add()),
+        (ops::add_tropical(), ops::max()),
+        (ops::add_tropical(), ops::min()),
+        (ops::and(), ops::or()),
+        (ops::or(), ops::and()),
+        (ops::fmul(), ops::fadd()),
+    ]
+}
+
+/// Commutative operators.
+fn commutative_ops() -> Vec<BinOp> {
+    vec![
+        ops::add(),
+        ops::mul(),
+        ops::max(),
+        ops::min(),
+        ops::and(),
+        ops::or(),
+        ops::add_mod(97),
+        ops::fadd(),
+        ops::gcd(),
+    ]
+}
+
+/// Associative operators (superset: adds the non-commutative matrix op).
+fn associative_ops() -> Vec<BinOp> {
+    let mut v = commutative_ops();
+    v.push(ops::mat2mul());
+    v
+}
+
+/// Deterministic input values fitting the operator's domain, kept tiny so
+/// products over 9 processors cannot overflow.
+fn inputs_for(op: &BinOp, p: usize, salt: u64) -> Vec<Value> {
+    (0..p)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(2654435761).wrapping_add(salt * 97);
+            match op.name() {
+                "and" | "or" => Value::Bool(h.is_multiple_of(2)),
+                "fadd" | "fmul" => Value::Float(((h % 7) as f64 - 3.0) / 2.0),
+                "mat2mul" => Value::Tuple(vec![
+                    Value::Int((h % 3) as i64),
+                    Value::Int((h % 2) as i64),
+                    Value::Int(((h >> 2) % 2) as i64),
+                    Value::Int(1 + (h % 2) as i64),
+                ]),
+                "mul" => Value::Int((h % 3) as i64 - 1),
+                "gcd" => Value::Int([12i64, 18, 30, 42, 60][(h % 5) as usize]),
+                _ => Value::Int((h % 11) as i64 - 5),
+            }
+        })
+        .collect()
+}
+
+/// Whether a broadcast feeds the window (the input's tail is then
+/// irrelevant, but `mul`'s zero-heavy inputs are fine either way).
+fn check(rule: Rule, prog: &Program, inputs: &[Value]) {
+    let Some(rw) = try_match(rule, prog.stages()) else {
+        panic!("{rule} must match {prog}");
+    };
+    let rank0 = rw.rank0_only;
+    let opt = prog.splice(0, window_len(rule), rw.stages);
+    let a = eval_program(prog, inputs);
+    let b = eval_program(&opt, inputs);
+    let ea = execute(prog, inputs, ClockParams::free());
+    let eb = execute(&opt, inputs, ClockParams::free());
+    if rank0 {
+        assert_eq!(a[0], b[0], "evaluator: {prog} vs {opt}");
+        assert_eq!(ea.outputs[0], eb.outputs[0], "executor: {prog} vs {opt}");
+    } else {
+        assert_eq!(a, b, "evaluator: {prog} vs {opt}");
+        assert_eq!(ea.outputs, eb.outputs, "executor: {prog} vs {opt}");
+    }
+    assert_eq!(eb.outputs, b, "executor vs evaluator on {opt}");
+}
+
+const SIZES: [usize; 4] = [1, 4, 6, 9];
+
+#[test]
+fn distributivity_rules_across_all_library_pairs() {
+    for (ot, op) in distributive_pairs() {
+        for p in SIZES {
+            for salt in 0..3 {
+                let inputs = inputs_for(&ot, p, salt);
+                check(
+                    Rule::Sr2Reduction,
+                    &Program::new().scan(ot.clone()).reduce(op.clone()),
+                    &inputs,
+                );
+                check(
+                    Rule::Sr2Reduction,
+                    &Program::new().scan(ot.clone()).allreduce(op.clone()),
+                    &inputs,
+                );
+                if ot.name() != op.name() {
+                    check(
+                        Rule::Ss2Scan,
+                        &Program::new().scan(ot.clone()).scan(op.clone()),
+                        &inputs,
+                    );
+                    check(
+                        Rule::Bss2Comcast,
+                        &Program::new().bcast().scan(ot.clone()).scan(op.clone()),
+                        &inputs,
+                    );
+                }
+                check(
+                    Rule::Bsr2Local,
+                    &Program::new().bcast().scan(ot.clone()).reduce(op.clone()),
+                    &inputs,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn commutativity_rules_across_all_library_ops() {
+    for op in commutative_ops() {
+        // Floating-point operators drift under regrouping; the library's
+        // tolerance-based comparison lives in `value_close`, but these
+        // matrix tests use exact equality, so restrict to exact domains.
+        if op.name().starts_with('f') {
+            continue;
+        }
+        for p in SIZES {
+            for salt in 0..3 {
+                let inputs = inputs_for(&op, p, salt);
+                check(
+                    Rule::SrReduction,
+                    &Program::new().scan(op.clone()).reduce(op.clone()),
+                    &inputs,
+                );
+                check(
+                    Rule::SrReduction,
+                    &Program::new().scan(op.clone()).allreduce(op.clone()),
+                    &inputs,
+                );
+                check(
+                    Rule::SsScan,
+                    &Program::new().scan(op.clone()).scan(op.clone()),
+                    &inputs,
+                );
+                check(
+                    Rule::BssComcast,
+                    &Program::new().bcast().scan(op.clone()).scan(op.clone()),
+                    &inputs,
+                );
+                check(
+                    Rule::BsrLocal,
+                    &Program::new().bcast().scan(op.clone()).reduce(op.clone()),
+                    &inputs,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn associativity_only_rules_across_all_library_ops() {
+    for op in associative_ops() {
+        if op.name().starts_with('f') {
+            continue;
+        }
+        for p in SIZES {
+            for salt in 0..3 {
+                let inputs = inputs_for(&op, p, salt);
+                check(
+                    Rule::BsComcast,
+                    &Program::new().bcast().scan(op.clone()),
+                    &inputs,
+                );
+                check(
+                    Rule::BrLocal,
+                    &Program::new().bcast().reduce(op.clone()),
+                    &inputs,
+                );
+                check(
+                    Rule::CrAlllocal,
+                    &Program::new().bcast().allreduce(op.clone()),
+                    &inputs,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn idempotent_operators_are_fine_in_every_rule() {
+    // max/min are idempotent (x⊕x = x): the doubling-heavy fused
+    // operators (op_sr's uu⊕uu etc.) must still be correct.
+    for op in [ops::max(), ops::min()] {
+        let inputs = inputs_for(&op, 7, 1);
+        check(
+            Rule::SrReduction,
+            &Program::new().scan(op.clone()).allreduce(op.clone()),
+            &inputs,
+        );
+        check(
+            Rule::SsScan,
+            &Program::new().scan(op.clone()).scan(op.clone()),
+            &inputs,
+        );
+        check(
+            Rule::BssComcast,
+            &Program::new().bcast().scan(op.clone()).scan(op.clone()),
+            &inputs,
+        );
+    }
+}
+
+#[test]
+fn modular_arithmetic_survives_the_heavy_doubling() {
+    // add_mod stresses the fused operators' many extra additions: the
+    // results must stay reduced mod 97 and equal on both sides.
+    let op = ops::add_mod(97);
+    for p in [5usize, 8, 13] {
+        let inputs = inputs_for(&op, p, 2);
+        check(
+            Rule::SrReduction,
+            &Program::new().scan(op.clone()).allreduce(op.clone()),
+            &inputs,
+        );
+        check(
+            Rule::BsrLocal,
+            &Program::new().bcast().scan(op.clone()).reduce(op.clone()),
+            &inputs,
+        );
+    }
+}

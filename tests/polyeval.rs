@@ -1,0 +1,113 @@
+//! End-to-end verification of the Section 5 case study: polynomial
+//! evaluation designed by rewriting (`PolyEval_1 → PolyEval_3`).
+
+use std::sync::Arc;
+
+use collopt::core::semantics::eval_program;
+use collopt::prelude::*;
+
+fn poly_eval_1(coeffs: Arc<Vec<f64>>) -> Program {
+    Program::new()
+        .bcast()
+        .scan(ops::fmul())
+        .map_indexed("mul_coeff", 1.0, move |rank, v| {
+            let a = coeffs[rank];
+            v.map_block(&|x| Value::Float(a * x.as_float()))
+        })
+        .reduce(ops::fadd())
+}
+
+fn reference(coeffs: &[f64], ys: &[f64]) -> Vec<f64> {
+    ys.iter()
+        .map(|&y| {
+            let mut power = 1.0;
+            let mut acc = 0.0;
+            for &a in coeffs {
+                power *= y;
+                acc += a * power;
+            }
+            acc
+        })
+        .collect()
+}
+
+fn points_input(n: usize, ys: &[f64]) -> Vec<Value> {
+    let mut input = vec![Value::List(vec![Value::Float(0.0); ys.len()]); n];
+    input[0] = Value::List(ys.iter().map(|&y| Value::Float(y)).collect());
+    input
+}
+
+#[test]
+fn polyeval_1_is_correct() {
+    for (n, m) in [(4usize, 8usize), (6, 16), (16, 3), (9, 1)] {
+        let coeffs: Vec<f64> = (1..=n).map(|i| (i as f64) * 0.25 - 1.0).collect();
+        let ys: Vec<f64> = (0..m)
+            .map(|j| -0.8 + 1.6 * j as f64 / m.max(2) as f64)
+            .collect();
+        let prog = poly_eval_1(Arc::new(coeffs.clone()));
+        let out = eval_program(&prog, &points_input(n, &ys));
+        let got: Vec<f64> = out[0].as_list().iter().map(Value::as_float).collect();
+        let want = reference(&coeffs, &ys);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9, "n={n} m={m}: {g} vs {w}");
+        }
+    }
+}
+
+#[test]
+fn bs_comcast_is_the_rule_the_paper_derives() {
+    let coeffs = Arc::new(vec![1.0; 8]);
+    let prog = poly_eval_1(coeffs);
+    // Exhaustive rewriting finds exactly the derivation of eq. (19):
+    // the bcast;scan prefix becomes a comcast; the map2 and reduce stay.
+    let res = Rewriter::exhaustive().optimize(&prog);
+    assert_eq!(res.steps.len(), 1);
+    assert_eq!(res.steps[0].rule.to_string(), "BS-Comcast");
+    assert_eq!(res.program.collective_count(), 2); // comcast + reduce
+}
+
+#[test]
+fn polyeval_3_matches_polyeval_1_on_the_machine() {
+    for (n, m) in [(4usize, 16usize), (8, 64), (13, 5)] {
+        let coeffs: Vec<f64> = (1..=n).map(|i| 1.0 / i as f64).collect();
+        let ys: Vec<f64> = (0..m).map(|j| 0.1 + 0.9 * j as f64 / m as f64).collect();
+        let prog = poly_eval_1(Arc::new(coeffs.clone()));
+        let opt = Rewriter::exhaustive().optimize(&prog).program;
+        let input = points_input(n, &ys);
+        let a = execute(&prog, &input, ClockParams::parsytec_like());
+        let b = execute(&opt, &input, ClockParams::parsytec_like());
+        let ga: Vec<f64> = a.outputs[0].as_list().iter().map(Value::as_float).collect();
+        let gb: Vec<f64> = b.outputs[0].as_list().iter().map(Value::as_float).collect();
+        for ((x, y), w) in ga.iter().zip(&gb).zip(&reference(&coeffs, &ys)) {
+            assert!((x - y).abs() < 1e-12, "versions disagree: {x} vs {y}");
+            assert!((x - w).abs() < 1e-9, "wrong value: {x} vs {w}");
+        }
+        assert!(
+            b.makespan < a.makespan,
+            "n={n} m={m}: BS-Comcast always helps"
+        );
+    }
+}
+
+#[test]
+fn speedup_grows_with_processor_count() {
+    // Figure 7's qualitative shape: the gap between bcast;scan and
+    // bcast;repeat widens as p grows (fixed block size).
+    let m = 64usize;
+    let mut last_saving = 0.0;
+    for n in [4usize, 16, 64] {
+        let coeffs: Vec<f64> = vec![0.5; n];
+        let ys: Vec<f64> = (0..m).map(|j| 0.99 - 0.5 * j as f64 / m as f64).collect();
+        let prog = poly_eval_1(Arc::new(coeffs));
+        let opt = Rewriter::exhaustive().optimize(&prog).program;
+        let input = points_input(n, &ys);
+        let a = execute(&prog, &input, ClockParams::parsytec_like());
+        let b = execute(&opt, &input, ClockParams::parsytec_like());
+        let saving = a.makespan - b.makespan;
+        assert!(
+            saving > last_saving,
+            "saving must grow with p: {saving} vs {last_saving}"
+        );
+        last_saving = saving;
+    }
+}

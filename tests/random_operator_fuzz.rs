@@ -1,0 +1,228 @@
+//! Operator-table fuzzing: the rules' side conditions are *sufficient*
+//! for **every** operator, not just the friendly ones in the library.
+//!
+//! Strategy: draw random binary operations on the 4-element domain
+//! `{0,1,2,3}` as raw 4×4 lookup tables, brute-force their algebraic
+//! properties (associativity, commutativity, distributivity — domains
+//! this small make the checks exhaustive, not sampled), and then:
+//!
+//! * if a random table is associative + commutative, the commutative
+//!   rules (SR, SS) must preserve semantics for it;
+//! * if a random pair `(⊗, ⊕)` is associative and `⊗` exhaustively
+//!   distributes over `⊕`, the distributivity rules (SR2, SS2) must
+//!   preserve semantics;
+//! * the library's randomized property checkers must agree with the
+//!   brute-force ground truth on full-domain samples.
+//!
+//! Any counterexample here would be a soundness bug in a fused-operator
+//! construction — the strongest class of test in the suite.
+
+use collopt::core::rules::{try_match, window_len, Rule};
+use collopt::core::semantics::eval_program;
+use collopt::prelude::*;
+use proptest::prelude::*;
+
+const N: i64 = 4;
+
+/// A binary operation on {0..3} as a 16-entry lookup table.
+#[derive(Debug, Clone)]
+struct Table([i64; 16]);
+
+impl Table {
+    fn apply(&self, a: i64, b: i64) -> i64 {
+        self.0[(a * N + b) as usize]
+    }
+
+    fn is_associative(&self) -> bool {
+        for a in 0..N {
+            for b in 0..N {
+                for c in 0..N {
+                    if self.apply(self.apply(a, b), c) != self.apply(a, self.apply(b, c)) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn is_commutative(&self) -> bool {
+        for a in 0..N {
+            for b in 0..N {
+                if self.apply(a, b) != self.apply(b, a) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn distributes_over(&self, other: &Table) -> bool {
+        for a in 0..N {
+            for b in 0..N {
+                for c in 0..N {
+                    let l = self.apply(a, other.apply(b, c));
+                    let r = other.apply(self.apply(a, b), self.apply(a, c));
+                    let l2 = self.apply(other.apply(b, c), a);
+                    let r2 = other.apply(self.apply(b, a), self.apply(c, a));
+                    if l != r || l2 != r2 {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn binop(&self, name: &str) -> BinOp {
+        let t = self.0;
+        BinOp::new(name, move |a, b| {
+            Value::Int(t[(a.as_int() * N + b.as_int()) as usize])
+        })
+    }
+}
+
+fn full_domain() -> Vec<Value> {
+    (0..N).map(Value::Int).collect()
+}
+
+/// Tables biased toward structure: random mixes of known associative
+/// operations and random perturbations, so the interesting (associative)
+/// cases actually occur.
+fn table_strategy() -> impl Strategy<Value = Table> {
+    prop_oneof![
+        // Pure random tables (mostly non-associative — exercise rejection).
+        prop::array::uniform16(0i64..N).prop_map(Table),
+        // Structured seeds: min, max, modular add, projections, constants.
+        (0usize..6).prop_map(|k| {
+            let mut t = [0i64; 16];
+            for a in 0..N {
+                for b in 0..N {
+                    t[(a * N + b) as usize] = match k {
+                        0 => a.min(b),
+                        1 => a.max(b),
+                        2 => (a + b) % N,
+                        3 => (a * b) % N,
+                        4 => a, // left projection (associative, non-comm.)
+                        _ => 1, // constant (associative)
+                    };
+                }
+            }
+            Table(t)
+        }),
+    ]
+}
+
+fn check_rule(rule: Rule, prog: &Program, inputs: &[Value]) -> Result<(), TestCaseError> {
+    let Some(rw) = try_match(rule, prog.stages()) else {
+        return Err(TestCaseError::fail(format!("{rule} should match")));
+    };
+    let rank0 = rw.rank0_only;
+    let opt = prog.splice(0, window_len(rule), rw.stages);
+    let a = eval_program(prog, inputs);
+    let b = eval_program(&opt, inputs);
+    let ea = execute(prog, inputs, ClockParams::free()).outputs;
+    let eb = execute(&opt, inputs, ClockParams::free()).outputs;
+    if rank0 {
+        prop_assert_eq!(&a[0], &b[0], "{} evaluator rank0", rule);
+        prop_assert_eq!(&ea[0], &eb[0], "{} executor rank0", rule);
+    } else {
+        prop_assert_eq!(&a, &b, "{} evaluator", rule);
+        prop_assert_eq!(&ea, &eb, "{} executor", rule);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn library_checkers_agree_with_brute_force(t in table_strategy(), u in table_strategy()) {
+        let samples = full_domain();
+        let a = t.binop("t");
+        let b = u.binop("u");
+        // On the full domain the sampled checkers ARE exhaustive.
+        prop_assert_eq!(a.check_associative(&samples), t.is_associative());
+        prop_assert_eq!(a.check_commutative(&samples), t.is_commutative());
+        prop_assert_eq!(a.check_distributes_over(&b, &samples), t.distributes_over(&u));
+    }
+
+    #[test]
+    fn commutative_rules_sound_for_arbitrary_tables(
+        t in table_strategy(),
+        xs in prop::collection::vec(0i64..N, 1..10),
+    ) {
+        prop_assume!(t.is_associative() && t.is_commutative());
+        let op = t.binop("fuzz").commutative();
+        let inputs: Vec<Value> = xs.iter().map(|&v| Value::Int(v)).collect();
+        check_rule(Rule::SrReduction, &Program::new().scan(op.clone()).allreduce(op.clone()), &inputs)?;
+        check_rule(Rule::SsScan, &Program::new().scan(op.clone()).scan(op.clone()), &inputs)?;
+        check_rule(
+            Rule::BssComcast,
+            &Program::new().bcast().scan(op.clone()).scan(op.clone()),
+            &inputs,
+        )?;
+        check_rule(
+            Rule::BsrLocal,
+            &Program::new().bcast().scan(op.clone()).reduce(op.clone()),
+            &inputs,
+        )?;
+    }
+
+    #[test]
+    fn distributive_rules_sound_for_arbitrary_table_pairs(
+        t in table_strategy(),
+        u in table_strategy(),
+        xs in prop::collection::vec(0i64..N, 1..10),
+    ) {
+        prop_assume!(t.is_associative() && u.is_associative());
+        prop_assume!(t.distributes_over(&u));
+        let ot = t.binop("fuzz_t").distributes_over_op("fuzz_u");
+        let op = u.binop("fuzz_u");
+        let inputs: Vec<Value> = xs.iter().map(|&v| Value::Int(v)).collect();
+        check_rule(
+            Rule::Sr2Reduction,
+            &Program::new().scan(ot.clone()).allreduce(op.clone()),
+            &inputs,
+        )?;
+        check_rule(Rule::Ss2Scan, &Program::new().scan(ot.clone()).scan(op.clone()), &inputs)?;
+        check_rule(
+            Rule::Bss2Comcast,
+            &Program::new().bcast().scan(ot.clone()).scan(op.clone()),
+            &inputs,
+        )?;
+        check_rule(
+            Rule::Bsr2Local,
+            &Program::new().bcast().scan(ot.clone()).reduce(op.clone()),
+            &inputs,
+        )?;
+    }
+
+    #[test]
+    fn associativity_only_rules_sound_for_arbitrary_tables(
+        t in table_strategy(),
+        b in 0i64..N,
+        p in 1usize..10,
+    ) {
+        prop_assume!(t.is_associative());
+        let op = t.binop("fuzz");
+        let mut inputs = vec![Value::Int(0); p];
+        inputs[0] = Value::Int(b);
+        check_rule(Rule::BsComcast, &Program::new().bcast().scan(op.clone()), &inputs)?;
+        check_rule(Rule::BrLocal, &Program::new().bcast().reduce(op.clone()), &inputs)?;
+        check_rule(Rule::CrAlllocal, &Program::new().bcast().allreduce(op.clone()), &inputs)?;
+    }
+
+    #[test]
+    fn verified_rewriter_accepts_iff_brute_force_condition_holds(
+        t in table_strategy(),
+    ) {
+        // Declare commutativity unconditionally (possibly a lie) and let
+        // the verifying rewriter decide on the full domain.
+        let op = t.binop("maybe").commutative();
+        let prog = Program::new().scan(op.clone()).allreduce(op.clone());
+        let res = Rewriter::exhaustive().verify_properties(full_domain()).optimize(&prog);
+        let truly_ok = t.is_associative() && t.is_commutative();
+        prop_assert_eq!(!res.steps.is_empty(), truly_ok);
+    }
+}

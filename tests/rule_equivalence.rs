@@ -1,0 +1,286 @@
+//! Property-based verification of every optimization rule.
+//!
+//! For each rule: random distributed lists (arbitrary sizes, including
+//! non-powers-of-two; scalars and blocks), LHS and RHS evaluated both by
+//! the sequential reference semantics and by the simulated machine, with
+//! the comparison scoped to what the rule guarantees (all positions, or
+//! position 0 for the reduce-variant rules that drop side effects — the
+//! paper's Section 3.5 caveat).
+
+use collopt::core::rules::{try_match, window_len, Rule};
+use collopt::core::semantics::eval_program;
+use collopt::prelude::*;
+use proptest::prelude::*;
+
+fn ints(vs: &[i64]) -> Vec<Value> {
+    vs.iter().map(|&v| Value::Int(v)).collect()
+}
+
+/// Apply `rule` at position 0, returning the rewritten program and
+/// whether equality is rank0-scoped.
+fn rewrite(prog: &Program, rule: Rule) -> (Program, bool) {
+    let rw = try_match(rule, prog.stages()).expect("rule must match in these tests");
+    let rank0 = rw.rank0_only;
+    (prog.splice(0, window_len(rule), rw.stages), rank0)
+}
+
+/// Check LHS ≡ RHS by evaluator and by executor, honoring the scope.
+fn check_equiv(prog: &Program, rule: Rule, input: &[Value]) {
+    let (opt, rank0) = rewrite(prog, rule);
+    let a = eval_program(prog, input);
+    let b = eval_program(&opt, input);
+    let ea = execute(prog, input, ClockParams::free());
+    let eb = execute(&opt, input, ClockParams::free());
+    if rank0 {
+        assert_eq!(a[0], b[0], "evaluator rank0: {prog} vs {opt}");
+        assert_eq!(
+            ea.outputs[0], eb.outputs[0],
+            "executor rank0: {prog} vs {opt}"
+        );
+    } else {
+        assert_eq!(a, b, "evaluator: {prog} vs {opt}");
+        assert_eq!(ea.outputs, eb.outputs, "executor: {prog} vs {opt}");
+    }
+    // Executor must agree with the evaluator on the optimized program.
+    assert_eq!(eb.outputs, b, "executor vs evaluator on RHS of {rule}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sr2_reduction_equivalence(xs in prop::collection::vec(-20i64..20, 1..14)) {
+        // mul distributes over add.
+        check_equiv(&Program::new().scan(ops::mul()).reduce(ops::add()), Rule::Sr2Reduction, &ints(&xs));
+        check_equiv(&Program::new().scan(ops::mul()).allreduce(ops::add()), Rule::Sr2Reduction, &ints(&xs));
+    }
+
+    #[test]
+    fn sr2_reduction_tropical_equivalence(xs in prop::collection::vec(-40i64..40, 1..14)) {
+        // add distributes over max (tropical semiring).
+        check_equiv(
+            &Program::new().scan(ops::add_tropical()).allreduce(ops::max()),
+            Rule::Sr2Reduction,
+            &ints(&xs),
+        );
+    }
+
+    #[test]
+    fn sr_reduction_equivalence(xs in prop::collection::vec(-50i64..50, 1..18)) {
+        check_equiv(&Program::new().scan(ops::add()).reduce(ops::add()), Rule::SrReduction, &ints(&xs));
+        check_equiv(&Program::new().scan(ops::add()).allreduce(ops::add()), Rule::SrReduction, &ints(&xs));
+    }
+
+    #[test]
+    fn ss2_scan_equivalence(xs in prop::collection::vec(-4i64..4, 1..12)) {
+        check_equiv(&Program::new().scan(ops::mul()).scan(ops::add()), Rule::Ss2Scan, &ints(&xs));
+    }
+
+    #[test]
+    fn ss_scan_equivalence(xs in prop::collection::vec(-50i64..50, 1..18)) {
+        check_equiv(&Program::new().scan(ops::add()).scan(ops::add()), Rule::SsScan, &ints(&xs));
+    }
+
+    #[test]
+    fn bs_comcast_equivalence(b in -30i64..30, p in 1usize..18) {
+        let mut input = vec![Value::Int(-7); p];
+        input[0] = Value::Int(b);
+        check_equiv(&Program::new().bcast().scan(ops::add()), Rule::BsComcast, &input);
+    }
+
+    #[test]
+    fn bss2_comcast_equivalence(b in -2i64..3, p in 1usize..10) {
+        let mut input = vec![Value::Int(0); p];
+        input[0] = Value::Int(b);
+        check_equiv(
+            &Program::new().bcast().scan(ops::mul()).scan(ops::add()),
+            Rule::Bss2Comcast,
+            &input,
+        );
+    }
+
+    #[test]
+    fn bss_comcast_equivalence(b in -20i64..20, p in 1usize..18) {
+        let mut input = vec![Value::Int(1); p];
+        input[0] = Value::Int(b);
+        check_equiv(
+            &Program::new().bcast().scan(ops::add()).scan(ops::add()),
+            Rule::BssComcast,
+            &input,
+        );
+    }
+
+    #[test]
+    fn br_local_equivalence(b in -30i64..30, p in 1usize..22) {
+        let mut input = vec![Value::Int(5); p];
+        input[0] = Value::Int(b);
+        check_equiv(&Program::new().bcast().reduce(ops::add()), Rule::BrLocal, &input);
+    }
+
+    #[test]
+    fn bsr2_local_equivalence(b in -2i64..3, p in 1usize..12) {
+        let mut input = vec![Value::Int(0); p];
+        input[0] = Value::Int(b);
+        check_equiv(
+            &Program::new().bcast().scan(ops::mul()).reduce(ops::add()),
+            Rule::Bsr2Local,
+            &input,
+        );
+    }
+
+    #[test]
+    fn bsr_local_equivalence(b in -20i64..20, p in 1usize..22) {
+        let mut input = vec![Value::Int(3); p];
+        input[0] = Value::Int(b);
+        check_equiv(
+            &Program::new().bcast().scan(ops::add()).reduce(ops::add()),
+            Rule::BsrLocal,
+            &input,
+        );
+    }
+
+    #[test]
+    fn cr_alllocal_equivalence(b in -30i64..30, p in 1usize..22) {
+        let mut input = vec![Value::Int(5); p];
+        input[0] = Value::Int(b);
+        check_equiv(&Program::new().bcast().allreduce(ops::add()), Rule::CrAlllocal, &input);
+    }
+
+    #[test]
+    fn rules_hold_on_blocks(
+        rows in prop::collection::vec(prop::collection::vec(-10i64..10, 3), 1..10)
+    ) {
+        // Blocks of 3 words per processor, two different rules.
+        let input: Vec<Value> =
+            rows.iter().map(|r| Value::int_list(r.iter().copied())).collect();
+        check_equiv(
+            &Program::new().scan(ops::add()).allreduce(ops::add()),
+            Rule::SrReduction,
+            &input,
+        );
+        check_equiv(&Program::new().scan(ops::add()).scan(ops::add()), Rule::SsScan, &input);
+    }
+
+    #[test]
+    fn exhaustive_optimizer_preserves_meaning_of_random_pipelines(
+        xs in prop::collection::vec(-3i64..4, 2..10),
+        use_bcast in any::<bool>(),
+        tail in 0usize..3,
+    ) {
+        // Assemble a pipeline from a small grammar, optimize exhaustively
+        // (full-equality rules only) and compare end to end.
+        let mut prog = Program::new().map("inc", 1.0, |v| Value::Int(v.as_int() + 1));
+        if use_bcast {
+            prog = prog.bcast();
+        }
+        prog = prog.scan(ops::add());
+        prog = match tail {
+            0 => prog.scan(ops::add()),
+            1 => prog.allreduce(ops::add()),
+            _ => prog.allreduce(ops::max()),
+        };
+        let opt = Rewriter::exhaustive().allow_rank0_rules(false).optimize(&prog);
+        let input = ints(&xs);
+        prop_assert_eq!(eval_program(&prog, &input), eval_program(&opt.program, &input));
+        let a = execute(&prog, &input, ClockParams::free());
+        let b = execute(&opt.program, &input, ClockParams::free());
+        prop_assert_eq!(a.outputs, b.outputs);
+    }
+}
+
+/// Negative tests: rules must refuse operators without the side condition.
+#[test]
+fn rules_reject_missing_conditions() {
+    // No distributivity: add over mul.
+    assert!(try_match(
+        Rule::Sr2Reduction,
+        Program::new().scan(ops::add()).reduce(ops::mul()).stages()
+    )
+    .is_none());
+    // Non-commutative same op: matrix multiplication.
+    assert!(try_match(
+        Rule::SrReduction,
+        Program::new()
+            .scan(ops::mat2mul())
+            .reduce(ops::mat2mul())
+            .stages()
+    )
+    .is_none());
+    assert!(try_match(
+        Rule::SsScan,
+        Program::new()
+            .scan(ops::mat2mul())
+            .scan(ops::mat2mul())
+            .stages()
+    )
+    .is_none());
+    assert!(try_match(
+        Rule::BssComcast,
+        Program::new()
+            .bcast()
+            .scan(ops::mat2mul())
+            .scan(ops::mat2mul())
+            .stages()
+    )
+    .is_none());
+    assert!(try_match(
+        Rule::BsrLocal,
+        Program::new()
+            .bcast()
+            .scan(ops::mat2mul())
+            .reduce(ops::mat2mul())
+            .stages()
+    )
+    .is_none());
+}
+
+/// The commutative rules really do need commutativity: feeding a
+/// non-commutative operator through the *fused* construction produces
+/// wrong answers, which is why the applicability check matters.
+#[test]
+fn sr_fusion_is_wrong_without_commutativity() {
+    use collopt::core::adjust::{pair, pi1};
+    use collopt::core::rules::fused;
+
+    // Subtraction-like non-commutative op: 2x2 matrices.
+    let op = ops::mat2mul();
+    let mats: Vec<Value> = [(1, 2, 3, 4), (0, 1, 1, 0), (2, 0, 1, 2), (1, 1, 0, 1)]
+        .iter()
+        .map(|&(a, b, c, d)| {
+            Value::Tuple(vec![
+                Value::Int(a),
+                Value::Int(b),
+                Value::Int(c),
+                Value::Int(d),
+            ])
+        })
+        .collect();
+    let truth = eval_program(&Program::new().scan(op.clone()).reduce(op.clone()), &mats)[0].clone();
+
+    // Force-build the op_sr machinery despite the missing condition.
+    let (combine, solo) = fused::op_sr(&op);
+    let paired: Vec<Value> = mats.iter().map(pair).collect();
+    let tree = collopt_machine::topology::BalancedTree::new(paired.len());
+    let mut vals = paired;
+    for level in tree.schedule() {
+        for step in level {
+            match step {
+                collopt_machine::topology::BalancedStep::Combine {
+                    left_rep,
+                    right_rep,
+                    ..
+                } => {
+                    vals[left_rep] = combine(&vals[left_rep], &vals[right_rep]);
+                }
+                collopt_machine::topology::BalancedStep::Unary { rep, .. } => {
+                    vals[rep] = solo(&vals[rep]);
+                }
+            }
+        }
+    }
+    let fused_result = pi1(&vals[0]);
+    assert_ne!(
+        truth, fused_result,
+        "op_sr must NOT work for non-commutative operators"
+    );
+}

@@ -1,0 +1,122 @@
+//! Scale stress: the paper's actual machine size (64 processors) and
+//! beyond, end to end — collectives, rules, executor and cost model all
+//! at once.
+
+use collopt::core::semantics::eval_program;
+use collopt::prelude::*;
+
+fn ints_mod(p: usize, modulus: i64) -> Vec<Value> {
+    (0..p as i64).map(|i| Value::Int(i % modulus)).collect()
+}
+
+#[test]
+fn sixty_four_processors_full_pipeline() {
+    // The Example program at the paper's machine size, with blocks.
+    let p = 64;
+    let m = 32;
+    // scan(+); allreduce(max): the high-watermark pipeline — tropical
+    // `+` distributes over `max`, so SR2 fuses it.
+    let prog = Program::new()
+        .map("f", 1.0, |v| v.map_block(&|x| Value::Int(x.as_int() + 1)))
+        .scan(ops::add_tropical())
+        .allreduce(ops::max())
+        .bcast();
+    let input: Vec<Value> = (0..p)
+        .map(|i| {
+            Value::List(
+                (0..m)
+                    .map(|j| Value::Int(((i * 31 + j) % 13) as i64 - 6))
+                    .collect(),
+            )
+        })
+        .collect();
+    let opt = Rewriter::exhaustive().optimize(&prog);
+    assert!(!opt.steps.is_empty());
+
+    let expected = eval_program(&prog, &input);
+    for program in [&prog, &opt.program] {
+        let run = execute(program, &input, ClockParams::parsytec_like());
+        assert_eq!(run.outputs, expected);
+    }
+    // And the optimized one is faster at this size.
+    let a = execute(&prog, &input, ClockParams::parsytec_like());
+    let b = execute(&opt.program, &input, ClockParams::parsytec_like());
+    assert!(b.makespan < a.makespan);
+}
+
+#[test]
+fn hundred_processors_non_power_of_two() {
+    // Well past the paper's size, deliberately not a power of two:
+    // exercises every unary-node/missing-partner path at once.
+    let p = 100;
+    let input = ints_mod(p, 7);
+    for prog in [
+        Program::new().scan(ops::add()).allreduce(ops::add()),
+        Program::new().scan(ops::add()).scan(ops::add()),
+        Program::new().bcast().scan(ops::add()).scan(ops::add()),
+        Program::new().bcast().scan(ops::mul()).reduce(ops::add()),
+    ] {
+        let opt = Rewriter::exhaustive().optimize(&prog);
+        assert!(!opt.steps.is_empty(), "{prog}");
+        let want = eval_program(&prog, &input);
+        let got_orig = execute(&prog, &input, ClockParams::free());
+        let got_opt = execute(&opt.program, &input, ClockParams::free());
+        assert_eq!(got_orig.outputs, want, "{prog}");
+        // Reduce-variant rules are rank-0 equalities.
+        assert_eq!(got_opt.outputs[0], want[0], "{prog}");
+    }
+}
+
+#[test]
+fn deep_pipeline_many_rules_at_once() {
+    // A long pipeline where the engine fires several rules in one pass.
+    let prog = Program::new()
+        .map("prep", 1.0, |v| v.clone())
+        .scan(ops::mul())
+        .allreduce(ops::add())
+        .map("mid", 1.0, |v| v.clone())
+        .bcast()
+        .scan(ops::add())
+        .scan(ops::add());
+    let opt = Rewriter::exhaustive().optimize(&prog);
+    let rules: Vec<String> = opt.steps.iter().map(|s| s.rule.to_string()).collect();
+    assert!(rules.contains(&"SR2-Reduction".to_string()), "{rules:?}");
+    assert!(rules.contains(&"BSS-Comcast".to_string()), "{rules:?}");
+    assert_eq!(opt.program.collective_count(), 2);
+
+    let input = ints_mod(24, 3);
+    assert_eq!(
+        eval_program(&prog, &input),
+        eval_program(&opt.program, &input)
+    );
+    let a = execute(&prog, &input, ClockParams::parsytec_like());
+    let b = execute(&opt.program, &input, ClockParams::parsytec_like());
+    assert_eq!(a.outputs, b.outputs);
+    assert!(b.total_messages < a.total_messages);
+    assert!(b.makespan < a.makespan);
+}
+
+#[test]
+fn makespan_grows_logarithmically_with_p() {
+    // Structural sanity of the whole stack: doubling p adds one butterfly
+    // phase, so the makespan of scan grows by a constant increment.
+    let prog = Program::new().scan(ops::add());
+    let mut last = 0.0;
+    let mut increments = Vec::new();
+    for k in 2..=7 {
+        let p = 1usize << k;
+        let input = ints_mod(p, 5);
+        let run = execute(&prog, &input, ClockParams::parsytec_like());
+        if last > 0.0 {
+            increments.push(run.makespan - last);
+        }
+        last = run.makespan;
+    }
+    let first = increments[0];
+    for inc in increments {
+        assert!(
+            (inc - first).abs() < 1e-9,
+            "constant increment per doubling"
+        );
+    }
+}
