@@ -15,7 +15,8 @@
 //! * **flat vs two-level collectives on clusters** — block-placement tie
 //!   vs cyclic-placement win.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use collopt_bench::harness::{BenchmarkId, Criterion};
+use collopt_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use collopt_bench::{run_comcast, ComcastImpl};

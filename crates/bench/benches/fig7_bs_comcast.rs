@@ -7,7 +7,8 @@
 //! threads, so the per-phase structure (2 phases of work per processor
 //! doubling) shows up in wall-clock as well.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use collopt_bench::harness::{BenchmarkId, Criterion};
+use collopt_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use collopt_bench::{run_comcast, ComcastImpl};

@@ -5,7 +5,8 @@
 //! `m` words move through the channels, so the linear-in-`m` growth and
 //! the `bcast;repeat` advantage are visible in wall-clock.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use collopt_bench::harness::{BenchmarkId, Criterion, Throughput};
+use collopt_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use collopt_bench::{run_comcast, ComcastImpl};

@@ -3,7 +3,8 @@
 //! These bound what the collective benchmarks can possibly show — a
 //! butterfly phase cannot be faster than one exchange.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use collopt_bench::harness::{BenchmarkId, Criterion, Throughput};
+use collopt_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use collopt_machine::{ClockParams, Machine};

@@ -2,7 +2,8 @@
 //! collectives) versus `PolyEval_3` (BS-Comcast applied), evaluating a
 //! degree-`p` polynomial at `m` points.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use collopt_bench::harness::{BenchmarkId, Criterion};
+use collopt_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::sync::Arc;
 

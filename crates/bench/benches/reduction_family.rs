@@ -1,0 +1,84 @@
+//! Benchmarks of the bandwidth-optimal reduction family: butterfly vs
+//! Rabenseifner's reduce-scatter + allgather vs the ring, plus the
+//! cost-model-driven `allreduce_auto` selector, across block sizes that
+//! straddle the crossover. The interesting output is the *simulated*
+//! makespan (checked in the library tests); what these benches measure
+//! is the wall-clock cost of running each algorithm on the simulated
+//! machine, so regressions in the simulation substrate show up here.
+
+use collopt_bench::harness::{BenchmarkId, Criterion, Throughput};
+use collopt_bench::{criterion_group, criterion_main};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use collopt_collectives::{
+    allreduce_auto, allreduce_butterfly, allreduce_rabenseifner, allreduce_ring, Combine,
+};
+use collopt_machine::{ClockParams, Ctx, Machine};
+
+type Block = Vec<i64>;
+
+fn inputs(p: usize, m: usize) -> Arc<Vec<Block>> {
+    Arc::new(
+        (0..p)
+            .map(|r| (0..m).map(|i| (r * 31 + i) as i64).collect())
+            .collect(),
+    )
+}
+
+fn run_algorithm(
+    p: usize,
+    blocks: &Arc<Vec<Block>>,
+    algo: impl Fn(&mut Ctx, Block, &Combine<'_, Block>) -> Block + Sync,
+) -> f64 {
+    let machine = Machine::new(p, ClockParams::parsytec_like());
+    let blocks = Arc::clone(blocks);
+    let run = machine.run(move |ctx| {
+        let f = |a: &Block, b: &Block| -> Block { a.iter().zip(b).map(|(x, y)| x + y).collect() };
+        let op = Combine::new(&f).assume_commutative();
+        algo(ctx, blocks[ctx.rank()].clone(), &op)
+    });
+    run.makespan
+}
+
+fn bench_allreduce_family(c: &mut Criterion) {
+    let p = 16usize;
+    let mut group = c.benchmark_group("allreduce_family");
+    group.sample_size(10);
+    for m in [64usize, 4096] {
+        let blocks = inputs(p, m);
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::new("butterfly", m), &m, |b, &m| {
+            b.iter(|| {
+                black_box(run_algorithm(p, &blocks, |ctx, v, op| {
+                    allreduce_butterfly(ctx, v, m as u64, op)
+                }))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rabenseifner", m), &m, |b, _| {
+            b.iter(|| {
+                black_box(run_algorithm(p, &blocks, |ctx, v, op| {
+                    allreduce_rabenseifner(ctx, v, 1, op)
+                }))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ring", m), &m, |b, _| {
+            b.iter(|| {
+                black_box(run_algorithm(p, &blocks, |ctx, v, op| {
+                    allreduce_ring(ctx, v, 1, op)
+                }))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("auto", m), &m, |b, _| {
+            b.iter(|| {
+                black_box(run_algorithm(p, &blocks, |ctx, v, op| {
+                    allreduce_auto(ctx, v, 1, op)
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce_family);
+criterion_main!(benches);

@@ -7,7 +7,8 @@
 //! same win/lose structure in real thread-and-channel wall-clock, where
 //! the saved message start-ups correspond to saved channel round-trips.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use collopt_bench::harness::{BenchmarkId, Criterion};
+use collopt_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use collopt_bench::{block_input, rule_lhs, rule_rhs};

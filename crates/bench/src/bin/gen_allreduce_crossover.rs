@@ -1,0 +1,140 @@
+//! Validates the allreduce cost model against the simulated machine and
+//! emits `results/BENCH_allreduce.json`: for every `(p, m)` point of the
+//! sweep, the algorithm `allreduce_auto` picked, the analytic makespan
+//! of every candidate, the measured makespan, and the relative error —
+//! which must stay within 10% (the models are exact when `p | m`; the
+//! tolerance covers the ceil'd `log p` on non-powers of two).
+//!
+//! Run with `cargo run --release -p collopt-bench --bin gen_allreduce_crossover`.
+
+use collopt_collectives::{
+    allreduce_auto, allreduce_model_cost, choose_allreduce, AllreduceChoice, Combine,
+};
+use collopt_cost::sweep::allreduce_crossover_m;
+use collopt_cost::MachineParams;
+use collopt_machine::{ClockParams, Machine};
+use std::sync::Arc;
+
+type Block = Vec<i64>;
+
+const CANDIDATES: [AllreduceChoice; 4] = [
+    AllreduceChoice::Butterfly,
+    AllreduceChoice::Rabenseifner,
+    AllreduceChoice::Ring,
+    AllreduceChoice::ReduceBcast,
+];
+
+fn measure(p: usize, m: usize, clock: ClockParams) -> f64 {
+    let blocks: Arc<Vec<Block>> = Arc::new(
+        (0..p)
+            .map(|r| (0..m).map(|i| (r * 13 + i % 7) as i64).collect())
+            .collect(),
+    );
+    let machine = Machine::new(p, clock);
+    let run = machine.run(move |ctx| {
+        let f = |a: &Block, b: &Block| -> Block { a.iter().zip(b).map(|(x, y)| x + y).collect() };
+        let op = Combine::new(&f).assume_commutative();
+        allreduce_auto(ctx, blocks[ctx.rank()].clone(), 1, &op)
+    });
+    run.makespan
+}
+
+fn main() {
+    let clock = ClockParams::parsytec_like();
+    let procs = [4usize, 5, 6, 8, 12, 16, 32];
+    let mults = [1usize, 16, 64, 256, 2048];
+
+    let mut rows = Vec::new();
+    let mut worst: (f64, usize, usize) = (0.0, 0, 0);
+
+    println!(
+        "# allreduce algorithm selection: measured vs predicted (ts={}, tw={})",
+        clock.ts, clock.tw
+    );
+    println!(
+        "{:<4} {:>7} {:<14} {:>12} {:>12} {:>8}",
+        "p", "m", "chosen", "predicted", "measured", "rel_err"
+    );
+    for &p in &procs {
+        for &k in &mults {
+            let m = p * k; // p | m keeps the closed forms exact
+            let choice = choose_allreduce(p, m as u64, 1.0, true, &clock);
+            let predicted = allreduce_model_cost(choice, p, m as u64, 1.0, &clock);
+            let measured = measure(p, m, clock);
+            let rel_err = (measured - predicted).abs() / predicted.max(1.0);
+            if rel_err > worst.0 {
+                worst = (rel_err, p, m);
+            }
+            assert!(
+                rel_err <= 0.10,
+                "model off by {:.1}% at p={p} m={m} ({})",
+                100.0 * rel_err,
+                choice.name()
+            );
+            println!(
+                "{:<4} {:>7} {:<14} {:>12.0} {:>12.0} {:>7.2}%",
+                p,
+                m,
+                choice.name(),
+                predicted,
+                measured,
+                100.0 * rel_err
+            );
+            let models: Vec<String> = CANDIDATES
+                .iter()
+                .map(|&c| {
+                    let cost = allreduce_model_cost(c, p, m as u64, 1.0, &clock);
+                    let shown = if cost.is_finite() {
+                        format!("{cost:.3}")
+                    } else {
+                        "null".to_string()
+                    };
+                    format!("\"{}\": {}", c.name(), shown)
+                })
+                .collect();
+            rows.push(format!(
+                "    {{\"p\": {p}, \"m\": {m}, \"chosen\": \"{}\", \"predicted\": {predicted:.3}, \
+                 \"measured\": {measured:.3}, \"rel_err\": {rel_err:.5}, \"models\": {{{}}}}}",
+                choice.name(),
+                models.join(", ")
+            ));
+        }
+    }
+
+    // Analytic butterfly → Rabenseifner crossover block sizes (powers of
+    // two only; elsewhere the butterfly is not a candidate).
+    let mut crossovers = Vec::new();
+    for &p in &procs {
+        if !p.is_power_of_two() {
+            continue;
+        }
+        let params = MachineParams::new(p, clock.ts, clock.tw);
+        if let Some(mstar) = allreduce_crossover_m(&params, 1.0) {
+            println!("# crossover at p={p}: m* = {mstar:.1} words");
+            crossovers.push(format!("    {{\"p\": {p}, \"m_star\": {mstar:.3}}}"));
+        }
+    }
+    println!(
+        "# worst relative error {:.2}% (p={}, m={}) — within the 10% gate",
+        100.0 * worst.0,
+        worst.1,
+        worst.2
+    );
+
+    let json = format!(
+        "{{\n  \"machine\": {{\"ts\": {}, \"tw\": {}}},\n  \"ops_per_word\": 1.0,\n  \
+         \"worst_rel_err\": {:.5},\n  \"crossovers\": [\n{}\n  ],\n  \"rows\": [\n{}\n  ]\n}}\n",
+        clock.ts,
+        clock.tw,
+        worst.0,
+        crossovers.join(",\n"),
+        rows.join(",\n")
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_allreduce.json", &json)
+        .expect("write results/BENCH_allreduce.json");
+    println!(
+        "# wrote results/BENCH_allreduce.json ({} rows)",
+        procs.len() * mults.len()
+    );
+}

@@ -10,6 +10,8 @@
 //! measure the algorithms, not interpretation overhead; the simulated
 //! makespans come from the same runs' deterministic clocks.
 
+pub mod harness;
+
 use collopt_collectives::{
     bcast_binomial, comcast_bcast_repeat, comcast_cost_optimal, scan_butterfly, Combine, RepeatOp,
 };

@@ -16,7 +16,13 @@
 //!   cost-optimal variant of Section 3.4);
 //! * [`Comm`] — MPI-style communicators over subgroups;
 //! * two-level cluster collectives ([`hierarchical`]) and the pipelined
-//!   chain broadcast ([`pipelined`]).
+//!   chain broadcast ([`pipelined`]);
+//! * the *bandwidth-optimal* reduction family ([`reduce_scatter`]):
+//!   recursive-halving and ring reduce-scatter, Rabenseifner's
+//!   reduce-scatter + allgather allreduce, and the ring allreduce, plus
+//!   the cost-model-driven selectors [`allreduce_auto`] / [`reduce_auto`]
+//!   in [`variants`] that pick the cheapest algorithm for the machine's
+//!   `(p, m, ts, tw, c)` point.
 //!
 //! All collectives are generic over the block type `T`, take the block size
 //! in machine words explicitly (for cost accounting), and charge the
@@ -47,6 +53,7 @@ pub mod hierarchical;
 pub mod op;
 pub mod pipelined;
 pub mod reduce;
+pub mod reduce_scatter;
 pub mod reference;
 pub mod scan;
 pub mod variants;
@@ -60,10 +67,16 @@ pub use gather::{allgather, barrier, gather_binomial, scatter_binomial};
 pub use hierarchical::{
     allreduce_hierarchical, allreduce_two_level, bcast_hierarchical, bcast_two_level,
 };
-pub use op::Combine;
+pub use op::{Combine, Splittable};
 pub use pipelined::{bcast_pipelined, chain_cost, optimal_segments};
 pub use reduce::{allreduce, allreduce_butterfly, allreduce_commutative, reduce_binomial};
+pub use reduce_scatter::{
+    allgather_doubling, allreduce_balanced_halving, allreduce_rabenseifner, allreduce_ring,
+    reduce_scatter_halving, reduce_scatter_ring,
+};
 pub use scan::{exscan, scan_butterfly};
 pub use variants::{
-    allgather_ring, bcast_auto, bcast_scatter_allgather, choose_bcast, scan_sklansky, BcastChoice,
+    allgather_ring, allreduce_auto, allreduce_model_cost, balanced_halving_wins, bcast_auto,
+    bcast_scatter_allgather, choose_allreduce, choose_bcast, choose_reduce, reduce_auto,
+    reduce_model_cost, scan_sklansky, AllreduceChoice, BcastChoice, ReduceChoice,
 };

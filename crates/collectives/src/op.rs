@@ -14,6 +14,11 @@ pub struct Combine<'a, T> {
     pub f: &'a (dyn Fn(&T, &T) -> T + Sync),
     /// Base operations charged per word of the block for one application.
     pub ops_per_word: f64,
+    /// Declared commutative. Gates the operand-reordering algorithms
+    /// (ring reduce-scatter, fold-excess allreduce); a false declaration
+    /// makes those algorithms produce wrong results, so it is an explicit
+    /// opt-in, never inferred.
+    pub commutative: bool,
 }
 
 impl<'a, T> Combine<'a, T> {
@@ -23,13 +28,25 @@ impl<'a, T> Combine<'a, T> {
         Combine {
             f,
             ops_per_word: 1.0,
+            commutative: false,
         }
     }
 
     /// A combine with an explicit per-word charge (fused tuple operators).
     pub fn with_cost(f: &'a (dyn Fn(&T, &T) -> T + Sync), ops_per_word: f64) -> Self {
         assert!(ops_per_word >= 0.0);
-        Combine { f, ops_per_word }
+        Combine {
+            f,
+            ops_per_word,
+            commutative: false,
+        }
+    }
+
+    /// Declare the operator commutative, unlocking the algorithms that
+    /// combine operands out of rank order.
+    pub fn assume_commutative(mut self) -> Self {
+        self.commutative = true;
+        self
     }
 
     /// Apply the operator.
@@ -43,7 +60,60 @@ impl<T> std::fmt::Debug for Combine<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Combine")
             .field("ops_per_word", &self.ops_per_word)
+            .field("commutative", &self.commutative)
             .finish_non_exhaustive()
+    }
+}
+
+/// A block value that can be cut into contiguous segments and reassembled
+/// — the mechanism behind every segmenting algorithm in this crate
+/// (reduce-scatter, Rabenseifner allreduce, the pipelined chain
+/// broadcast, van de Geijn's scatter+allgather).
+///
+/// The contract, checked by the collectives that rely on it:
+///
+/// * [`split_into(n)`](Splittable::split_into) returns exactly `n` parts
+///   (possibly empty ones when the block is shorter than `n`), with
+///   nearly equal lengths — part `i` gets `len/n` units plus one extra
+///   when `i < len % n` — so that two SPMD peers splitting equal-length
+///   blocks agree on every part length without communicating;
+/// * [`concat`](Splittable::concat) of the parts, in order, restores the
+///   original block;
+/// * `unit_len` is additive under both.
+pub trait Splittable: Sized {
+    /// Block length in combinable units (elements for a `Vec`).
+    fn unit_len(&self) -> usize;
+
+    /// Cut into exactly `parts` contiguous, nearly equal segments.
+    fn split_into(&self, parts: usize) -> Vec<Self>;
+
+    /// Reassemble segments (in order) into one block.
+    fn concat(parts: Vec<Self>) -> Self;
+}
+
+impl<T: Clone> Splittable for Vec<T> {
+    fn unit_len(&self) -> usize {
+        self.len()
+    }
+
+    fn split_into(&self, parts: usize) -> Vec<Self> {
+        assert!(parts > 0, "cannot split into zero parts");
+        let n = self.len();
+        let base = n / parts;
+        let extra = n % parts;
+        let mut out = Vec::with_capacity(parts);
+        let mut at = 0;
+        for i in 0..parts {
+            let len = base + usize::from(i < extra);
+            out.push(self[at..at + len].to_vec());
+            at += len;
+        }
+        debug_assert_eq!(at, n);
+        out
+    }
+
+    fn concat(parts: Vec<Self>) -> Self {
+        parts.into_iter().flatten().collect()
     }
 }
 
@@ -72,5 +142,41 @@ mod tests {
     fn negative_cost_rejected() {
         let add = |a: &i64, b: &i64| a + b;
         let _ = Combine::with_cost(&add, -1.0);
+    }
+
+    #[test]
+    fn commutativity_is_an_explicit_opt_in() {
+        let add = |a: &i64, b: &i64| a + b;
+        assert!(!Combine::new(&add).commutative);
+        assert!(Combine::new(&add).assume_commutative().commutative);
+        assert!(!Combine::with_cost(&add, 2.0).commutative);
+    }
+
+    #[test]
+    fn split_concat_roundtrips_for_every_part_count() {
+        for n in 0..17usize {
+            let block: Vec<i64> = (0..n as i64).collect();
+            for parts in 1..=9 {
+                let segs = block.split_into(parts);
+                assert_eq!(segs.len(), parts, "n={n} parts={parts}");
+                // Nearly equal: lengths differ by at most one, longer
+                // segments first.
+                let lens: Vec<usize> = segs.iter().map(Vec::len).collect();
+                assert!(lens.windows(2).all(|w| w[0] >= w[1] && w[0] - w[1] <= 1));
+                assert_eq!(Vec::concat(segs), block, "n={n} parts={parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_lengths_are_spmd_deterministic() {
+        // Two peers splitting equal-length blocks agree on every part
+        // length without communicating.
+        let a: Vec<u8> = vec![0; 11];
+        let b: Vec<u32> = vec![9; 11];
+        let la: Vec<usize> = a.split_into(4).iter().map(Vec::len).collect();
+        let lb: Vec<usize> = b.split_into(4).iter().map(Vec::len).collect();
+        assert_eq!(la, lb);
+        assert_eq!(la, vec![3, 3, 3, 2]);
     }
 }

@@ -24,6 +24,8 @@
 
 use collopt_machine::Ctx;
 
+use crate::op::Splittable;
+
 /// The optimal segment count `S* = √((p−3)·m·tw/(2·ts))` for the
 /// store-and-forward chain pipeline, clamped to `[1, m]`. With `ts = 0`
 /// the model wants infinitely fine segments; we clamp to one word per
@@ -81,7 +83,10 @@ pub fn bcast_pipelined<T: Clone + Send + 'static>(
             return data;
         }
         let next = (ctx.rank() + 1) % p;
-        let chunks = split_chunks(&data, segments);
+        // Exactly `segments` chunks (possibly empty ones when the block
+        // is shorter than the segment count), so sender and receivers
+        // always agree on the message count.
+        let chunks = data.split_into(segments);
         for chunk in chunks {
             let words = chunk.len() as u64 * words_per_elem;
             ctx.send(next, chunk, words);
@@ -103,24 +108,6 @@ pub fn bcast_pipelined<T: Clone + Send + 'static>(
         }
         data
     }
-}
-
-/// Split into exactly `segments` chunks (possibly empty ones when the
-/// block is shorter than the segment count), so sender and receivers
-/// always agree on the message count.
-fn split_chunks<T: Clone>(data: &[T], segments: usize) -> Vec<Vec<T>> {
-    let n = data.len();
-    let base = n / segments;
-    let extra = n % segments;
-    let mut out = Vec::with_capacity(segments);
-    let mut at = 0;
-    for i in 0..segments {
-        let len = base + usize::from(i < extra);
-        out.push(data[at..at + len].to_vec());
-        at += len;
-    }
-    debug_assert_eq!(at, n);
-    out
 }
 
 #[cfg(test)]

@@ -198,6 +198,34 @@ mod tests {
     }
 
     #[test]
+    fn reduce_to_every_root_combines_in_virtual_rank_order() {
+        // The binomial tree runs on virtual ranks (r − root) mod p, so a
+        // non-commutative operator must see the cyclic order
+        // root, root+1, …, root−1 — for every root and every p, power of
+        // two or not.
+        for p in 2..=9usize {
+            for root in 0..p {
+                let m = Machine::new(p, ClockParams::free());
+                let run = m.run(move |ctx| {
+                    let cat = |a: &String, b: &String| format!("{a}{b}");
+                    let mine = char::from(b'a' + ctx.rank() as u8).to_string();
+                    reduce_binomial(ctx, root, mine, 1, &Combine::new(&cat))
+                });
+                let expected: String = (0..p)
+                    .map(|v| char::from(b'a' + ((root + v) % p) as u8))
+                    .collect();
+                for (rank, got) in run.results.iter().enumerate() {
+                    if rank == root {
+                        assert_eq!(got, &Some(expected.clone()), "p={p} root={root}");
+                    } else {
+                        assert_eq!(got, &None, "p={p} root={root} rank={rank}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn reduce_makespan_matches_eq16() {
         // T_reduce = log p · (ts + m·(tw + 1)), eq. (16).
         for (p, mw) in [(2usize, 4u64), (8, 16), (64, 1000)] {
@@ -311,11 +339,10 @@ mod tests {
 
     #[test]
     fn reduce_with_random_inputs_matches_reference() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = collopt_machine::Rng::new(7);
         for _ in 0..20 {
-            let p = rng.gen_range(1..24);
-            let inputs: Vec<i64> = (0..p).map(|_| rng.gen_range(-100..100)).collect();
+            let p = rng.range_usize(1, 24);
+            let inputs: Vec<i64> = (0..p).map(|_| rng.range_i64(-100, 100)).collect();
             let expected = ref_reduce_value(|a, b| a + b, &inputs);
             let shared = std::sync::Arc::new(inputs);
             let m = Machine::new(p, ClockParams::free());

@@ -177,11 +177,10 @@ mod tests {
 
     #[test]
     fn scan_random_inputs_property() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut rng = collopt_machine::Rng::new(99);
         for _ in 0..25 {
-            let p = rng.gen_range(1..30);
-            let inputs: Vec<i64> = (0..p).map(|_| rng.gen_range(-1000..1000)).collect();
+            let p = rng.range_usize(1, 30);
+            let inputs: Vec<i64> = (0..p).map(|_| rng.range_i64(-1000, 1000)).collect();
             let got = run_scan_i64(inputs.clone(), |a, b| a + b);
             assert_eq!(got, ref_scan(|a, b| a + b, &inputs));
         }

@@ -23,15 +23,28 @@
 //!   butterfly);
 //! * [`bcast_auto`] — evaluates the analytic cost of binomial, chain
 //!   pipeline and scatter+allgather for the actual `(p, m, ts, tw)` and
-//!   runs the predicted winner.
+//!   runs the predicted winner;
+//! * [`allreduce_auto`] / [`reduce_auto`] — the same idea for the
+//!   reduction family of [`reduce_scatter`](crate::reduce_scatter):
+//!   [`choose_allreduce`] compares the butterfly
+//!   (`log p (ts + m(tw + c))`), Rabenseifner's halving+doubling pair
+//!   (`2 log p·ts + m(1−1/p)(2tw + c)`, power-of-two `p`), the ring
+//!   (commutative operators, any `p`) and the reduce+bcast fallback; the
+//!   butterfly wins small blocks and large `ts`, Rabenseifner wins once
+//!   `m > log p·ts / (log p(tw+c) − (1−1/p)(2tw+c))` — e.g. `m ≳ 110`
+//!   words on the Parsytec-like machine at `p = 16`. All formulas live
+//!   in [`allreduce_model_cost`] / [`reduce_model_cost`] so callers can
+//!   report predicted-vs-measured makespans.
 
 use collopt_machine::topology::{butterfly_rounds, ceil_log2};
 use collopt_machine::{ClockParams, Ctx};
 
 use crate::bcast::bcast_binomial;
-use crate::gather::scatter_binomial;
-use crate::op::Combine;
+use crate::gather::{gather_binomial, scatter_binomial};
+use crate::op::{Combine, Splittable};
 use crate::pipelined::{bcast_pipelined, chain_cost, optimal_segments};
+use crate::reduce::{allreduce, allreduce_butterfly, reduce_binomial};
+use crate::reduce_scatter::{allreduce_rabenseifner, allreduce_ring, reduce_scatter_halving};
 
 /// Ring allgather: rank `r` starts with its own block; in step `k` it
 /// sends the block it received in step `k−1` to `r+1` and receives a new
@@ -77,19 +90,7 @@ pub fn bcast_scatter_allgather<T: Clone + Send + 'static>(
         return value.expect("root must supply the block");
     }
     // Split the root's block into p nearly-equal pieces.
-    let pieces: Option<Vec<Vec<T>>> = value.map(|data| {
-        let n = data.len();
-        let base = n / p;
-        let extra = n % p;
-        let mut out = Vec::with_capacity(p);
-        let mut at = 0;
-        for i in 0..p {
-            let len = base + usize::from(i < extra);
-            out.push(data[at..at + len].to_vec());
-            at += len;
-        }
-        out
-    });
+    let pieces: Option<Vec<Vec<T>>> = value.map(|data| data.split_into(p));
     let piece_words = |piece: &Vec<T>| piece.len() as u64 * words_per_elem;
     let mine = scatter_binomial(ctx, pieces, words_per_elem);
     let w = piece_words(&mine).max(1);
@@ -192,6 +193,231 @@ pub fn bcast_auto<T: Clone + Send + 'static>(
         }
         BcastChoice::ScatterAllgather => bcast_scatter_allgather(ctx, value, words_per_elem),
     }
+}
+
+/// Which allreduce algorithm [`allreduce_auto`] predicts to win.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllreduceChoice {
+    /// Butterfly: `log p (ts + m(tw + c))`. Latency-optimal; best for
+    /// small blocks.
+    Butterfly,
+    /// Rabenseifner (recursive-halving reduce-scatter + recursive-
+    /// doubling allgather): `2 log p·ts + m(1−1/p)(2tw + c)`.
+    /// Bandwidth-optimal for power-of-two `p`; best for large blocks.
+    Rabenseifner,
+    /// Ring reduce-scatter + ring allgather; needs a commutative
+    /// operator, works for any `p`.
+    Ring,
+    /// Binomial reduce to rank 0 + binomial broadcast — the order-safe
+    /// fallback for non-power-of-two `p`.
+    ReduceBcast,
+}
+
+impl AllreduceChoice {
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllreduceChoice::Butterfly => "butterfly",
+            AllreduceChoice::Rabenseifner => "rabenseifner",
+            AllreduceChoice::Ring => "ring",
+            AllreduceChoice::ReduceBcast => "reduce_bcast",
+        }
+    }
+}
+
+/// Analytic makespan of one allreduce algorithm at `(p, m, ts, tw, c)` —
+/// the exact formulas the makespan tests in
+/// [`reduce_scatter`](crate::reduce_scatter) verify against the machine.
+/// Infeasible combinations (butterfly or Rabenseifner's halving pair on a
+/// non-power-of-two `p`) cost infinity. Exact when `p` divides `m`
+/// (and, for [`Ring`](AllreduceChoice::Ring), `p > 2`; the selector
+/// never offers the ring below three ranks).
+pub fn allreduce_model_cost(
+    choice: AllreduceChoice,
+    p: usize,
+    words: u64,
+    ops_per_word: f64,
+    params: &ClockParams,
+) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let (ts, tw) = (params.ts, params.tw);
+    let m = words as f64;
+    let c = ops_per_word;
+    let logp = ceil_log2(p) as f64;
+    let frac = 1.0 - 1.0 / p as f64;
+    let seg = m / p as f64;
+    match choice {
+        AllreduceChoice::Butterfly if p.is_power_of_two() => logp * (ts + m * (tw + c)),
+        AllreduceChoice::Rabenseifner if p.is_power_of_two() => {
+            2.0 * logp * ts + m * frac * (2.0 * tw + c)
+        }
+        AllreduceChoice::Butterfly | AllreduceChoice::Rabenseifner => f64::INFINITY,
+        AllreduceChoice::Ring => {
+            // Half-duplex store-and-forward ring: each of the p−1 steps
+            // of either phase costs a send AND a receive on every rank.
+            let step = 2.0 * (ts + seg * tw);
+            (p as f64 - 1.0) * (step + seg * c) + (p as f64 - 1.0) * step
+        }
+        AllreduceChoice::ReduceBcast => logp * (ts + m * (tw + c)) + logp * (ts + m * tw),
+    }
+}
+
+/// Predict the cheapest allreduce algorithm for `(p, m)` under `params`.
+/// `commutative` gates the ring (it folds operands in cyclic order).
+pub fn choose_allreduce(
+    p: usize,
+    words: u64,
+    ops_per_word: f64,
+    commutative: bool,
+    params: &ClockParams,
+) -> AllreduceChoice {
+    let mut candidates: Vec<AllreduceChoice> = Vec::new();
+    if p.is_power_of_two() {
+        candidates.push(AllreduceChoice::Butterfly);
+        candidates.push(AllreduceChoice::Rabenseifner);
+    } else {
+        candidates.push(AllreduceChoice::ReduceBcast);
+    }
+    if commutative && p > 2 {
+        candidates.push(AllreduceChoice::Ring);
+    }
+    // Stable argmin: ties keep the earlier (lower start-up) candidate.
+    candidates
+        .into_iter()
+        .min_by(|a, b| {
+            allreduce_model_cost(*a, p, words, ops_per_word, params)
+                .total_cmp(&allreduce_model_cost(*b, p, words, ops_per_word, params))
+        })
+        .expect("candidate list is never empty")
+}
+
+/// Cost-model-driven allreduce: run whichever algorithm
+/// [`choose_allreduce`] predicts to be fastest for this machine, block
+/// size and operator. Unlike [`bcast_auto`] no length pre-broadcast is
+/// needed: allreduce combines blocks elementwise, so every rank already
+/// holds a block of the (SPMD-uniform) common length and all ranks reach
+/// the same choice independently.
+pub fn allreduce_auto<S: Splittable + Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: S,
+    words_per_unit: u64,
+    op: &Combine<'_, S>,
+) -> S {
+    let p = ctx.size();
+    if p == 1 {
+        return value;
+    }
+    let words = (value.unit_len() as u64 * words_per_unit).max(1);
+    let params = ctx.params();
+    match choose_allreduce(p, words, op.ops_per_word, op.commutative, &params) {
+        AllreduceChoice::Butterfly => allreduce_butterfly(ctx, value, words, op),
+        AllreduceChoice::Rabenseifner => allreduce_rabenseifner(ctx, value, words_per_unit, op),
+        AllreduceChoice::Ring => allreduce_ring(ctx, value, words_per_unit, op),
+        AllreduceChoice::ReduceBcast => allreduce(ctx, value, words, op),
+    }
+}
+
+/// Which reduce-to-root algorithm [`reduce_auto`] predicts to win.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceChoice {
+    /// Binomial tree: `log p (ts + m(tw + c))`.
+    Binomial,
+    /// Recursive-halving reduce-scatter + binomial gather of the reduced
+    /// segments: `2 log p·ts + m(1−1/p)(2tw + c)`. Power-of-two `p`
+    /// only; order-safe for any associative operator.
+    ScatterGather,
+}
+
+/// Analytic makespan of one reduce algorithm; exact when `p | m`.
+pub fn reduce_model_cost(
+    choice: ReduceChoice,
+    p: usize,
+    words: u64,
+    ops_per_word: f64,
+    params: &ClockParams,
+) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let (ts, tw) = (params.ts, params.tw);
+    let m = words as f64;
+    let c = ops_per_word;
+    let logp = ceil_log2(p) as f64;
+    let frac = 1.0 - 1.0 / p as f64;
+    match choice {
+        ReduceChoice::Binomial => logp * (ts + m * (tw + c)),
+        ReduceChoice::ScatterGather if p.is_power_of_two() => {
+            // Halving reduce-scatter + gather: the gather's critical path
+            // is rank 0 receiving 2^j segments in round j, i.e.
+            // log p·ts + (p−1)(m/p)·tw = log p·ts + m(1−1/p)·tw.
+            (logp * ts + m * frac * (tw + c)) + (logp * ts + m * frac * tw)
+        }
+        ReduceChoice::ScatterGather => f64::INFINITY,
+    }
+}
+
+/// Predict the cheapest reduce-to-root algorithm for `(p, m)`.
+pub fn choose_reduce(
+    p: usize,
+    words: u64,
+    ops_per_word: f64,
+    params: &ClockParams,
+) -> ReduceChoice {
+    let binomial = reduce_model_cost(ReduceChoice::Binomial, p, words, ops_per_word, params);
+    let rsg = reduce_model_cost(ReduceChoice::ScatterGather, p, words, ops_per_word, params);
+    if rsg < binomial {
+        ReduceChoice::ScatterGather
+    } else {
+        ReduceChoice::Binomial
+    }
+}
+
+/// Cost-model-driven reduction to rank 0: `Some(result)` on rank 0,
+/// `None` elsewhere. For large blocks on a power-of-two machine the
+/// reduce-scatter + gather route halves the bandwidth term of the
+/// binomial tree while staying order-safe for non-commutative operators.
+pub fn reduce_auto<S: Splittable + Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: S,
+    words_per_unit: u64,
+    op: &Combine<'_, S>,
+) -> Option<S> {
+    let p = ctx.size();
+    let words = (value.unit_len() as u64 * words_per_unit).max(1);
+    match choose_reduce(p, words, op.ops_per_word, &ctx.params()) {
+        ReduceChoice::Binomial => reduce_binomial(ctx, 0, value, words, op),
+        ReduceChoice::ScatterGather => {
+            let seg = reduce_scatter_halving(ctx, value, words_per_unit, op);
+            let seg_words = (seg.unit_len() as u64 * words_per_unit).max(1);
+            gather_binomial(ctx, seg, seg_words).map(S::concat)
+        }
+    }
+}
+
+/// Should the fused balanced allreduce (rule SR-Reduction's RHS) run as
+/// halving/doubling instead of the balanced butterfly? Compares
+/// `log p (ts + m(wf·tw + c))` against `2 log p·ts + m(1−1/p)(2·wf·tw + c)`;
+/// the halving pair needs a power of two.
+pub fn balanced_halving_wins(
+    p: usize,
+    words: u64,
+    words_factor: u64,
+    ops_combine: f64,
+    params: &ClockParams,
+) -> bool {
+    if p <= 1 || !p.is_power_of_two() {
+        return false;
+    }
+    let (ts, tw) = (params.ts, params.tw);
+    let m = words as f64;
+    let wf = words_factor as f64;
+    let logp = ceil_log2(p) as f64;
+    let frac = 1.0 - 1.0 / p as f64;
+    let butterfly = logp * (ts + m * (wf * tw + ops_combine));
+    let halving = 2.0 * logp * ts + m * frac * (2.0 * wf * tw + ops_combine);
+    halving < butterfly
 }
 
 #[cfg(test)]
@@ -378,5 +604,188 @@ mod tests {
                 vdg.makespan
             );
         }
+    }
+
+    #[allow(clippy::ptr_arg)]
+    fn add_blocks(a: &Vec<i64>, b: &Vec<i64>) -> Vec<i64> {
+        a.iter().zip(b).map(|(x, y)| x + y).collect()
+    }
+
+    #[test]
+    fn auto_allreduce_picks_the_winner_per_regime() {
+        let parsytec = ClockParams::parsytec_like();
+        // Small blocks: the butterfly's log p start-ups win.
+        assert_eq!(
+            choose_allreduce(16, 4, 1.0, false, &parsytec),
+            AllreduceChoice::Butterfly
+        );
+        // Large blocks: Rabenseifner's bandwidth term wins.
+        assert_eq!(
+            choose_allreduce(16, 32_768, 1.0, false, &parsytec),
+            AllreduceChoice::Rabenseifner
+        );
+        // Cheap start-ups shift the crossover far left: Rabenseifner
+        // already wins modest blocks.
+        let low_ts = ClockParams::new(4.0, 0.5);
+        assert_eq!(
+            choose_allreduce(16, 64, 1.0, false, &low_ts),
+            AllreduceChoice::Rabenseifner
+        );
+        // Non-power-of-two, non-commutative: only the fallback is sound.
+        assert_eq!(
+            choose_allreduce(6, 32_768, 1.0, false, &parsytec),
+            AllreduceChoice::ReduceBcast
+        );
+        // Non-power-of-two + commutative + large block: the ring's
+        // bandwidth optimality beats reduce+bcast's log p volume.
+        assert_eq!(
+            choose_allreduce(12, 32_768, 1.0, true, &parsytec),
+            AllreduceChoice::Ring
+        );
+    }
+
+    #[test]
+    fn auto_allreduce_is_correct_for_every_size() {
+        for p in 1..=12usize {
+            for mw in [3usize, 40] {
+                let machine = Machine::new(p, ClockParams::parsytec_like());
+                let run = machine.run(move |ctx| {
+                    let block: Vec<i64> = (0..mw as i64).map(|e| ctx.rank() as i64 + e).collect();
+                    let op = Combine::new(&add_blocks).assume_commutative();
+                    allreduce_auto(ctx, block, 1, &op)
+                });
+                let expected: Vec<i64> = (0..mw as i64)
+                    .map(|e| (0..p as i64).map(|r| r + e).sum())
+                    .collect();
+                for (rank, got) in run.results.iter().enumerate() {
+                    assert_eq!(got, &expected, "p={p} m={mw} rank={rank}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_allreduce_measured_makespan_tracks_the_model_within_10_percent() {
+        // The acceptance sweep: for every (p, m) point, run the algorithm
+        // the selector picked and compare the measured simulated makespan
+        // against the analytic prediction for that same algorithm.
+        for params in [ClockParams::parsytec_like(), ClockParams::new(4.0, 0.5)] {
+            for p in [4usize, 5, 6, 8, 12, 16] {
+                for mult in [1u64, 64, 512] {
+                    let mw = p as u64 * mult;
+                    let choice = choose_allreduce(p, mw, 1.0, true, &params);
+                    let predicted = allreduce_model_cost(choice, p, mw, 1.0, &params);
+                    let machine = Machine::new(p, params);
+                    let run = machine.run(move |ctx| {
+                        let block: Vec<i64> =
+                            (0..mw as i64).map(|e| ctx.rank() as i64 + e).collect();
+                        let op = Combine::new(&add_blocks).assume_commutative();
+                        allreduce_auto(ctx, block, 1, &op)
+                    });
+                    let err = (run.makespan - predicted).abs() / predicted;
+                    assert!(
+                        err <= 0.10,
+                        "p={p} m={mw} {}: measured {} vs predicted {predicted} (err {err:.3})",
+                        choice.name(),
+                        run.makespan
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_allreduce_never_loses_to_the_fixed_butterfly() {
+        let params = ClockParams::parsytec_like();
+        for mw in [8usize, 1024, 16_384] {
+            let machine = Machine::new(8, params);
+            let auto = machine.run(move |ctx| {
+                let block: Vec<i64> = (0..mw as i64).collect();
+                allreduce_auto(ctx, block, 1, &Combine::new(&add_blocks))
+            });
+            let fixed = machine.run(move |ctx| {
+                let block: Vec<i64> = (0..mw as i64).collect();
+                allreduce_butterfly(ctx, block, mw as u64, &Combine::new(&add_blocks))
+            });
+            assert_eq!(auto.results, fixed.results);
+            assert!(
+                auto.makespan <= fixed.makespan + 1e-9,
+                "m={mw}: auto {} vs butterfly {}",
+                auto.makespan,
+                fixed.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn auto_reduce_routes_large_blocks_through_reduce_scatter() {
+        let params = ClockParams::parsytec_like();
+        assert_eq!(choose_reduce(16, 4, 1.0, &params), ReduceChoice::Binomial);
+        assert_eq!(
+            choose_reduce(16, 32_768, 1.0, &params),
+            ReduceChoice::ScatterGather
+        );
+        // Non-powers of two always take the binomial tree.
+        assert_eq!(
+            choose_reduce(12, 32_768, 1.0, &params),
+            ReduceChoice::Binomial
+        );
+
+        // Correctness on both routes, including a non-commutative
+        // operator on the scatter+gather route.
+        for p in [4usize, 6, 8] {
+            for mw in [4usize, 4096] {
+                let machine = Machine::new(p, params);
+                let run = machine.run(move |ctx| {
+                    let letter = char::from(b'a' + ctx.rank() as u8).to_string();
+                    let cat = |a: &Vec<String>, b: &Vec<String>| -> Vec<String> {
+                        a.iter().zip(b).map(|(x, y)| format!("{x}{y}")).collect()
+                    };
+                    reduce_auto(ctx, vec![letter; mw], 1, &Combine::new(&cat))
+                });
+                let word: String = (0..p).map(|r| char::from(b'a' + r as u8)).collect();
+                assert!(
+                    run.results[0]
+                        .as_ref()
+                        .is_some_and(|v| v.len() == mw && v.iter().all(|s| s == &word)),
+                    "p={p} m={mw}"
+                );
+                assert!(run.results[1..].iter().all(Option::is_none));
+            }
+        }
+    }
+
+    #[test]
+    fn auto_reduce_makespan_tracks_the_model_within_10_percent() {
+        for params in [ClockParams::parsytec_like(), ClockParams::new(4.0, 0.5)] {
+            for p in [4usize, 8, 16] {
+                for mult in [1u64, 64, 512] {
+                    let mw = p as u64 * mult;
+                    let choice = choose_reduce(p, mw, 1.0, &params);
+                    let predicted = reduce_model_cost(choice, p, mw, 1.0, &params);
+                    let machine = Machine::new(p, params);
+                    let run = machine.run(move |ctx| {
+                        let block: Vec<i64> =
+                            (0..mw as i64).map(|e| ctx.rank() as i64 + e).collect();
+                        reduce_auto(ctx, block, 1, &Combine::new(&add_blocks))
+                    });
+                    let err = (run.makespan - predicted).abs() / predicted;
+                    assert!(
+                        err <= 0.10,
+                        "p={p} m={mw} {choice:?}: measured {} vs predicted {predicted}",
+                        run.makespan
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_halving_chooser_flips_with_block_size() {
+        let params = ClockParams::parsytec_like();
+        // op_sr's parameters: 2 words on the wire and 4 ops per word.
+        assert!(!balanced_halving_wins(16, 4, 2, 4.0, &params));
+        assert!(balanced_halving_wins(16, 16_384, 2, 4.0, &params));
+        assert!(!balanced_halving_wins(12, 16_384, 2, 4.0, &params));
     }
 }

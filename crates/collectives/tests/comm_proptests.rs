@@ -1,65 +1,84 @@
 //! Property tests for communicators: random colorings, random group
 //! sizes, every collective consistent with its per-group reference.
+//! Random cases are drawn from a seeded [`Rng`] so runs are reproducible.
 
 use collopt_collectives::{Combine, Comm};
-use collopt_machine::{ClockParams, Machine};
-use proptest::prelude::*;
+use collopt_machine::{ClockParams, Machine, Rng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Deterministic per-rank contribution used by the properties below.
+fn ctx_rank_value(machine_rank: usize) -> i64 {
+    (machine_rank as i64) * 3 + 1
+}
 
-    #[test]
-    fn split_allreduce_matches_per_group_reference(
-        p in 1usize..14,
-        colors in prop::collection::vec(0u64..4, 14),
-    ) {
-        let colors = std::sync::Arc::new(colors);
+/// Draw `cases` random `(p, colors)` instances and hand each to `check`.
+fn for_random_colorings(
+    seed: u64,
+    cases: usize,
+    max_p: usize,
+    num_colors: u64,
+    mut check: impl FnMut(usize, std::sync::Arc<Vec<u64>>),
+) {
+    let mut rng = Rng::new(seed);
+    for _ in 0..cases {
+        let p = rng.range_usize(1, max_p);
+        let colors: Vec<u64> = (0..max_p).map(|_| rng.below(num_colors)).collect();
+        check(p, std::sync::Arc::new(colors));
+    }
+}
+
+#[test]
+fn split_allreduce_matches_per_group_reference() {
+    for_random_colorings(0xA11, 32, 14, 4, |p, colors| {
         let machine = Machine::new(p, ClockParams::free());
         let cs = colors.clone();
         let run = machine.run(move |ctx| {
             let cs = cs.clone();
             let mut comm = Comm::split(ctx, move |r| cs[r]);
             let add = |a: &i64, b: &i64| a + b;
-            comm.allreduce(ctx_rank_value(comm.translate(comm.rank())), 1, &Combine::new(&add))
+            comm.allreduce(
+                ctx_rank_value(comm.translate(comm.rank())),
+                1,
+                &Combine::new(&add),
+            )
         });
         for rank in 0..p {
             let expected: i64 = (0..p)
                 .filter(|&r| colors[r] == colors[rank])
                 .map(ctx_rank_value)
                 .sum();
-            prop_assert_eq!(run.results[rank], expected, "rank {}", rank);
+            assert_eq!(run.results[rank], expected, "rank {}", rank);
         }
-    }
+    });
+}
 
-    #[test]
-    fn split_scan_matches_per_group_prefix(
-        p in 1usize..12,
-        colors in prop::collection::vec(0u64..3, 12),
-    ) {
-        let colors = std::sync::Arc::new(colors);
+#[test]
+fn split_scan_matches_per_group_prefix() {
+    for_random_colorings(0x5CA, 32, 12, 3, |p, colors| {
         let machine = Machine::new(p, ClockParams::free());
         let cs = colors.clone();
         let run = machine.run(move |ctx| {
             let cs = cs.clone();
             let mut comm = Comm::split(ctx, move |r| cs[r]);
             let add = |a: &i64, b: &i64| a + b;
-            comm.scan(ctx_rank_value(comm.translate(comm.rank())), 1, &Combine::new(&add))
+            comm.scan(
+                ctx_rank_value(comm.translate(comm.rank())),
+                1,
+                &Combine::new(&add),
+            )
         });
         for rank in 0..p {
             let expected: i64 = (0..=rank)
                 .filter(|&r| colors[r] == colors[rank])
                 .map(ctx_rank_value)
                 .sum();
-            prop_assert_eq!(run.results[rank], expected, "rank {}", rank);
+            assert_eq!(run.results[rank], expected, "rank {}", rank);
         }
-    }
+    });
+}
 
-    #[test]
-    fn split_bcast_delivers_group_roots_value(
-        p in 1usize..12,
-        colors in prop::collection::vec(0u64..3, 12),
-    ) {
-        let colors = std::sync::Arc::new(colors);
+#[test]
+fn split_bcast_delivers_group_roots_value() {
+    for_random_colorings(0xBCA, 32, 12, 3, |p, colors| {
         let machine = Machine::new(p, ClockParams::free());
         let cs = colors.clone();
         let run = machine.run(move |ctx| {
@@ -71,16 +90,14 @@ proptest! {
         for rank in 0..p {
             // Group root = lowest machine rank with the same color.
             let root = (0..p).find(|&r| colors[r] == colors[rank]).unwrap() as i64;
-            prop_assert_eq!(run.results[rank], root, "rank {}", rank);
+            assert_eq!(run.results[rank], root, "rank {}", rank);
         }
-    }
+    });
+}
 
-    #[test]
-    fn split_gather_collects_in_group_order(
-        p in 1usize..12,
-        colors in prop::collection::vec(0u64..3, 12),
-    ) {
-        let colors = std::sync::Arc::new(colors);
+#[test]
+fn split_gather_collects_in_group_order() {
+    for_random_colorings(0x6A7, 32, 12, 3, |p, colors| {
         let machine = Machine::new(p, ClockParams::free());
         let cs = colors.clone();
         let run = machine.run(move |ctx| {
@@ -91,15 +108,10 @@ proptest! {
         for rank in 0..p {
             let group: Vec<usize> = (0..p).filter(|&r| colors[r] == colors[rank]).collect();
             if group[0] == rank {
-                prop_assert_eq!(run.results[rank].as_ref(), Some(&group), "root {}", rank);
+                assert_eq!(run.results[rank].as_ref(), Some(&group), "root {}", rank);
             } else {
-                prop_assert!(run.results[rank].is_none(), "non-root {}", rank);
+                assert!(run.results[rank].is_none(), "non-root {}", rank);
             }
         }
-    }
-}
-
-/// Deterministic per-rank contribution used by the properties above.
-fn ctx_rank_value(machine_rank: usize) -> i64 {
-    (machine_rank as i64) * 3 + 1
+    });
 }

@@ -13,9 +13,10 @@
 use std::sync::Arc;
 
 use collopt_collectives::{
-    allgather, allreduce, allreduce_balanced, bcast_auto, bcast_binomial, comcast_bcast_repeat,
-    comcast_cost_optimal, gather_binomial, reduce_balanced, reduce_binomial, scan_balanced,
-    scatter_binomial, BalancedOp, Combine, PairedOp, RepeatOp,
+    allgather, allreduce, allreduce_auto, allreduce_balanced, allreduce_balanced_halving,
+    balanced_halving_wins, bcast_auto, bcast_binomial, comcast_bcast_repeat, comcast_cost_optimal,
+    gather_binomial, reduce_balanced, reduce_binomial, scan_balanced, scatter_binomial, BalancedOp,
+    Combine, PairedOp, RepeatOp,
 };
 use collopt_machine::{ClockParams, Ctx, Machine};
 
@@ -32,6 +33,16 @@ pub struct ExecConfig {
     /// block size) instead of always using the binomial tree. Applies to
     /// list-valued blocks; scalar broadcasts stay binomial.
     pub adaptive_bcast: bool,
+    /// Lower reduction stages through the cost-model-driven selectors:
+    /// `allreduce` stages go through
+    /// [`collopt_collectives::allreduce_auto`] (butterfly vs Rabenseifner
+    /// reduce-scatter + allgather vs ring vs reduce+bcast), and fused
+    /// balanced allreductions (rule SR-Reduction's RHS) switch to
+    /// segmenting halving/doubling when
+    /// [`collopt_collectives::balanced_halving_wins`] predicts a win.
+    /// Applies to list-valued blocks; scalar reductions keep the fixed
+    /// butterfly.
+    pub adaptive_reduction: bool,
 }
 
 /// Result of running a program on the machine.
@@ -207,10 +218,22 @@ fn exec_stage(stage: &Stage, ctx: &mut Ctx, v: &mut Value, config: ExecConfig) {
         Stage::AllReduce(op) => {
             let words = v.words().max(1);
             let ops_per_word = op.ops_per_word() * m / words as f64;
+            let commutative = op.is_commutative();
             let opc = op.clone();
             let f = move |a: &Value, b: &Value| opc.apply(a, b);
-            let combine = Combine::with_cost(&f, ops_per_word);
-            *v = allreduce(ctx, v.clone(), words, &combine);
+            let mut combine = Combine::with_cost(&f, ops_per_word);
+            if commutative {
+                combine = combine.assume_commutative();
+            }
+            // Like `Stage::Bcast`: the adaptive path needs a segmentable
+            // list block, and the (SPMD-uniform) shape guarantees every
+            // rank takes the same branch and picks the same algorithm.
+            if config.adaptive_reduction && matches!(v, Value::List(_)) {
+                let words_per_unit = (v.words() / v.block_len().max(1) as u64).max(1);
+                *v = allreduce_auto(ctx, v.clone(), words_per_unit, &combine);
+            } else {
+                *v = allreduce(ctx, v.clone(), words, &combine);
+            }
         }
         Stage::ReduceBalanced {
             combine,
@@ -232,7 +255,24 @@ fn exec_stage(stage: &Stage, ctx: &mut Ctx, v: &mut Value, config: ExecConfig) {
             };
             let words = v.block_len() as u64;
             if *all {
-                *v = allreduce_balanced(ctx, v.clone(), words, &op);
+                // The fused operator is position-dependent, so only the
+                // order-preserving halving/doubling pair may replace the
+                // balanced butterfly — and only when the model says the
+                // saved bandwidth beats the doubled start-ups.
+                let use_halving = config.adaptive_reduction
+                    && matches!(v, Value::List(_))
+                    && balanced_halving_wins(
+                        ctx.size(),
+                        words,
+                        *words_factor,
+                        *ops_combine,
+                        &ctx.params(),
+                    );
+                if use_halving {
+                    *v = allreduce_balanced_halving(ctx, v.clone(), 1, &op);
+                } else {
+                    *v = allreduce_balanced(ctx, v.clone(), words, &op);
+                }
             } else if let Some(r) = reduce_balanced(ctx, v.clone(), words, &op) {
                 *v = r;
             }
@@ -525,6 +565,7 @@ mod tests {
             clock,
             ExecConfig {
                 adaptive_bcast: true,
+                ..ExecConfig::default()
             },
         );
         assert_eq!(fixed.outputs, adaptive.outputs);
@@ -546,11 +587,101 @@ mod tests {
             clock,
             ExecConfig {
                 adaptive_bcast: true,
+                ..ExecConfig::default()
             },
         );
         assert_eq!(f.outputs, a.outputs);
         let preamble = 4.0 * (clock.ts + clock.tw);
         assert!(a.makespan <= f.makespan + preamble + 1.0);
+    }
+
+    #[test]
+    fn adaptive_reduction_beats_the_fixed_butterfly_for_large_blocks() {
+        let p = 16usize;
+        let mw = 32_000usize;
+        let prog = Program::new().allreduce(lib::add());
+        let input: Vec<Value> = (0..p)
+            .map(|r| Value::List(vec![Value::Int(r as i64); mw]))
+            .collect();
+        let clock = ClockParams::parsytec_like();
+        let fixed = execute(&prog, &input, clock);
+        let adaptive = execute_with(
+            &prog,
+            &input,
+            clock,
+            ExecConfig {
+                adaptive_reduction: true,
+                ..ExecConfig::default()
+            },
+        );
+        assert_eq!(fixed.outputs, adaptive.outputs);
+        assert!(
+            adaptive.makespan < fixed.makespan,
+            "adaptive {} must beat butterfly {} at m={mw}",
+            adaptive.makespan,
+            fixed.makespan
+        );
+        // Below the crossover the selector keeps the butterfly, so the
+        // adaptive run costs exactly the same.
+        let small: Vec<Value> = (0..p)
+            .map(|r| Value::List(vec![Value::Int(r as i64); 4]))
+            .collect();
+        let f = execute(&prog, &small, clock);
+        let a = execute_with(
+            &prog,
+            &small,
+            clock,
+            ExecConfig {
+                adaptive_reduction: true,
+                ..ExecConfig::default()
+            },
+        );
+        assert_eq!(f.outputs, a.outputs);
+        assert_eq!(f.makespan, a.makespan);
+    }
+
+    #[test]
+    fn adaptive_reduction_speeds_up_the_fused_scan_allreduce() {
+        // SR-Reduction fuses scan ⊕ allreduce ⊕ into one balanced
+        // allreduction; with large blocks the adaptive executor runs its
+        // RHS as segmenting halving/doubling and must still match the
+        // evaluator (the fused op is order-sensitive).
+        let p = 8usize;
+        let mw = 2_000usize;
+        let prog = Program::new().scan(lib::add()).allreduce(lib::add());
+        let opt = Rewriter::exhaustive()
+            .allow_rank0_rules(false)
+            .optimize(&prog)
+            .program;
+        let input: Vec<Value> = (0..p)
+            .map(|r| {
+                Value::List(
+                    (0..mw)
+                        .map(|i| Value::Int((r * 7 + i % 5) as i64))
+                        .collect(),
+                )
+            })
+            .collect();
+        let clock = ClockParams::parsytec_like();
+        let expected = eval_program(&opt, &input);
+        let fixed = execute(&opt, &input, clock);
+        let adaptive = execute_with(
+            &opt,
+            &input,
+            clock,
+            ExecConfig {
+                adaptive_reduction: true,
+                ..ExecConfig::default()
+            },
+        );
+        assert_eq!(adaptive.outputs, expected);
+        assert_eq!(fixed.outputs, expected);
+        assert!(
+            adaptive.makespan < fixed.makespan,
+            "halving/doubling {} must beat the balanced butterfly {} at m={mw}",
+            adaptive.makespan,
+            fixed.makespan
+        );
     }
 
     #[test]

@@ -13,6 +13,8 @@
 
 use std::fmt;
 
+use collopt_collectives::Splittable;
+
 /// A dynamic value: scalars, tuples (the auxiliary variables of
 /// Section 2.3) and lists (blocks of `m` words).
 #[derive(Debug, Clone, PartialEq)]
@@ -167,6 +169,41 @@ impl fmt::Display for Value {
     }
 }
 
+/// Lets the segmenting collectives ([`collopt_collectives::reduce_scatter`])
+/// carve a [`Value::List`] block into per-rank segments and reassemble it.
+/// Scalar-like values are indivisible: they only "split" into one part.
+impl Splittable for Value {
+    fn unit_len(&self) -> usize {
+        self.block_len()
+    }
+
+    fn split_into(&self, parts: usize) -> Vec<Value> {
+        match self {
+            Value::List(vs) => vs.split_into(parts).into_iter().map(Value::List).collect(),
+            other => {
+                assert_eq!(parts, 1, "cannot segment a scalar-like value {other}");
+                vec![other.clone()]
+            }
+        }
+    }
+
+    fn concat(parts: Vec<Value>) -> Value {
+        if parts.len() == 1 && !matches!(parts[0], Value::List(_)) {
+            // A scalar round-trips through its single "segment".
+            return parts.into_iter().next().expect("one part");
+        }
+        Value::List(
+            parts
+                .into_iter()
+                .flat_map(|p| match p {
+                    Value::List(vs) => vs,
+                    other => panic!("cannot concatenate non-list segment {other}"),
+                })
+                .collect(),
+        )
+    }
+}
+
 impl From<i64> for Value {
     fn from(v: i64) -> Value {
         Value::Int(v)
@@ -251,5 +288,35 @@ mod tests {
     #[should_panic(expected = "expected Int")]
     fn wrong_accessor_panics() {
         Value::float(1.0).as_int();
+    }
+
+    #[test]
+    fn list_blocks_split_and_concat_round_trip() {
+        let block = Value::int_list([1, 2, 3, 4, 5]);
+        let segs = block.split_into(3);
+        assert_eq!(
+            segs,
+            vec![
+                Value::int_list([1, 2]),
+                Value::int_list([3, 4]),
+                Value::int_list([5]),
+            ]
+        );
+        assert_eq!(Value::concat(segs), block);
+        assert_eq!(block.unit_len(), 5);
+    }
+
+    #[test]
+    fn scalars_only_split_into_one_part() {
+        let v = Value::Int(7);
+        assert_eq!(v.unit_len(), 1);
+        let segs = v.split_into(1);
+        assert_eq!(Value::concat(segs), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot segment")]
+    fn scalars_refuse_real_splits() {
+        Value::Int(7).split_into(2);
     }
 }

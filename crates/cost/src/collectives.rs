@@ -7,6 +7,7 @@
 //! counts. A *local* stage (the result of the Local rules) runs `log p`
 //! iterations with no communication at all.
 
+use crate::params::MachineParams;
 use crate::phase::PhaseCost;
 
 /// Broadcast: no computation (eq. 15).
@@ -60,6 +61,82 @@ pub const fn local_iter(ops: f64) -> PhaseCost {
     PhaseCost::new(0.0, 0.0, ops)
 }
 
+// --- The bandwidth-optimal reduction family -------------------------------
+//
+// Unlike the `PhaseCost` constructors above, these makespans are not a
+// uniform per-phase cost times `log p`: the segmenting algorithms move a
+// different volume every round (halving/doubling) or run `p − 1` linear
+// steps (ring), so they are closed forms over the whole operation. Each
+// is exact on the simulated machine when `p` divides `m` and is verified
+// to machine precision by the collectives crate's makespan tests, which
+// implement the same formulas independently.
+
+/// `m(1 − 1/p)` — the total volume per rank of a segmenting collective.
+fn frac(params: &MachineParams) -> f64 {
+    1.0 - 1.0 / params.p as f64
+}
+
+/// Butterfly allreduce (power-of-two `p`): `log p (ts + m(tw + ops))`.
+/// The `PhaseCost` equivalent of `reduce(ops, 1.0)` — restated here so
+/// the family can be compared through one interface.
+pub fn allreduce_butterfly_cost(params: &MachineParams, m: f64, ops: f64) -> f64 {
+    params.log_p() * (params.ts + m * (params.tw + ops))
+}
+
+/// Recursive-halving reduce-scatter (power-of-two `p`):
+/// `log₂ p·ts + m(1−1/p)(tw + ops)` — round `j` exchanges and combines
+/// only `m/2^(j+1)` words.
+pub fn reduce_scatter_halving_cost(params: &MachineParams, m: f64, ops: f64) -> f64 {
+    params.log_p() * params.ts + m * frac(params) * (params.tw + ops)
+}
+
+/// Recursive-doubling allgather (power-of-two `p`):
+/// `log₂ p·ts + m(1−1/p)·tw`.
+pub fn allgather_doubling_cost(params: &MachineParams, m: f64) -> f64 {
+    params.log_p() * params.ts + m * frac(params) * params.tw
+}
+
+/// Rabenseifner's allreduce = reduce-scatter + allgather
+/// (power-of-two `p`): `2 log₂ p·ts + m(1−1/p)(2tw + ops)`.
+pub fn allreduce_rabenseifner_cost(params: &MachineParams, m: f64, ops: f64) -> f64 {
+    reduce_scatter_halving_cost(params, m, ops) + allgather_doubling_cost(params, m)
+}
+
+/// Ring reduce-scatter (any `p`, commutative operator): `p − 1` steps of
+/// `m/p`-word messages. On the half-duplex store-and-forward machine
+/// each step pays a send *and* a receive:
+/// `(p−1)(2(ts + (m/p)tw) + (m/p)·ops)`.
+pub fn reduce_scatter_ring_cost(params: &MachineParams, m: f64, ops: f64) -> f64 {
+    let steps = params.p as f64 - 1.0;
+    let seg = m / params.p as f64;
+    steps * (2.0 * (params.ts + seg * params.tw) + seg * ops)
+}
+
+/// Ring allreduce = ring reduce-scatter + ring allgather (any `p`,
+/// commutative operator):
+/// `(p−1)(2(ts + (m/p)tw) + (m/p)·ops) + 2(p−1)(ts + (m/p)tw)`.
+pub fn allreduce_ring_cost(params: &MachineParams, m: f64, ops: f64) -> f64 {
+    let steps = params.p as f64 - 1.0;
+    let seg = m / params.p as f64;
+    reduce_scatter_ring_cost(params, m, ops) + 2.0 * steps * (params.ts + seg * params.tw)
+}
+
+/// Binomial reduce + binomial broadcast — the order-safe allreduce
+/// fallback for any `p`: `log p (ts + m(tw + ops)) + log p (ts + m·tw)`.
+pub fn allreduce_reduce_bcast_cost(params: &MachineParams, m: f64, ops: f64) -> f64 {
+    reduce(ops, 1.0).eval(params, m) + bcast().eval(params, m)
+}
+
+/// Reduce-to-root via reduce-scatter + binomial gather (power-of-two
+/// `p`): the gather's critical path is rank 0 receiving `2^j` segments
+/// in round `j`, i.e. `log p·ts + m(1−1/p)·tw`, giving
+/// `2 log p·ts + m(1−1/p)(2tw + ops)` in total — the same closed form as
+/// [`allreduce_rabenseifner_cost`].
+pub fn reduce_scatter_gather_cost(params: &MachineParams, m: f64, ops: f64) -> f64 {
+    reduce_scatter_halving_cost(params, m, ops)
+        + (params.log_p() * params.ts + m * frac(params) * params.tw)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +179,58 @@ mod tests {
         let fast = comcast_bcast_repeat(2.0);
         let opt = comcast_cost_optimal(1.0, 2.0, 2.0);
         assert!(opt.always_exceeds(&fast));
+    }
+
+    #[test]
+    fn reduction_family_costs_at_a_hand_checked_point() {
+        // p = 8, ts = 100, tw = 2, m = 64, ops = 1:
+        let p = MachineParams::new(8, 100.0, 2.0);
+        let m = 64.0;
+        // butterfly: 3(100 + 64·3) = 876
+        assert_eq!(allreduce_butterfly_cost(&p, m, 1.0), 876.0);
+        // halving RS: 300 + 56·3 = 468
+        assert_eq!(reduce_scatter_halving_cost(&p, m, 1.0), 468.0);
+        // doubling AG: 300 + 56·2 = 412
+        assert_eq!(allgather_doubling_cost(&p, m), 412.0);
+        // rabenseifner = RS + AG = 880
+        assert_eq!(allreduce_rabenseifner_cost(&p, m, 1.0), 880.0);
+        // ring RS: 7·(2(100 + 16) + 8) = 7·240 = 1680
+        assert_eq!(reduce_scatter_ring_cost(&p, m, 1.0), 1680.0);
+        // ring allreduce: 1680 + 2·7·116 = 3304
+        assert_eq!(allreduce_ring_cost(&p, m, 1.0), 3304.0);
+        // RS + gather equals rabenseifner's closed form.
+        assert_eq!(
+            reduce_scatter_gather_cost(&p, m, 1.0),
+            allreduce_rabenseifner_cost(&p, m, 1.0)
+        );
+    }
+
+    #[test]
+    fn rabenseifner_wins_exactly_above_the_crossover() {
+        // Butterfly's log p·m(tw+c) volume term against Rabenseifner's
+        // m(1−1/p)(2tw+c): the winner flips once, from butterfly (small
+        // m, start-up bound) to Rabenseifner (large m, bandwidth bound).
+        let p = MachineParams::parsytec_like(16);
+        assert!(allreduce_butterfly_cost(&p, 4.0, 1.0) < allreduce_rabenseifner_cost(&p, 4.0, 1.0));
+        assert!(
+            allreduce_rabenseifner_cost(&p, 4096.0, 1.0)
+                < allreduce_butterfly_cost(&p, 4096.0, 1.0)
+        );
+        // Asymptotically the butterfly pays log p / ((1−1/p)·(2tw+c)/(tw+c))
+        // times more; at p = 16, tw = 2, c = 1 that is 4·3/(0.9375·5) ≈ 2.56.
+        let huge = 1e9;
+        let ratio =
+            allreduce_butterfly_cost(&p, huge, 1.0) / allreduce_rabenseifner_cost(&p, huge, 1.0);
+        assert!((ratio - 4.0 * 3.0 / (0.9375 * 5.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn reduce_bcast_fallback_always_loses_to_the_butterfly() {
+        // On a power of two the fallback is the butterfly plus a whole
+        // broadcast — the selector must never pick it there.
+        for m in [1.0, 100.0, 10_000.0] {
+            let p = MachineParams::new(16, 200.0, 2.0);
+            assert!(allreduce_butterfly_cost(&p, m, 1.0) < allreduce_reduce_bcast_cost(&p, m, 1.0));
+        }
     }
 }

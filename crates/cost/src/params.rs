@@ -1,10 +1,8 @@
 //! Machine parameters of the cost model.
 
-use serde::{Deserialize, Serialize};
-
 /// The paper's machine description: `p` processors, start-up time `ts` and
 /// per-word time `tw`, both in units of one computation operation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineParams {
     /// Number of processors.
     pub p: usize,

@@ -6,12 +6,10 @@
 //! composition of collectives), compared, evaluated, and solved for
 //! crossover points exactly.
 
-use serde::{Deserialize, Serialize};
-
 use crate::params::MachineParams;
 
 /// A per-`log p` cost `α·ts + β·m·tw + γ·m`.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PhaseCost {
     /// Coefficient of `ts` — number of message start-ups per phase.
     pub ts: f64,

@@ -26,14 +26,12 @@
 //! coefficient. CR-Alllocal — stated in the paper's Section 3.5 but not
 //! printed in its Table 1 — is included with costs derived the same way.
 
-use serde::{Deserialize, Serialize};
-
 use crate::collectives as coll;
 use crate::params::MachineParams;
 use crate::phase::PhaseCost;
 
 /// The optimization rules of Section 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     /// `scan(⊗); reduce(⊕)` → `reduce(op_sr2)` (⊗ distributes over ⊕).
     Sr2Reduction,
@@ -185,7 +183,7 @@ impl std::fmt::Display for Rule {
 }
 
 /// One row of Table 1: the rule, and the per-phase costs of its two sides.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RuleEstimate {
     /// Which rule.
     pub rule: Rule,

@@ -1,15 +1,23 @@
 //! Type-erased point-to-point mailboxes between ranks.
 //!
 //! The machine is fully connected: every ordered pair of ranks `(src, dst)`
-//! gets its own FIFO channel, so a receive from a specific source needs no
+//! gets its own FIFO queue, so a receive from a specific source needs no
 //! tag matching and two messages from the same source can never overtake
 //! each other. Payloads are type-erased (`Box<dyn Any + Send>`) so that a
 //! single SPMD program can exchange values of several types — e.g. a
 //! broadcast of `Vec<f64>` followed by a scan over pairs.
+//!
+//! Built on `std::sync` only: each rank owns one inbox (a mutex-protected
+//! set of per-source FIFO queues plus a condvar). A sender locks the
+//! destination inbox, enqueues, and notifies; a receiver waits on its own
+//! condvar. When a rank's [`Mailboxes`] is dropped, it marks itself dead in
+//! every peer's inbox so blocked receivers observe a disconnect instead of
+//! hanging — the same semantics a per-pair channel would give when its
+//! sending half is dropped (queued packets still drain first).
 
 use std::any::Any;
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::error::MachineError;
 
@@ -33,12 +41,41 @@ impl std::fmt::Debug for Packet {
     }
 }
 
-/// The sending half of the full mesh, owned by one rank: one [`Sender`]
-/// per destination.
+/// Mutable inbox state of one rank: a FIFO queue per source plus the
+/// liveness of each sender (false once that rank's [`Mailboxes`] dropped).
+struct InboxState {
+    queues: Vec<VecDeque<Packet>>,
+    live: Vec<bool>,
+    /// Rotating start index so [`Mailboxes::pop_any`] is fair across
+    /// sources rather than always favouring rank 0.
+    next_scan: usize,
+}
+
+/// One rank's inbox: the state under a mutex and a condvar that senders
+/// signal on every enqueue (and droppers on every disconnect).
+struct Inbox {
+    state: Mutex<InboxState>,
+    arrived: Condvar,
+}
+
+impl Inbox {
+    fn new(p: usize) -> Inbox {
+        Inbox {
+            state: Mutex::new(InboxState {
+                queues: (0..p).map(|_| VecDeque::new()).collect(),
+                live: vec![true; p],
+                next_scan: 0,
+            }),
+            arrived: Condvar::new(),
+        }
+    }
+}
+
+/// One rank's view of the full mesh: its own inbox (to receive) and every
+/// peer's inbox (to send).
 pub struct Mailboxes {
     rank: usize,
-    senders: Vec<Sender<Packet>>,
-    receivers: Vec<Receiver<Packet>>,
+    inboxes: Vec<Arc<Inbox>>,
 }
 
 impl Mailboxes {
@@ -49,117 +86,118 @@ impl Mailboxes {
 
     /// Number of ranks in the mesh.
     pub fn size(&self) -> usize {
-        self.senders.len()
+        self.inboxes.len()
     }
 
     /// Enqueue a packet for `dst`. Panics on an invalid destination — the
     /// collectives never produce one, so this is an assertion, not a
     /// recoverable condition.
     pub fn push(&self, dst: usize, packet: Packet) -> Result<(), MachineError> {
-        if dst >= self.senders.len() {
+        if dst >= self.inboxes.len() {
             return Err(MachineError::InvalidRank {
                 rank: dst,
-                size: self.senders.len(),
+                size: self.inboxes.len(),
             });
         }
-        self.senders[dst]
-            .send(packet)
-            .map_err(|_| MachineError::Disconnected { rank: dst })
+        let mut state = self.inboxes[dst].state.lock().expect("inbox poisoned");
+        state.queues[self.rank].push_back(packet);
+        drop(state);
+        self.inboxes[dst].arrived.notify_all();
+        Ok(())
     }
 
     /// Block until a packet from `src` arrives.
     pub fn pop(&self, src: usize) -> Result<Packet, MachineError> {
-        if src >= self.receivers.len() {
+        if src >= self.inboxes.len() {
             return Err(MachineError::InvalidRank {
                 rank: src,
-                size: self.receivers.len(),
+                size: self.inboxes.len(),
             });
         }
-        self.receivers[src]
-            .recv()
-            .map_err(|_| MachineError::Disconnected { rank: src })
+        let inbox = &self.inboxes[self.rank];
+        let mut state = inbox.state.lock().expect("inbox poisoned");
+        loop {
+            if let Some(p) = state.queues[src].pop_front() {
+                return Ok(p);
+            }
+            if !state.live[src] {
+                // Sender gone and its queue drained.
+                return Err(MachineError::Disconnected { rank: src });
+            }
+            state = inbox.arrived.wait(state).expect("inbox poisoned");
+        }
     }
 
     /// Block until a packet arrives from *any* source (MPI_ANY_SOURCE);
-    /// returns `(source, packet)`. Uses a fair crossbeam `Select` over all
-    /// incoming channels.
+    /// returns `(source, packet)`. A rotating scan start keeps the choice
+    /// fair when several sources are ready.
     pub fn pop_any(&self) -> Result<(usize, Packet), MachineError> {
-        let mut sel = crossbeam::channel::Select::new();
-        for rx in &self.receivers {
-            sel.recv(rx);
-        }
-        let mut live = self.receivers.len();
+        let p = self.inboxes.len();
+        let inbox = &self.inboxes[self.rank];
+        let mut state = inbox.state.lock().expect("inbox poisoned");
         loop {
-            let op = sel.select();
-            let src = op.index();
-            match op.recv(&self.receivers[src]) {
-                Ok(p) => return Ok((src, p)),
-                Err(_) => {
-                    // This peer finished and its channel drained; stop
-                    // polling it. Only when every source is gone is the
-                    // caller's protocol broken.
-                    sel.remove(src);
-                    live -= 1;
-                    if live == 0 {
-                        return Err(MachineError::Disconnected { rank: src });
-                    }
+            let start = state.next_scan;
+            for off in 0..p {
+                let src = (start + off) % p;
+                if let Some(packet) = state.queues[src].pop_front() {
+                    state.next_scan = (src + 1) % p;
+                    return Ok((src, packet));
                 }
             }
+            if state.live.iter().all(|&l| !l) {
+                // Every queue is empty and every sender is gone: no packet
+                // can ever arrive. A single dead peer is fine — the others
+                // may still send.
+                return Err(MachineError::Disconnected { rank: p - 1 });
+            }
+            state = inbox.arrived.wait(state).expect("inbox poisoned");
         }
     }
 
     /// Non-blocking variant of [`pop`](Self::pop): `Ok(None)` when the
     /// mailbox from `src` is currently empty.
     pub fn try_pop(&self, src: usize) -> Result<Option<Packet>, MachineError> {
-        if src >= self.receivers.len() {
+        if src >= self.inboxes.len() {
             return Err(MachineError::InvalidRank {
                 rank: src,
-                size: self.receivers.len(),
+                size: self.inboxes.len(),
             });
         }
-        match self.receivers[src].try_recv() {
-            Ok(p) => Ok(Some(p)),
-            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
-            Err(crossbeam::channel::TryRecvError::Disconnected) => {
-                Err(MachineError::Disconnected { rank: src })
+        let mut state = self.inboxes[self.rank]
+            .state
+            .lock()
+            .expect("inbox poisoned");
+        if let Some(p) = state.queues[src].pop_front() {
+            return Ok(Some(p));
+        }
+        if !state.live[src] {
+            return Err(MachineError::Disconnected { rank: src });
+        }
+        Ok(None)
+    }
+}
+
+impl Drop for Mailboxes {
+    fn drop(&mut self) {
+        // Mark this rank dead in every inbox (including our own, for
+        // completeness) and wake all blocked receivers so they can observe
+        // the disconnect instead of waiting forever.
+        for inbox in &self.inboxes {
+            if let Ok(mut state) = inbox.state.lock() {
+                state.live[self.rank] = false;
             }
+            inbox.arrived.notify_all();
         }
     }
 }
 
 /// Builds the full `p × p` mesh and hands each rank its mailboxes.
 pub fn build_mesh(p: usize) -> Vec<Mailboxes> {
-    // senders[src][dst] / receivers[dst][src]
-    let mut senders: Vec<Vec<Sender<Packet>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
-    let mut receivers: Vec<Vec<Receiver<Packet>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
-    for src in 0..p {
-        for _dst in 0..p {
-            let (tx, rx) = unbounded();
-            senders[src].push(tx);
-            receivers[src].push(rx); // placeholder position, fixed below
-        }
-    }
-    // receivers[dst][src] must be the rx end of channel (src -> dst); the
-    // loop above filled receivers[src][dst], so transpose.
-    let mut transposed: Vec<Vec<Receiver<Packet>>> =
-        (0..p).map(|_| Vec::with_capacity(p)).collect();
-    let mut taken: Vec<Vec<Option<Receiver<Packet>>>> = receivers
-        .into_iter()
-        .map(|row| row.into_iter().map(Some).collect())
-        .collect();
-    for dst in 0..p {
-        for row in taken.iter_mut() {
-            transposed[dst].push(row[dst].take().expect("transpose visits each cell once"));
-        }
-    }
-    senders
-        .into_iter()
-        .zip(transposed)
-        .enumerate()
-        .map(|(rank, (senders, receivers))| Mailboxes {
+    let inboxes: Vec<Arc<Inbox>> = (0..p).map(|_| Arc::new(Inbox::new(p))).collect();
+    (0..p)
+        .map(|rank| Mailboxes {
             rank,
-            senders,
-            receivers,
+            inboxes: inboxes.clone(),
         })
         .collect()
 }
@@ -252,5 +290,36 @@ mod tests {
         let p = mesh[1].pop(0).unwrap();
         assert_eq!(p.words, 42);
         assert_eq!(p.send_time, 3.5);
+    }
+
+    #[test]
+    fn queued_packets_drain_before_disconnect_is_reported() {
+        let mut mesh = build_mesh(2);
+        let m1 = mesh.pop().unwrap();
+        let m0 = mesh.pop().unwrap();
+        m0.push(1, packet(5u8, 1)).unwrap();
+        drop(m0);
+        let p = m1.pop(0).unwrap();
+        assert_eq!(*p.payload.downcast::<u8>().unwrap(), 5);
+        assert_eq!(
+            m1.pop(0).unwrap_err(),
+            MachineError::Disconnected { rank: 0 }
+        );
+    }
+
+    #[test]
+    fn pop_any_is_fair_across_ready_sources() {
+        let mesh = build_mesh(3);
+        for _ in 0..2 {
+            mesh[0].push(2, packet(0usize, 1)).unwrap();
+            mesh[1].push(2, packet(1usize, 1)).unwrap();
+        }
+        let mut sources = Vec::new();
+        for _ in 0..4 {
+            let (src, _) = mesh[2].pop_any().unwrap();
+            sources.push(src);
+        }
+        sources.sort_unstable();
+        assert_eq!(sources, vec![0, 0, 1, 1]);
     }
 }

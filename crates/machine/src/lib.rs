@@ -55,11 +55,13 @@ pub mod channel;
 pub mod clock;
 pub mod error;
 pub mod machine;
+pub mod rng;
 pub mod topology;
 pub mod trace;
 
 pub use clock::{ClockParams, ClusterParams};
 pub use error::MachineError;
 pub use machine::{Ctx, Machine, RunResult};
+pub use rng::Rng;
 pub use topology::BalancedTree;
 pub use trace::{Event, EventKind, Trace};

@@ -6,11 +6,12 @@
 //! pipelines from a small grammar and random inputs (scalars and blocks,
 //! any processor count) and checks the two agree bit for bit — including
 //! the deliberately under-defined positions (non-root values after
-//! `reduce`), where both take the same deterministic choice.
+//! `reduce`), where both take the same deterministic choice. Cases come
+//! from a seeded [`Rng`], so every run replays the identical programs.
 
 use collopt::core::semantics::eval_program;
+use collopt::machine::Rng;
 use collopt::prelude::*;
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Piece {
@@ -25,18 +26,23 @@ enum Piece {
     ScanTropical,
 }
 
-fn piece_strategy() -> impl Strategy<Value = Piece> {
-    prop_oneof![
-        Just(Piece::MapInc),
-        Just(Piece::MapIndexedAdd),
-        Just(Piece::Bcast),
-        Just(Piece::ScanAdd),
-        Just(Piece::ScanMax),
-        Just(Piece::ReduceAdd),
-        Just(Piece::AllReduceAdd),
-        Just(Piece::AllReduceMin),
-        Just(Piece::ScanTropical),
-    ]
+const PIECES: [Piece; 9] = [
+    Piece::MapInc,
+    Piece::MapIndexedAdd,
+    Piece::Bcast,
+    Piece::ScanAdd,
+    Piece::ScanMax,
+    Piece::ReduceAdd,
+    Piece::AllReduceAdd,
+    Piece::AllReduceMin,
+    Piece::ScanTropical,
+];
+
+fn random_pieces(rng: &mut Rng, min_len: usize, max_len: usize) -> Vec<Piece> {
+    let len = rng.range_usize(min_len, max_len);
+    (0..len)
+        .map(|_| PIECES[rng.range_usize(0, PIECES.len())].clone())
+        .collect()
 }
 
 fn build(pieces: &[Piece]) -> Program {
@@ -61,61 +67,70 @@ fn build(pieces: &[Piece]) -> Program {
     prog
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn executor_agrees_with_evaluator_on_scalars(
-        pieces in prop::collection::vec(piece_strategy(), 1..6),
-        xs in prop::collection::vec(-25i64..25, 1..14),
-    ) {
+#[test]
+fn executor_agrees_with_evaluator_on_scalars() {
+    let mut rng = Rng::new(0xE5A1);
+    for _ in 0..64 {
+        let pieces = random_pieces(&mut rng, 1, 6);
         let prog = build(&pieces);
-        let input: Vec<Value> = xs.iter().map(|&v| Value::Int(v)).collect();
+        let n = rng.range_usize(1, 14);
+        let input: Vec<Value> = (0..n).map(|_| Value::Int(rng.range_i64(-25, 25))).collect();
         let expected = eval_program(&prog, &input);
         let got = execute(&prog, &input, ClockParams::free());
-        prop_assert_eq!(got.outputs, expected, "{}", prog);
+        assert_eq!(got.outputs, expected, "{}", prog);
     }
+}
 
-    #[test]
-    fn executor_agrees_with_evaluator_on_blocks(
-        pieces in prop::collection::vec(piece_strategy(), 1..5),
-        rows in prop::collection::vec(prop::collection::vec(-15i64..15, 4), 1..10),
-    ) {
+#[test]
+fn executor_agrees_with_evaluator_on_blocks() {
+    let mut rng = Rng::new(0xE5A2);
+    for _ in 0..64 {
+        let pieces = random_pieces(&mut rng, 1, 5);
         let prog = build(&pieces);
-        let input: Vec<Value> =
-            rows.iter().map(|r| Value::int_list(r.iter().copied())).collect();
+        let n = rng.range_usize(1, 10);
+        let input: Vec<Value> = (0..n)
+            .map(|_| Value::int_list((0..4).map(|_| rng.range_i64(-15, 15))))
+            .collect();
         let expected = eval_program(&prog, &input);
         let got = execute(&prog, &input, ClockParams::free());
-        prop_assert_eq!(got.outputs, expected, "{}", prog);
+        assert_eq!(got.outputs, expected, "{}", prog);
     }
+}
 
-    #[test]
-    fn optimized_random_pipelines_agree_with_their_originals(
-        pieces in prop::collection::vec(piece_strategy(), 2..6),
-        xs in prop::collection::vec(-6i64..7, 2..10),
-    ) {
+#[test]
+fn optimized_random_pipelines_agree_with_their_originals() {
+    let mut rng = Rng::new(0xE5A3);
+    for _ in 0..64 {
+        let pieces = random_pieces(&mut rng, 2, 6);
         let prog = build(&pieces);
-        let opt = Rewriter::exhaustive().allow_rank0_rules(false).optimize(&prog);
-        let input: Vec<Value> = xs.iter().map(|&v| Value::Int(v)).collect();
-        prop_assert_eq!(
+        let opt = Rewriter::exhaustive()
+            .allow_rank0_rules(false)
+            .optimize(&prog);
+        let n = rng.range_usize(2, 10);
+        let input: Vec<Value> = (0..n).map(|_| Value::Int(rng.range_i64(-6, 7))).collect();
+        assert_eq!(
             eval_program(&prog, &input),
             eval_program(&opt.program, &input),
-            "{} vs {}", prog, opt.program
+            "{} vs {}",
+            prog,
+            opt.program
         );
         let a = execute(&prog, &input, ClockParams::free());
         let b = execute(&opt.program, &input, ClockParams::free());
-        prop_assert_eq!(a.outputs, b.outputs, "{} vs {}", prog, opt.program);
+        assert_eq!(a.outputs, b.outputs, "{} vs {}", prog, opt.program);
     }
+}
 
-    #[test]
-    fn makespan_is_monotone_in_latency(
-        xs in prop::collection::vec(-10i64..10, 2..10),
-    ) {
+#[test]
+fn makespan_is_monotone_in_latency() {
+    let mut rng = Rng::new(0xE5A4);
+    for _ in 0..16 {
         let prog = build(&[Piece::ScanAdd, Piece::AllReduceAdd]);
-        let input: Vec<Value> = xs.iter().map(|&v| Value::Int(v)).collect();
+        let n = rng.range_usize(2, 10);
+        let input: Vec<Value> = (0..n).map(|_| Value::Int(rng.range_i64(-10, 10))).collect();
         let slow = execute(&prog, &input, ClockParams::new(500.0, 2.0));
         let fast = execute(&prog, &input, ClockParams::new(5.0, 2.0));
-        prop_assert!(slow.makespan >= fast.makespan);
-        prop_assert_eq!(slow.outputs, fast.outputs);
+        assert!(slow.makespan >= fast.makespan);
+        assert_eq!(slow.outputs, fast.outputs);
     }
 }

@@ -2,9 +2,10 @@
 //! for **every** operator, not just the friendly ones in the library.
 //!
 //! Strategy: draw random binary operations on the 4-element domain
-//! `{0,1,2,3}` as raw 4×4 lookup tables, brute-force their algebraic
-//! properties (associativity, commutativity, distributivity — domains
-//! this small make the checks exhaustive, not sampled), and then:
+//! `{0,1,2,3}` as raw 4×4 lookup tables (from a seeded [`Rng`], so runs
+//! are reproducible), brute-force their algebraic properties
+//! (associativity, commutativity, distributivity — domains this small
+//! make the checks exhaustive, not sampled), and then:
 //!
 //! * if a random table is associative + commutative, the commutative
 //!   rules (SR, SS) must preserve semantics for it;
@@ -19,8 +20,8 @@
 
 use collopt::core::rules::{try_match, window_len, Rule};
 use collopt::core::semantics::eval_program;
+use collopt::machine::Rng;
 use collopt::prelude::*;
-use proptest::prelude::*;
 
 const N: i64 = 4;
 
@@ -89,33 +90,42 @@ fn full_domain() -> Vec<Value> {
 /// Tables biased toward structure: random mixes of known associative
 /// operations and random perturbations, so the interesting (associative)
 /// cases actually occur.
-fn table_strategy() -> impl Strategy<Value = Table> {
-    prop_oneof![
+fn random_table(rng: &mut Rng) -> Table {
+    if rng.chance(0.5) {
         // Pure random tables (mostly non-associative — exercise rejection).
-        prop::array::uniform16(0i64..N).prop_map(Table),
+        let mut t = [0i64; 16];
+        for cell in t.iter_mut() {
+            *cell = rng.range_i64(0, N);
+        }
+        Table(t)
+    } else {
         // Structured seeds: min, max, modular add, projections, constants.
-        (0usize..6).prop_map(|k| {
-            let mut t = [0i64; 16];
-            for a in 0..N {
-                for b in 0..N {
-                    t[(a * N + b) as usize] = match k {
-                        0 => a.min(b),
-                        1 => a.max(b),
-                        2 => (a + b) % N,
-                        3 => (a * b) % N,
-                        4 => a, // left projection (associative, non-comm.)
-                        _ => 1, // constant (associative)
-                    };
-                }
+        let k = rng.range_usize(0, 6);
+        let mut t = [0i64; 16];
+        for a in 0..N {
+            for b in 0..N {
+                t[(a * N + b) as usize] = match k {
+                    0 => a.min(b),
+                    1 => a.max(b),
+                    2 => (a + b) % N,
+                    3 => (a * b) % N,
+                    4 => a, // left projection (associative, non-comm.)
+                    _ => 1, // constant (associative)
+                };
             }
-            Table(t)
-        }),
-    ]
+        }
+        Table(t)
+    }
 }
 
-fn check_rule(rule: Rule, prog: &Program, inputs: &[Value]) -> Result<(), TestCaseError> {
+fn random_domain_vec(rng: &mut Rng, min_len: usize, max_len: usize) -> Vec<Value> {
+    let len = rng.range_usize(min_len, max_len);
+    (0..len).map(|_| Value::Int(rng.range_i64(0, N))).collect()
+}
+
+fn check_rule(rule: Rule, prog: &Program, inputs: &[Value]) {
     let Some(rw) = try_match(rule, prog.stages()) else {
-        return Err(TestCaseError::fail(format!("{rule} should match")));
+        panic!("{rule} should match");
     };
     let rank0 = rw.rank0_only;
     let opt = prog.splice(0, window_len(rule), rw.stages);
@@ -124,105 +134,157 @@ fn check_rule(rule: Rule, prog: &Program, inputs: &[Value]) -> Result<(), TestCa
     let ea = execute(prog, inputs, ClockParams::free()).outputs;
     let eb = execute(&opt, inputs, ClockParams::free()).outputs;
     if rank0 {
-        prop_assert_eq!(&a[0], &b[0], "{} evaluator rank0", rule);
-        prop_assert_eq!(&ea[0], &eb[0], "{} executor rank0", rule);
+        assert_eq!(&a[0], &b[0], "{} evaluator rank0", rule);
+        assert_eq!(&ea[0], &eb[0], "{} executor rank0", rule);
     } else {
-        prop_assert_eq!(&a, &b, "{} evaluator", rule);
-        prop_assert_eq!(&ea, &eb, "{} executor", rule);
+        assert_eq!(&a, &b, "{} evaluator", rule);
+        assert_eq!(&ea, &eb, "{} executor", rule);
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn library_checkers_agree_with_brute_force(t in table_strategy(), u in table_strategy()) {
+#[test]
+fn library_checkers_agree_with_brute_force() {
+    let mut rng = Rng::new(0xF022);
+    for _ in 0..96 {
+        let t = random_table(&mut rng);
+        let u = random_table(&mut rng);
         let samples = full_domain();
         let a = t.binop("t");
         let b = u.binop("u");
         // On the full domain the sampled checkers ARE exhaustive.
-        prop_assert_eq!(a.check_associative(&samples), t.is_associative());
-        prop_assert_eq!(a.check_commutative(&samples), t.is_commutative());
-        prop_assert_eq!(a.check_distributes_over(&b, &samples), t.distributes_over(&u));
+        assert_eq!(a.check_associative(&samples), t.is_associative());
+        assert_eq!(a.check_commutative(&samples), t.is_commutative());
+        assert_eq!(
+            a.check_distributes_over(&b, &samples),
+            t.distributes_over(&u)
+        );
     }
+}
 
-    #[test]
-    fn commutative_rules_sound_for_arbitrary_tables(
-        t in table_strategy(),
-        xs in prop::collection::vec(0i64..N, 1..10),
-    ) {
-        prop_assume!(t.is_associative() && t.is_commutative());
+#[test]
+fn commutative_rules_sound_for_arbitrary_tables() {
+    let mut rng = Rng::new(0xF023);
+    let mut hits = 0;
+    for _ in 0..96 {
+        let t = random_table(&mut rng);
+        let inputs = random_domain_vec(&mut rng, 1, 10);
+        if !(t.is_associative() && t.is_commutative()) {
+            continue;
+        }
+        hits += 1;
         let op = t.binop("fuzz").commutative();
-        let inputs: Vec<Value> = xs.iter().map(|&v| Value::Int(v)).collect();
-        check_rule(Rule::SrReduction, &Program::new().scan(op.clone()).allreduce(op.clone()), &inputs)?;
-        check_rule(Rule::SsScan, &Program::new().scan(op.clone()).scan(op.clone()), &inputs)?;
+        check_rule(
+            Rule::SrReduction,
+            &Program::new().scan(op.clone()).allreduce(op.clone()),
+            &inputs,
+        );
+        check_rule(
+            Rule::SsScan,
+            &Program::new().scan(op.clone()).scan(op.clone()),
+            &inputs,
+        );
         check_rule(
             Rule::BssComcast,
             &Program::new().bcast().scan(op.clone()).scan(op.clone()),
             &inputs,
-        )?;
+        );
         check_rule(
             Rule::BsrLocal,
             &Program::new().bcast().scan(op.clone()).reduce(op.clone()),
             &inputs,
-        )?;
+        );
     }
+    assert!(
+        hits >= 10,
+        "too few associative+commutative samples: {hits}"
+    );
+}
 
-    #[test]
-    fn distributive_rules_sound_for_arbitrary_table_pairs(
-        t in table_strategy(),
-        u in table_strategy(),
-        xs in prop::collection::vec(0i64..N, 1..10),
-    ) {
-        prop_assume!(t.is_associative() && u.is_associative());
-        prop_assume!(t.distributes_over(&u));
+#[test]
+fn distributive_rules_sound_for_arbitrary_table_pairs() {
+    let mut rng = Rng::new(0xF024);
+    let mut hits = 0;
+    for _ in 0..96 {
+        let t = random_table(&mut rng);
+        let u = random_table(&mut rng);
+        let inputs = random_domain_vec(&mut rng, 1, 10);
+        if !(t.is_associative() && u.is_associative() && t.distributes_over(&u)) {
+            continue;
+        }
+        hits += 1;
         let ot = t.binop("fuzz_t").distributes_over_op("fuzz_u");
         let op = u.binop("fuzz_u");
-        let inputs: Vec<Value> = xs.iter().map(|&v| Value::Int(v)).collect();
         check_rule(
             Rule::Sr2Reduction,
             &Program::new().scan(ot.clone()).allreduce(op.clone()),
             &inputs,
-        )?;
-        check_rule(Rule::Ss2Scan, &Program::new().scan(ot.clone()).scan(op.clone()), &inputs)?;
+        );
+        check_rule(
+            Rule::Ss2Scan,
+            &Program::new().scan(ot.clone()).scan(op.clone()),
+            &inputs,
+        );
         check_rule(
             Rule::Bss2Comcast,
             &Program::new().bcast().scan(ot.clone()).scan(op.clone()),
             &inputs,
-        )?;
+        );
         check_rule(
             Rule::Bsr2Local,
             &Program::new().bcast().scan(ot.clone()).reduce(op.clone()),
             &inputs,
-        )?;
+        );
     }
+    assert!(hits >= 10, "too few distributive samples: {hits}");
+}
 
-    #[test]
-    fn associativity_only_rules_sound_for_arbitrary_tables(
-        t in table_strategy(),
-        b in 0i64..N,
-        p in 1usize..10,
-    ) {
-        prop_assume!(t.is_associative());
+#[test]
+fn associativity_only_rules_sound_for_arbitrary_tables() {
+    let mut rng = Rng::new(0xF025);
+    let mut hits = 0;
+    for _ in 0..96 {
+        let t = random_table(&mut rng);
+        let b = rng.range_i64(0, N);
+        let p = rng.range_usize(1, 10);
+        if !t.is_associative() {
+            continue;
+        }
+        hits += 1;
         let op = t.binop("fuzz");
         let mut inputs = vec![Value::Int(0); p];
         inputs[0] = Value::Int(b);
-        check_rule(Rule::BsComcast, &Program::new().bcast().scan(op.clone()), &inputs)?;
-        check_rule(Rule::BrLocal, &Program::new().bcast().reduce(op.clone()), &inputs)?;
-        check_rule(Rule::CrAlllocal, &Program::new().bcast().allreduce(op.clone()), &inputs)?;
+        check_rule(
+            Rule::BsComcast,
+            &Program::new().bcast().scan(op.clone()),
+            &inputs,
+        );
+        check_rule(
+            Rule::BrLocal,
+            &Program::new().bcast().reduce(op.clone()),
+            &inputs,
+        );
+        check_rule(
+            Rule::CrAlllocal,
+            &Program::new().bcast().allreduce(op.clone()),
+            &inputs,
+        );
     }
+    assert!(hits >= 10, "too few associative samples: {hits}");
+}
 
-    #[test]
-    fn verified_rewriter_accepts_iff_brute_force_condition_holds(
-        t in table_strategy(),
-    ) {
+#[test]
+fn verified_rewriter_accepts_iff_brute_force_condition_holds() {
+    let mut rng = Rng::new(0xF026);
+    for _ in 0..96 {
+        let t = random_table(&mut rng);
         // Declare commutativity unconditionally (possibly a lie) and let
         // the verifying rewriter decide on the full domain.
         let op = t.binop("maybe").commutative();
         let prog = Program::new().scan(op.clone()).allreduce(op.clone());
-        let res = Rewriter::exhaustive().verify_properties(full_domain()).optimize(&prog);
+        let res = Rewriter::exhaustive()
+            .verify_properties(full_domain())
+            .optimize(&prog);
         let truly_ok = t.is_associative() && t.is_commutative();
-        prop_assert_eq!(!res.steps.is_empty(), truly_ok);
+        assert_eq!(!res.steps.is_empty(), truly_ok);
     }
 }

@@ -5,15 +5,23 @@
 //! the sequential reference semantics and by the simulated machine, with
 //! the comparison scoped to what the rule guarantees (all positions, or
 //! position 0 for the reduce-variant rules that drop side effects — the
-//! paper's Section 3.5 caveat).
+//! paper's Section 3.5 caveat). Cases are drawn from a seeded [`Rng`] so
+//! every run checks the identical sample set.
 
 use collopt::core::rules::{try_match, window_len, Rule};
 use collopt::core::semantics::eval_program;
+use collopt::machine::Rng;
 use collopt::prelude::*;
-use proptest::prelude::*;
+
+const CASES: usize = 48;
 
 fn ints(vs: &[i64]) -> Vec<Value> {
     vs.iter().map(|&v| Value::Int(v)).collect()
+}
+
+fn int_vec(rng: &mut Rng, lo: i64, hi: i64, min_len: usize, max_len: usize) -> Vec<i64> {
+    let len = rng.range_usize(min_len, max_len);
+    (0..len).map(|_| rng.range_i64(lo, hi)).collect()
 }
 
 /// Apply `rule` at position 0, returning the rewritten program and
@@ -45,51 +53,107 @@ fn check_equiv(prog: &Program, rule: Rule, input: &[Value]) {
     assert_eq!(eb.outputs, b, "executor vs evaluator on RHS of {rule}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn sr2_reduction_equivalence(xs in prop::collection::vec(-20i64..20, 1..14)) {
+#[test]
+fn sr2_reduction_equivalence() {
+    let mut rng = Rng::new(0x5201);
+    for _ in 0..CASES {
+        let xs = int_vec(&mut rng, -20, 20, 1, 14);
         // mul distributes over add.
-        check_equiv(&Program::new().scan(ops::mul()).reduce(ops::add()), Rule::Sr2Reduction, &ints(&xs));
-        check_equiv(&Program::new().scan(ops::mul()).allreduce(ops::add()), Rule::Sr2Reduction, &ints(&xs));
-    }
-
-    #[test]
-    fn sr2_reduction_tropical_equivalence(xs in prop::collection::vec(-40i64..40, 1..14)) {
-        // add distributes over max (tropical semiring).
         check_equiv(
-            &Program::new().scan(ops::add_tropical()).allreduce(ops::max()),
+            &Program::new().scan(ops::mul()).reduce(ops::add()),
+            Rule::Sr2Reduction,
+            &ints(&xs),
+        );
+        check_equiv(
+            &Program::new().scan(ops::mul()).allreduce(ops::add()),
             Rule::Sr2Reduction,
             &ints(&xs),
         );
     }
+}
 
-    #[test]
-    fn sr_reduction_equivalence(xs in prop::collection::vec(-50i64..50, 1..18)) {
-        check_equiv(&Program::new().scan(ops::add()).reduce(ops::add()), Rule::SrReduction, &ints(&xs));
-        check_equiv(&Program::new().scan(ops::add()).allreduce(ops::add()), Rule::SrReduction, &ints(&xs));
+#[test]
+fn sr2_reduction_tropical_equivalence() {
+    let mut rng = Rng::new(0x5202);
+    for _ in 0..CASES {
+        let xs = int_vec(&mut rng, -40, 40, 1, 14);
+        // add distributes over max (tropical semiring).
+        check_equiv(
+            &Program::new()
+                .scan(ops::add_tropical())
+                .allreduce(ops::max()),
+            Rule::Sr2Reduction,
+            &ints(&xs),
+        );
     }
+}
 
-    #[test]
-    fn ss2_scan_equivalence(xs in prop::collection::vec(-4i64..4, 1..12)) {
-        check_equiv(&Program::new().scan(ops::mul()).scan(ops::add()), Rule::Ss2Scan, &ints(&xs));
+#[test]
+fn sr_reduction_equivalence() {
+    let mut rng = Rng::new(0x5203);
+    for _ in 0..CASES {
+        let xs = int_vec(&mut rng, -50, 50, 1, 18);
+        check_equiv(
+            &Program::new().scan(ops::add()).reduce(ops::add()),
+            Rule::SrReduction,
+            &ints(&xs),
+        );
+        check_equiv(
+            &Program::new().scan(ops::add()).allreduce(ops::add()),
+            Rule::SrReduction,
+            &ints(&xs),
+        );
     }
+}
 
-    #[test]
-    fn ss_scan_equivalence(xs in prop::collection::vec(-50i64..50, 1..18)) {
-        check_equiv(&Program::new().scan(ops::add()).scan(ops::add()), Rule::SsScan, &ints(&xs));
+#[test]
+fn ss2_scan_equivalence() {
+    let mut rng = Rng::new(0x5204);
+    for _ in 0..CASES {
+        let xs = int_vec(&mut rng, -4, 4, 1, 12);
+        check_equiv(
+            &Program::new().scan(ops::mul()).scan(ops::add()),
+            Rule::Ss2Scan,
+            &ints(&xs),
+        );
     }
+}
 
-    #[test]
-    fn bs_comcast_equivalence(b in -30i64..30, p in 1usize..18) {
+#[test]
+fn ss_scan_equivalence() {
+    let mut rng = Rng::new(0x5205);
+    for _ in 0..CASES {
+        let xs = int_vec(&mut rng, -50, 50, 1, 18);
+        check_equiv(
+            &Program::new().scan(ops::add()).scan(ops::add()),
+            Rule::SsScan,
+            &ints(&xs),
+        );
+    }
+}
+
+#[test]
+fn bs_comcast_equivalence() {
+    let mut rng = Rng::new(0x5206);
+    for _ in 0..CASES {
+        let b = rng.range_i64(-30, 30);
+        let p = rng.range_usize(1, 18);
         let mut input = vec![Value::Int(-7); p];
         input[0] = Value::Int(b);
-        check_equiv(&Program::new().bcast().scan(ops::add()), Rule::BsComcast, &input);
+        check_equiv(
+            &Program::new().bcast().scan(ops::add()),
+            Rule::BsComcast,
+            &input,
+        );
     }
+}
 
-    #[test]
-    fn bss2_comcast_equivalence(b in -2i64..3, p in 1usize..10) {
+#[test]
+fn bss2_comcast_equivalence() {
+    let mut rng = Rng::new(0x5207);
+    for _ in 0..CASES {
+        let b = rng.range_i64(-2, 3);
+        let p = rng.range_usize(1, 10);
         let mut input = vec![Value::Int(0); p];
         input[0] = Value::Int(b);
         check_equiv(
@@ -98,9 +162,14 @@ proptest! {
             &input,
         );
     }
+}
 
-    #[test]
-    fn bss_comcast_equivalence(b in -20i64..20, p in 1usize..18) {
+#[test]
+fn bss_comcast_equivalence() {
+    let mut rng = Rng::new(0x5208);
+    for _ in 0..CASES {
+        let b = rng.range_i64(-20, 20);
+        let p = rng.range_usize(1, 18);
         let mut input = vec![Value::Int(1); p];
         input[0] = Value::Int(b);
         check_equiv(
@@ -109,16 +178,30 @@ proptest! {
             &input,
         );
     }
+}
 
-    #[test]
-    fn br_local_equivalence(b in -30i64..30, p in 1usize..22) {
+#[test]
+fn br_local_equivalence() {
+    let mut rng = Rng::new(0x5209);
+    for _ in 0..CASES {
+        let b = rng.range_i64(-30, 30);
+        let p = rng.range_usize(1, 22);
         let mut input = vec![Value::Int(5); p];
         input[0] = Value::Int(b);
-        check_equiv(&Program::new().bcast().reduce(ops::add()), Rule::BrLocal, &input);
+        check_equiv(
+            &Program::new().bcast().reduce(ops::add()),
+            Rule::BrLocal,
+            &input,
+        );
     }
+}
 
-    #[test]
-    fn bsr2_local_equivalence(b in -2i64..3, p in 1usize..12) {
+#[test]
+fn bsr2_local_equivalence() {
+    let mut rng = Rng::new(0x520A);
+    for _ in 0..CASES {
+        let b = rng.range_i64(-2, 3);
+        let p = rng.range_usize(1, 12);
         let mut input = vec![Value::Int(0); p];
         input[0] = Value::Int(b);
         check_equiv(
@@ -127,9 +210,14 @@ proptest! {
             &input,
         );
     }
+}
 
-    #[test]
-    fn bsr_local_equivalence(b in -20i64..20, p in 1usize..22) {
+#[test]
+fn bsr_local_equivalence() {
+    let mut rng = Rng::new(0x520B);
+    for _ in 0..CASES {
+        let b = rng.range_i64(-20, 20);
+        let p = rng.range_usize(1, 22);
         let mut input = vec![Value::Int(3); p];
         input[0] = Value::Int(b);
         check_equiv(
@@ -138,35 +226,53 @@ proptest! {
             &input,
         );
     }
+}
 
-    #[test]
-    fn cr_alllocal_equivalence(b in -30i64..30, p in 1usize..22) {
+#[test]
+fn cr_alllocal_equivalence() {
+    let mut rng = Rng::new(0x520C);
+    for _ in 0..CASES {
+        let b = rng.range_i64(-30, 30);
+        let p = rng.range_usize(1, 22);
         let mut input = vec![Value::Int(5); p];
         input[0] = Value::Int(b);
-        check_equiv(&Program::new().bcast().allreduce(ops::add()), Rule::CrAlllocal, &input);
+        check_equiv(
+            &Program::new().bcast().allreduce(ops::add()),
+            Rule::CrAlllocal,
+            &input,
+        );
     }
+}
 
-    #[test]
-    fn rules_hold_on_blocks(
-        rows in prop::collection::vec(prop::collection::vec(-10i64..10, 3), 1..10)
-    ) {
+#[test]
+fn rules_hold_on_blocks() {
+    let mut rng = Rng::new(0x520D);
+    for _ in 0..CASES {
         // Blocks of 3 words per processor, two different rules.
-        let input: Vec<Value> =
-            rows.iter().map(|r| Value::int_list(r.iter().copied())).collect();
+        let p = rng.range_usize(1, 10);
+        let input: Vec<Value> = (0..p)
+            .map(|_| Value::int_list((0..3).map(|_| rng.range_i64(-10, 10))))
+            .collect();
         check_equiv(
             &Program::new().scan(ops::add()).allreduce(ops::add()),
             Rule::SrReduction,
             &input,
         );
-        check_equiv(&Program::new().scan(ops::add()).scan(ops::add()), Rule::SsScan, &input);
+        check_equiv(
+            &Program::new().scan(ops::add()).scan(ops::add()),
+            Rule::SsScan,
+            &input,
+        );
     }
+}
 
-    #[test]
-    fn exhaustive_optimizer_preserves_meaning_of_random_pipelines(
-        xs in prop::collection::vec(-3i64..4, 2..10),
-        use_bcast in any::<bool>(),
-        tail in 0usize..3,
-    ) {
+#[test]
+fn exhaustive_optimizer_preserves_meaning_of_random_pipelines() {
+    let mut rng = Rng::new(0x520E);
+    for _ in 0..CASES {
+        let xs = int_vec(&mut rng, -3, 4, 2, 10);
+        let use_bcast = rng.chance(0.5);
+        let tail = rng.range_usize(0, 3);
         // Assemble a pipeline from a small grammar, optimize exhaustively
         // (full-equality rules only) and compare end to end.
         let mut prog = Program::new().map("inc", 1.0, |v| Value::Int(v.as_int() + 1));
@@ -179,12 +285,17 @@ proptest! {
             1 => prog.allreduce(ops::add()),
             _ => prog.allreduce(ops::max()),
         };
-        let opt = Rewriter::exhaustive().allow_rank0_rules(false).optimize(&prog);
+        let opt = Rewriter::exhaustive()
+            .allow_rank0_rules(false)
+            .optimize(&prog);
         let input = ints(&xs);
-        prop_assert_eq!(eval_program(&prog, &input), eval_program(&opt.program, &input));
+        assert_eq!(
+            eval_program(&prog, &input),
+            eval_program(&opt.program, &input)
+        );
         let a = execute(&prog, &input, ClockParams::free());
         let b = execute(&opt.program, &input, ClockParams::free());
-        prop_assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.outputs, b.outputs);
     }
 }
 
