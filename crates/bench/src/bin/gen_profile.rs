@@ -1,0 +1,135 @@
+//! Profiles the Table-1 rule programs before and after rewriting, plus
+//! the Section-5 polynomial-evaluation case study, on the simulated
+//! Parsytec-like machine.
+//!
+//! For every rule this writes `results/profile_<rule>.json` — a
+//! Chrome-trace file with the LHS run as process 0 and the RHS run as
+//! process 1, one thread lane per rank — openable at
+//! <https://ui.perfetto.dev>. Alongside, it prints a per-stage busy/idle
+//! summary and the critical-path attribution of each run.
+//!
+//! Every trace is cross-validated: the length of the trace-derived
+//! critical path must equal the simulated clock's makespan *exactly*,
+//! which pins the trace layer to the cost semantics.
+//!
+//! Run with `cargo run -p collopt-bench --bin gen_profile`.
+
+use std::sync::Arc;
+
+use collopt_bench::{block_input, figure_clock, rule_lhs, rule_rhs};
+use collopt_core::exec::{execute_traced_with, ExecConfig, TracedExecOutcome};
+use collopt_core::op::lib as ops;
+use collopt_core::rules::Rule;
+use collopt_core::term::Program;
+use collopt_core::value::Value;
+use collopt_machine::{chrome_trace_json, ClockParams};
+
+/// Machine size for all profiles.
+const P: usize = 8;
+/// Block size in words (large enough that bandwidth terms show up).
+const M: usize = 64;
+
+fn profiled(prog: &Program, inputs: &[Value], clock: ClockParams) -> TracedExecOutcome {
+    let run = execute_traced_with(
+        prog,
+        inputs,
+        clock,
+        ExecConfig {
+            profile: true,
+            ..ExecConfig::default()
+        },
+    );
+    let path = run.critical_path().expect("trace is causally complete");
+    assert_eq!(
+        path.length(),
+        run.outcome.makespan,
+        "critical path must reproduce the clock makespan exactly for {prog}"
+    );
+    run
+}
+
+fn summarize(side: &str, prog: &Program, run: &TracedExecOutcome) {
+    let report = run.profile_report();
+    let path = run.critical_path().expect("validated in profiled()");
+    println!(
+        "  {side} `{prog}`: makespan {:.0}, utilisation {:.1}%, \
+         critical path {} steps / {} messages over {} ranks",
+        run.outcome.makespan,
+        100.0 * report.utilisation(),
+        path.steps.len(),
+        path.messages(),
+        path.ranks_touched(),
+    );
+}
+
+fn poly_eval_program(coeffs: Arc<Vec<f64>>) -> Program {
+    Program::new()
+        .bcast()
+        .scan(ops::fmul())
+        .map_indexed("mul_coeff", 1.0, move |rank, v| {
+            let a = coeffs[rank];
+            v.map_block(&|x| Value::Float(a * x.as_float()))
+        })
+        .reduce(ops::fadd())
+}
+
+fn main() {
+    std::fs::create_dir_all("results").expect("create results/");
+    let clock = figure_clock();
+    let mut written = 0usize;
+
+    for rule in Rule::ALL {
+        let lhs = rule_lhs(rule);
+        let rhs = rule_rhs(rule);
+        let inputs = block_input(P, M);
+        let before = profiled(&lhs, &inputs, clock);
+        let after = profiled(&rhs, &inputs, clock);
+
+        println!("== {rule} (p={P}, m={M}) ==");
+        summarize("LHS", &lhs, &before);
+        summarize("RHS", &rhs, &after);
+
+        let lhs_label = format!("{rule} LHS: {lhs}");
+        let rhs_label = format!("{rule} RHS: {rhs}");
+        let json = chrome_trace_json(&[
+            (lhs_label.as_str(), &before.trace),
+            (rhs_label.as_str(), &after.trace),
+        ]);
+        let file = format!("results/profile_{}.json", rule.name().to_lowercase());
+        std::fs::write(&file, json).unwrap_or_else(|e| panic!("write {file}: {e}"));
+        written += 1;
+    }
+
+    // The case study: PolyEval_1 vs the fully rewritten PolyEval_3.
+    let coeffs: Arc<Vec<f64>> = Arc::new((0..P).map(|i| (i + 1) as f64).collect());
+    let prog = poly_eval_program(coeffs);
+    let optimized = collopt_core::rewrite::Rewriter::exhaustive()
+        .optimize(&prog)
+        .program;
+    let ys: Vec<Value> = (0..P)
+        .map(|r| {
+            Value::List(if r == 0 {
+                (0..M)
+                    .map(|j| Value::Float(1.0 + j as f64 * 1e-3))
+                    .collect()
+            } else {
+                vec![Value::Float(0.0); M]
+            })
+        })
+        .collect();
+    let before = profiled(&prog, &ys, clock);
+    let after = profiled(&optimized, &ys, clock);
+    println!("== PolyEval (p={P}, {M} points) ==");
+    summarize("PolyEval_1", &prog, &before);
+    summarize("PolyEval_3", &optimized, &after);
+    println!("{}", before.profile_report().render());
+    let json = chrome_trace_json(&[
+        (format!("PolyEval_1: {prog}").as_str(), &before.trace),
+        (format!("PolyEval_3: {optimized}").as_str(), &after.trace),
+    ]);
+    std::fs::write("results/profile_polyeval.json", json)
+        .expect("write results/profile_polyeval.json");
+    written += 1;
+
+    println!("# wrote {written} Chrome traces under results/ (open at https://ui.perfetto.dev)");
+}

@@ -7,40 +7,6 @@
 //!
 //! Run with `cargo run -p collopt-bench --bin gen_timeline`.
 
-use collopt_core::exec::execute_traced;
-use collopt_core::op::lib as ops;
-use collopt_core::rewrite::Rewriter;
-use collopt_core::term::Program;
-use collopt_core::value::Value;
-use collopt_machine::ClockParams;
-
 fn main() {
-    let p = 8;
-    let example = Program::new()
-        .map("f", 1.0, |v| Value::Int(v.as_int() + 1))
-        .scan(ops::mul())
-        .reduce(ops::add())
-        .map("g", 1.0, |v| Value::Int(v.as_int() * 2))
-        .bcast();
-    let optimized = Rewriter::exhaustive().optimize(&example).program;
-
-    let mut makespans = Vec::new();
-    for (name, prog) in [
-        ("Example (original)", &example),
-        ("Example after SR2-Reduction", &optimized),
-    ] {
-        let inputs: Vec<Value> = (0..p as i64).map(|i| Value::Int(i % 5 + 1)).collect();
-        let run = execute_traced(prog, &inputs, ClockParams::parsytec_like());
-        println!("== {name} ==");
-        println!("program : {prog}");
-        println!("makespan: {:.0} simulated units", run.makespan);
-        println!("{}", run.trace.ascii_timeline(p));
-        makespans.push(run.makespan);
-    }
-    println!(
-        "time saved by SR2-Reduction (Figure 3's shaded region): {:.0} units ({:.1}%)",
-        makespans[0] - makespans[1],
-        100.0 * (makespans[0] - makespans[1]) / makespans[0]
-    );
-    assert!(makespans[1] < makespans[0]);
+    print!("{}", collopt_bench::timeline_report());
 }

@@ -5,8 +5,8 @@
 //! the real `criterion` crate. This module implements the small API
 //! subset the suite uses — [`Criterion::benchmark_group`],
 //! [`BenchmarkGroup::bench_function`] / [`bench_with_input`],
-//! [`BenchmarkId`], [`Throughput`], and the [`criterion_group!`] /
-//! [`criterion_main!`] macros — with a simple timing loop: a short
+//! [`BenchmarkId`], [`Throughput`], and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple timing loop: a short
 //! warm-up, then `sample_size` timed samples of an adaptively chosen
 //! iteration count, reporting the median time per iteration (and derived
 //! throughput when declared).

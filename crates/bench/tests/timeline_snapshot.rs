@@ -1,0 +1,16 @@
+//! `results/timeline.txt` is the committed output of `gen_timeline`.
+//! This snapshot pins the ASCII run-time diagrams (Figure 1 / Figure 3)
+//! byte for byte, so trace-layer changes (spans, causal links, stage
+//! markers) can never silently reshape the rendered figures.
+
+#[test]
+fn timeline_report_matches_committed_snapshot() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/timeline.txt");
+    let committed = std::fs::read_to_string(path).expect("results/timeline.txt is committed");
+    assert_eq!(
+        collopt_bench::timeline_report(),
+        committed,
+        "gen_timeline output drifted from results/timeline.txt; \
+         re-run `cargo run -p collopt-bench --bin gen_timeline` and inspect the diff"
+    );
+}

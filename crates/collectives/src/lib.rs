@@ -17,7 +17,7 @@
 //! * [`Comm`] — MPI-style communicators over subgroups;
 //! * two-level cluster collectives ([`hierarchical`]) and the pipelined
 //!   chain broadcast ([`pipelined`]);
-//! * the *bandwidth-optimal* reduction family ([`reduce_scatter`]):
+//! * the *bandwidth-optimal* reduction family ([`mod@reduce_scatter`]):
 //!   recursive-halving and ring reduce-scatter, Rabenseifner's
 //!   reduce-scatter + allgather allreduce, and the ring allreduce, plus
 //!   the cost-model-driven selectors [`allreduce_auto`] / [`reduce_auto`]

@@ -25,7 +25,7 @@
 //!   pipeline and scatter+allgather for the actual `(p, m, ts, tw)` and
 //!   runs the predicted winner;
 //! * [`allreduce_auto`] / [`reduce_auto`] — the same idea for the
-//!   reduction family of [`reduce_scatter`](crate::reduce_scatter):
+//!   reduction family of [`reduce_scatter`](mod@crate::reduce_scatter):
 //!   [`choose_allreduce`] compares the butterfly
 //!   (`log p (ts + m(tw + c))`), Rabenseifner's halving+doubling pair
 //!   (`2 log p·ts + m(1−1/p)(2tw + c)`, power-of-two `p`), the ring
@@ -227,7 +227,7 @@ impl AllreduceChoice {
 
 /// Analytic makespan of one allreduce algorithm at `(p, m, ts, tw, c)` —
 /// the exact formulas the makespan tests in
-/// [`reduce_scatter`](crate::reduce_scatter) verify against the machine.
+/// [`reduce_scatter`](mod@crate::reduce_scatter) verify against the machine.
 /// Infeasible combinations (butterfly or Rabenseifner's halving pair on a
 /// non-power-of-two `p`) cost infinity. Exact when `p` divides `m`
 /// (and, for [`Ring`](AllreduceChoice::Ring), `p > 2`; the selector

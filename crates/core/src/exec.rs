@@ -18,7 +18,9 @@ use collopt_collectives::{
     gather_binomial, reduce_balanced, reduce_binomial, scan_balanced, scatter_binomial, BalancedOp,
     Combine, PairedOp, RepeatOp,
 };
-use collopt_machine::{ClockParams, Ctx, Machine};
+use collopt_machine::{
+    critical_path, ClockParams, CriticalPath, Ctx, Machine, ProfileError, ProfileReport,
+};
 
 use crate::adjust::iter_balanced;
 use crate::term::{ComcastVariant, Program, Stage};
@@ -43,6 +45,14 @@ pub struct ExecConfig {
     /// Applies to list-valued blocks; scalar reductions keep the fixed
     /// butterfly.
     pub adaptive_reduction: bool,
+    /// Inject an [`EventKind::Stage`](collopt_machine::EventKind::Stage)
+    /// boundary into the trace after every program stage, labelled with
+    /// [`Stage::describe`]. Stage boundaries are zero-cost annotations —
+    /// they never change the makespan or the rendered timeline — and feed
+    /// the per-stage breakdown of
+    /// [`collopt_machine::ProfileReport`]. Only meaningful together with
+    /// tracing (see [`execute_traced_with`]); silently inert otherwise.
+    pub profile: bool,
 }
 
 /// Result of running a program on the machine.
@@ -79,7 +89,20 @@ pub fn execute_with(
 /// from which Figure-1-style run-time diagrams can be rendered via
 /// [`collopt_machine::Trace::ascii_timeline`].
 pub fn execute_traced(prog: &Program, inputs: &[Value], clock: ClockParams) -> TracedExecOutcome {
-    let (outcome, trace) = run_program(prog, inputs, clock, true, ExecConfig::default());
+    execute_traced_with(prog, inputs, clock, ExecConfig::default())
+}
+
+/// [`execute_traced`] with explicit [`ExecConfig`] options. With
+/// [`ExecConfig::profile`] set, the trace carries per-stage boundaries
+/// and [`TracedExecOutcome::profile_report`] breaks the run down stage
+/// by stage.
+pub fn execute_traced_with(
+    prog: &Program,
+    inputs: &[Value],
+    clock: ClockParams,
+    config: ExecConfig,
+) -> TracedExecOutcome {
+    let (outcome, trace) = run_program(prog, inputs, clock, true, config);
     TracedExecOutcome { outcome, trace }
 }
 
@@ -87,41 +110,30 @@ pub fn execute_traced(prog: &Program, inputs: &[Value], clock: ClockParams) -> T
 /// is the simulated time at which the slowest rank finished stage `i`
 /// (so differences give per-stage makespans). The profile is what the
 /// optimization report uses for *measured* stage costs next to the
-/// analytic ones.
+/// analytic ones. Implemented on top of the stage boundaries the traced
+/// executor injects; use [`execute_traced_with`] directly for the full
+/// [`ProfileReport`].
 pub fn execute_profiled(
     prog: &Program,
     inputs: &[Value],
     clock: ClockParams,
 ) -> (ExecOutcome, Vec<f64>) {
-    assert!(!inputs.is_empty());
-    let machine = Machine::new(inputs.len(), clock);
-    let inputs: Arc<Vec<Value>> = Arc::new(inputs.to_vec());
-    let run = machine.run(|ctx| {
-        let mut v = inputs[ctx.rank()].clone();
-        let mut marks = Vec::with_capacity(prog.len());
-        for stage in prog.stages() {
-            exec_stage(stage, ctx, &mut v, ExecConfig::default());
-            marks.push(ctx.time());
-        }
-        (v, marks)
-    });
-    let mut stage_finish = vec![0.0f64; prog.len()];
-    let mut outputs = Vec::with_capacity(run.results.len());
-    for (v, marks) in run.results {
-        for (slot, t) in stage_finish.iter_mut().zip(&marks) {
-            *slot = slot.max(*t);
-        }
-        outputs.push(v);
-    }
-    (
-        ExecOutcome {
-            outputs,
-            makespan: run.makespan,
-            total_compute: run.compute_ops.iter().sum(),
-            total_messages: run.messages.iter().sum(),
+    let run = execute_traced_with(
+        prog,
+        inputs,
+        clock,
+        ExecConfig {
+            profile: true,
+            ..ExecConfig::default()
         },
-        stage_finish,
-    )
+    );
+    let stage_finish = run
+        .profile_report()
+        .stages
+        .iter()
+        .map(|s| s.finish)
+        .collect();
+    (run.outcome, stage_finish)
 }
 
 /// An [`ExecOutcome`] together with the run's event trace.
@@ -140,6 +152,26 @@ impl std::ops::Deref for TracedExecOutcome {
     }
 }
 
+impl TracedExecOutcome {
+    /// Aggregate the trace into per-rank (and, when the run was executed
+    /// with [`ExecConfig::profile`], per-stage) busy/idle accounting.
+    pub fn profile_report(&self) -> ProfileReport {
+        ProfileReport::from_trace(
+            &self.trace,
+            self.outcome.outputs.len(),
+            self.outcome.makespan,
+        )
+    }
+
+    /// The causal chain of events that determined this run's makespan.
+    /// Its [`length`](collopt_machine::CriticalPath::length) equals
+    /// [`ExecOutcome::makespan`] exactly — the cross-validation oracle the
+    /// property suite leans on.
+    pub fn critical_path(&self) -> Result<CriticalPath, ProfileError> {
+        critical_path(&self.trace)
+    }
+}
+
 fn run_program(
     prog: &Program,
     inputs: &[Value],
@@ -155,8 +187,11 @@ fn run_program(
     let inputs: Arc<Vec<Value>> = Arc::new(inputs.to_vec());
     let run = machine.run(|ctx| {
         let mut v = inputs[ctx.rank()].clone();
-        for stage in prog.stages() {
+        for (i, stage) in prog.stages().iter().enumerate() {
             exec_stage(stage, ctx, &mut v, config);
+            if config.profile {
+                ctx.end_stage(i, stage.describe());
+            }
         }
         v
     });
@@ -682,6 +717,52 @@ mod tests {
             adaptive.makespan,
             fixed.makespan
         );
+    }
+
+    #[test]
+    fn profiled_trace_partitions_the_run_into_stages() {
+        let prog = Program::new().bcast().scan(lib::mul()).reduce(lib::add());
+        let xs = ints(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        let clock = ClockParams::new(100.0, 2.0);
+        let run = execute_traced_with(
+            &prog,
+            &xs,
+            clock,
+            ExecConfig {
+                profile: true,
+                ..ExecConfig::default()
+            },
+        );
+        // Results unchanged by profiling, and the makespan matches the
+        // plain run bit for bit (stage markers are zero-cost).
+        let plain = execute(&prog, &xs, clock);
+        assert_eq!(run.outcome.outputs, plain.outputs);
+        assert_eq!(run.outcome.makespan, plain.makespan);
+
+        let report = run.profile_report();
+        assert_eq!(report.stages.len(), prog.len());
+        assert_eq!(report.stages[0].label, "bcast");
+        assert!(report.stages.windows(2).all(|w| w[0].finish <= w[1].finish));
+        assert_eq!(report.stages.last().unwrap().finish, run.outcome.makespan);
+        for r in &report.ranks {
+            assert_eq!(r.compute + r.comm + r.idle, report.makespan);
+        }
+
+        // The critical-path oracle: trace-derived length == clock makespan.
+        let path = run.critical_path().expect("trace is causally complete");
+        assert_eq!(path.length(), run.outcome.makespan);
+    }
+
+    #[test]
+    fn execute_profiled_agrees_with_the_stage_markers() {
+        let prog = Program::new().scan(lib::add()).allreduce(lib::max());
+        let xs = ints(&[5, 2, 8, 1, 7, 3]);
+        let clock = ClockParams::parsytec_like();
+        let (outcome, finish) = execute_profiled(&prog, &xs, clock);
+        assert_eq!(finish.len(), prog.len());
+        assert_eq!(*finish.last().unwrap(), outcome.makespan);
+        assert!(finish.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(outcome.outputs, eval_program(&prog, &xs));
     }
 
     #[test]

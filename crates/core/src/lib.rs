@@ -67,7 +67,10 @@ pub mod term;
 pub mod tutorial;
 pub mod value;
 
-pub use exec::{execute, execute_profiled, execute_with, ExecConfig, ExecOutcome};
+pub use exec::{
+    execute, execute_profiled, execute_traced, execute_traced_with, execute_with, ExecConfig,
+    ExecOutcome, TracedExecOutcome,
+};
 pub use op::BinOp;
 pub use rewrite::{program_cost, OptimizeResult, Rewriter};
 pub use rules::Rule;

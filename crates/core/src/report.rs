@@ -9,7 +9,7 @@
 use collopt_cost::MachineParams;
 use collopt_machine::ClockParams;
 
-use crate::exec::execute_profiled;
+use crate::exec::{execute_profiled, execute_traced_with, ExecConfig};
 use crate::rewrite::{program_cost, stage_cost, OptimizeResult, Rewriter};
 use crate::term::Program;
 use crate::value::Value;
@@ -113,6 +113,40 @@ pub fn measured_stage_table(prog: &Program, inputs: &[Value], params: &MachinePa
     out
 }
 
+/// Run `prog` with per-stage profiling and render where the time went:
+/// the stage/rank busy–idle tables of
+/// [`collopt_machine::ProfileReport`] plus a one-line summary of the
+/// critical path — the exact chain of messages and computation steps the
+/// makespan is attributable to.
+pub fn profile_section(prog: &Program, inputs: &[Value], clock: ClockParams) -> String {
+    let run = execute_traced_with(
+        prog,
+        inputs,
+        clock,
+        ExecConfig {
+            profile: true,
+            ..ExecConfig::default()
+        },
+    );
+    let mut out = String::from("```text\n");
+    out.push_str(&run.profile_report().render());
+    out.push_str("```\n");
+    match run.critical_path() {
+        Ok(path) => out.push_str(&format!(
+            "Critical path: {:.1} time units over {} steps \
+             ({} messages, {} ranks; compute {:.1}, transfer {:.1}).\n",
+            path.length(),
+            path.steps.len(),
+            path.messages(),
+            path.ranks_touched(),
+            path.compute_time(),
+            path.comm_time(),
+        )),
+        Err(e) => out.push_str(&format!("Critical path: unavailable ({e}).\n")),
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +208,17 @@ mod tests {
             .collect();
         assert_eq!(nums.len(), 2);
         assert_eq!(nums[0], nums[1], "{table}");
+    }
+
+    #[test]
+    fn profile_section_names_every_stage_and_the_critical_path() {
+        let prog = Program::new().scan(lib::add()).reduce(lib::add());
+        let inputs: Vec<Value> = (0..8).map(|_| Value::int_list([1, 2, 3, 4])).collect();
+        let section = profile_section(&prog, &inputs, ClockParams::new(100.0, 2.0));
+        assert!(section.contains("scan(add)"));
+        assert!(section.contains("reduce(add)"));
+        assert!(section.contains("Critical path:"));
+        assert!(!section.contains("unavailable"));
     }
 
     #[test]

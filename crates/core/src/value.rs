@@ -169,7 +169,7 @@ impl fmt::Display for Value {
     }
 }
 
-/// Lets the segmenting collectives ([`collopt_collectives::reduce_scatter`])
+/// Lets the segmenting collectives (the `collopt_collectives::reduce_scatter` module)
 /// carve a [`Value::List`] block into per-rank segments and reassemble it.
 /// Scalar-like values are indivisible: they only "split" into one part.
 impl Splittable for Value {

@@ -304,6 +304,20 @@ impl SimClock {
     /// message counter so reruns reproduce the same noise.
     #[inline]
     pub fn complete_exchange_costing(&mut self, peer_time: f64, words: u64, cost: f64) -> f64 {
+        self.complete_exchange_spanning(peer_time, words, cost).1
+    }
+
+    /// [`complete_exchange_costing`](Self::complete_exchange_costing), but
+    /// also returning the *rendezvous start* `max(own clock, peer_time)` —
+    /// the span a trace records so the critical-path pass can tell transfer
+    /// time apart from the waiting that preceded it.
+    #[inline]
+    pub fn complete_exchange_spanning(
+        &mut self,
+        peer_time: f64,
+        words: u64,
+        cost: f64,
+    ) -> (f64, f64) {
         let cost = match &self.params.jitter {
             Some(j) => cost * j.stretch(self.rank, self.messages),
             None => cost,
@@ -312,7 +326,7 @@ impl SimClock {
         self.now = start + cost;
         self.messages += 1;
         self.words_sent += words;
-        self.now
+        (start, self.now)
     }
 
     /// Synchronize with an absolute time (used by barriers): the clock
@@ -374,6 +388,18 @@ mod tests {
         let t_a = a.complete_exchange(0.0, 5);
         assert_eq!(t_a, 115.0);
         assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn spanning_exchange_reports_rendezvous_start() {
+        let mut c = SimClock::new(ClockParams::new(10.0, 1.0));
+        c.charge_compute(20.0);
+        // Peer ahead: the span starts at the peer's clock.
+        let (s, e) = c.complete_exchange_spanning(100.0, 5, 15.0);
+        assert_eq!((s, e), (100.0, 115.0));
+        // Peer behind: the span starts at our own clock.
+        let (s, e) = c.complete_exchange_spanning(0.0, 5, 15.0);
+        assert_eq!((s, e), (115.0, 130.0));
     }
 
     #[test]

@@ -52,16 +52,22 @@
 //! ```
 
 pub mod channel;
+pub mod chrome;
 pub mod clock;
 pub mod error;
 pub mod machine;
+pub mod profile;
 pub mod rng;
 pub mod topology;
 pub mod trace;
 
+pub use chrome::{chrome_trace, chrome_trace_json, Json};
 pub use clock::{ClockParams, ClusterParams};
 pub use error::MachineError;
 pub use machine::{Ctx, Machine, RunResult};
+pub use profile::{
+    critical_path, CriticalPath, ProfileError, ProfileReport, RankProfile, StageProfile,
+};
 pub use rng::Rng;
 pub use topology::BalancedTree;
 pub use trace::{Event, EventKind, Trace};

@@ -101,10 +101,12 @@ impl Ctx {
 
     /// Charge `ops` units of local computation, labelled for the trace.
     pub fn charge(&mut self, ops: f64, label: &str) {
+        let start = self.clock.now();
         self.clock.charge_compute(ops);
         if self.trace.is_enabled() {
             self.trace.record(
                 self.rank(),
+                start,
                 self.clock.now(),
                 EventKind::Compute {
                     ops,
@@ -121,7 +123,26 @@ impl Ctx {
             let rank = self.rank();
             let now = self.clock.now();
             self.trace
-                .record(rank, now, EventKind::Mark { note: note.into() });
+                .record_instant(rank, now, EventKind::Mark { note: note.into() });
+        }
+    }
+
+    /// Record an end-of-stage boundary: everything this rank did since the
+    /// previous boundary belongs to program stage `index`. Executors inject
+    /// these so [`crate::profile::ProfileReport`] can attribute time per
+    /// stage.
+    pub fn end_stage(&mut self, index: usize, label: impl Into<String>) {
+        if self.trace.is_enabled() {
+            let rank = self.rank();
+            let now = self.clock.now();
+            self.trace.record_instant(
+                rank,
+                now,
+                EventKind::Stage {
+                    index,
+                    label: label.into(),
+                },
+            );
         }
     }
 
@@ -144,7 +165,8 @@ impl Ctx {
         let t = self.clock.complete_exchange_costing(send_time, words, cost);
         if self.trace.is_enabled() {
             let rank = self.rank();
-            self.trace.record(rank, t, EventKind::Send { to, words });
+            self.trace
+                .record(rank, send_time, t, EventKind::Send { to, words });
         }
     }
 
@@ -161,12 +183,21 @@ impl Ctx {
             .unwrap_or_else(|e| panic!("recv on rank {}: {e}", self.rank()));
         let words = packet.words;
         let cost = self.params().transfer_between(self.rank(), from, words);
-        let t = self
+        let (start, t) = self
             .clock
-            .complete_exchange_costing(packet.send_time, words, cost);
+            .complete_exchange_spanning(packet.send_time, words, cost);
         if self.trace.is_enabled() {
             let rank = self.rank();
-            self.trace.record(rank, t, EventKind::Recv { from, words });
+            self.trace.record(
+                rank,
+                start,
+                t,
+                EventKind::Recv {
+                    from,
+                    words,
+                    sent_at: packet.send_time,
+                },
+            );
         }
         let to = self.rank();
         *packet.payload.downcast::<T>().unwrap_or_else(|_| {
@@ -194,12 +225,21 @@ impl Ctx {
             .unwrap_or_else(|e| panic!("recv_any on rank {}: {e}", self.rank()));
         let words = packet.words;
         let cost = self.params().transfer_between(self.rank(), from, words);
-        let t = self
+        let (start, t) = self
             .clock
-            .complete_exchange_costing(packet.send_time, words, cost);
+            .complete_exchange_spanning(packet.send_time, words, cost);
         if self.trace.is_enabled() {
             let rank = self.rank();
-            self.trace.record(rank, t, EventKind::Recv { from, words });
+            self.trace.record(
+                rank,
+                start,
+                t,
+                EventKind::Recv {
+                    from,
+                    words,
+                    sent_at: packet.send_time,
+                },
+            );
         }
         let to = self.rank();
         let v = *packet.payload.downcast::<T>().unwrap_or_else(|_| {
@@ -237,13 +277,21 @@ impl Ctx {
             .unwrap_or_else(|e| panic!("exchange pop on rank {}: {e}", self.rank()));
         let w = words.max(packet.words);
         let cost = self.params().transfer_between(self.rank(), partner, w);
-        let t = self
+        let (start, t) = self
             .clock
-            .complete_exchange_costing(packet.send_time, w, cost);
+            .complete_exchange_spanning(packet.send_time, w, cost);
         if self.trace.is_enabled() {
             let rank = self.rank();
-            self.trace
-                .record(rank, t, EventKind::Exchange { partner, words: w });
+            self.trace.record(
+                rank,
+                start,
+                t,
+                EventKind::Exchange {
+                    partner,
+                    words: w,
+                    sent_at: packet.send_time,
+                },
+            );
         }
         let from = partner;
         let to = self.rank();
@@ -261,11 +309,12 @@ impl Ctx {
 
     /// Barrier across all ranks; clocks leave at the global maximum.
     pub fn barrier(&mut self) {
-        let t = self.barrier.wait(self.clock.now());
+        let entry = self.clock.now();
+        let t = self.barrier.wait(entry);
         self.clock.sync_to(t);
         if self.trace.is_enabled() {
             let rank = self.rank();
-            self.trace.record(rank, t, EventKind::Barrier);
+            self.trace.record(rank, entry, t, EventKind::Barrier);
         }
     }
 

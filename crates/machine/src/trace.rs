@@ -1,10 +1,23 @@
 //! Event tracing.
 //!
 //! Every rank can record what it does — sends, receives, exchanges, local
-//! computation steps — together with the simulated time at which the action
-//! completed. Traces are how the test-suite and the figure generators
+//! computation steps — together with the simulated interval over which the
+//! action ran. Traces are how the test-suite and the figure generators
 //! reproduce the paper's step-by-step value tables (Figures 4, 5 and 6)
 //! and how the ASCII timeline of Figure 1/3 is rendered.
+//!
+//! Beyond rendering, traces carry enough structure for *analysis*:
+//!
+//! * every event records its **span** (`start`, `time`] — the clock before
+//!   and after the action — so per-rank busy/idle time is derivable;
+//! * every [`Recv`](EventKind::Recv) and [`Exchange`](EventKind::Exchange)
+//!   records the **sender's clock at send start** (`sent_at`), the causal
+//!   link that [`crate::profile::critical_path`] walks backwards to
+//!   attribute a run's makespan to an exact chain of messages and
+//!   computation steps;
+//! * [`Stage`](EventKind::Stage) markers let an executor label which
+//!   program stage each span belongs to, feeding the per-stage breakdown
+//!   of [`crate::profile::ProfileReport`].
 
 /// What happened.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +35,9 @@ pub enum EventKind {
         from: usize,
         /// Message size in words.
         words: u64,
+        /// The sender's clock when it started the send — the causal
+        /// dependency this receive waited on.
+        sent_at: f64,
     },
     /// A simultaneous exchange with `partner` (both directions, one cost).
     Exchange {
@@ -29,6 +45,8 @@ pub enum EventKind {
         partner: usize,
         /// Words sent (the larger direction is charged).
         words: u64,
+        /// The partner's clock when it entered the exchange.
+        sent_at: f64,
     },
     /// `ops` units of local computation, with a free-form label
     /// (e.g. the collective stage it belongs to).
@@ -46,18 +64,54 @@ pub enum EventKind {
         /// Marker text.
         note: String,
     },
+    /// End-of-stage boundary injected by an executor: everything this rank
+    /// did since the previous `Stage` marker belongs to stage `index`.
+    Stage {
+        /// Stage position in the program.
+        index: usize,
+        /// The stage's display label.
+        label: String,
+    },
 }
 
-/// One trace record: the rank it happened on, the simulated completion
-/// time, and the action.
+impl EventKind {
+    /// Is this a zero-cost annotation (no simulated time passes)?
+    pub fn is_annotation(&self) -> bool {
+        matches!(self, EventKind::Mark { .. } | EventKind::Stage { .. })
+    }
+
+    /// Does this event occupy the network (vs local computation)?
+    pub fn is_comm(&self) -> bool {
+        matches!(
+            self,
+            EventKind::Send { .. } | EventKind::Recv { .. } | EventKind::Exchange { .. }
+        )
+    }
+}
+
+/// One trace record: the rank it happened on, the simulated span over
+/// which it ran, and the action.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// Rank the event belongs to.
     pub rank: usize,
+    /// Simulated time at which the action started. For a receive or an
+    /// exchange this is the *rendezvous* point `max(own clock, sender's
+    /// send start)` — any earlier waiting shows up as a gap between the
+    /// previous event's end and this start.
+    pub start: f64,
     /// Simulated time at which the action completed.
     pub time: f64,
     /// The action.
     pub kind: EventKind,
+}
+
+impl Event {
+    /// The span's length (`time - start`).
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.time - self.start
+    }
 }
 
 /// A per-rank event log.
@@ -89,11 +143,22 @@ impl Trace {
         self.enabled
     }
 
-    /// Record an event (no-op when disabled).
-    pub fn record(&mut self, rank: usize, time: f64, kind: EventKind) {
+    /// Record an event spanning `start..=time` (no-op when disabled).
+    pub fn record(&mut self, rank: usize, start: f64, time: f64, kind: EventKind) {
         if self.enabled {
-            self.events.push(Event { rank, time, kind });
+            debug_assert!(time >= start, "event must not end before it starts");
+            self.events.push(Event {
+                rank,
+                start,
+                time,
+                kind,
+            });
         }
+    }
+
+    /// Record a zero-duration event at `time`.
+    pub fn record_instant(&mut self, rank: usize, time: f64, kind: EventKind) {
+        self.record(rank, time, time, kind);
     }
 
     /// All recorded events in order.
@@ -114,7 +179,7 @@ impl Trace {
     }
 
     /// Merge another trace (e.g. from another rank) into this one,
-    /// keeping events sorted by time (stable for equal times).
+    /// keeping events sorted by completion time (stable for equal times).
     pub fn merge(&mut self, other: Trace) {
         self.events.extend(other.events);
         self.events.sort_by(|a, b| {
@@ -127,13 +192,20 @@ impl Trace {
     /// Renders a compact ASCII timeline: one row per rank, one column per
     /// distinct event time, `*` where the rank acted. A lightweight
     /// regeneration of the paper's Figure 1 style run-time diagrams.
+    /// Annotation events ([`EventKind::Stage`]) are not rendered; marks
+    /// keep their historical `.` glyph.
     pub fn ascii_timeline(&self, ranks: usize) -> String {
-        let mut times: Vec<f64> = self.events.iter().map(|e| e.time).collect();
+        let rendered: Vec<&Event> = self
+            .events
+            .iter()
+            .filter(|e| !matches!(e.kind, EventKind::Stage { .. }))
+            .collect();
+        let mut times: Vec<f64> = rendered.iter().map(|e| e.time).collect();
         times.sort_by(|a, b| a.partial_cmp(b).unwrap());
         times.dedup();
         let col = |t: f64| times.iter().position(|&x| x == t).unwrap();
         let mut grid = vec![vec![b' '; times.len()]; ranks];
-        for e in &self.events {
+        for e in &rendered {
             if e.rank < ranks {
                 let c = match e.kind {
                     EventKind::Send { .. } => b'>',
@@ -142,6 +214,7 @@ impl Trace {
                     EventKind::Compute { .. } => b'*',
                     EventKind::Barrier => b'|',
                     EventKind::Mark { .. } => b'.',
+                    EventKind::Stage { .. } => unreachable!("filtered above"),
                 };
                 grid[e.rank][col(e.time)] = c;
             }
@@ -163,7 +236,7 @@ mod tests {
     #[test]
     fn disabled_trace_records_nothing() {
         let mut t = Trace::disabled();
-        t.record(0, 1.0, EventKind::Barrier);
+        t.record(0, 0.0, 1.0, EventKind::Barrier);
         assert!(t.events().is_empty());
         assert!(!t.is_enabled());
     }
@@ -171,9 +244,10 @@ mod tests {
     #[test]
     fn enabled_trace_records_in_order() {
         let mut t = Trace::enabled();
-        t.record(0, 1.0, EventKind::Send { to: 1, words: 4 });
+        t.record(0, 0.0, 1.0, EventKind::Send { to: 1, words: 4 });
         t.record(
             0,
+            1.0,
             2.0,
             EventKind::Compute {
                 ops: 3.0,
@@ -182,20 +256,22 @@ mod tests {
         );
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.events()[0].time, 1.0);
+        assert_eq!(t.events()[1].start, 1.0);
+        assert_eq!(t.events()[1].duration(), 1.0);
     }
 
     #[test]
     fn marks_are_extracted() {
         let mut t = Trace::enabled();
-        t.record(
+        t.record_instant(
             0,
             0.0,
             EventKind::Mark {
                 note: "(2,2)".into(),
             },
         );
-        t.record(0, 1.0, EventKind::Barrier);
-        t.record(
+        t.record(0, 0.0, 1.0, EventKind::Barrier);
+        t.record_instant(
             1,
             2.0,
             EventKind::Mark {
@@ -208,9 +284,9 @@ mod tests {
     #[test]
     fn merge_sorts_by_time() {
         let mut a = Trace::enabled();
-        a.record(0, 5.0, EventKind::Barrier);
+        a.record(0, 0.0, 5.0, EventKind::Barrier);
         let mut b = Trace::enabled();
-        b.record(1, 2.0, EventKind::Barrier);
+        b.record(1, 0.0, 2.0, EventKind::Barrier);
         a.merge(b);
         assert_eq!(a.events()[0].rank, 1);
         assert_eq!(a.events()[1].rank, 0);
@@ -219,12 +295,58 @@ mod tests {
     #[test]
     fn ascii_timeline_has_one_row_per_rank() {
         let mut t = Trace::enabled();
-        t.record(0, 0.0, EventKind::Send { to: 1, words: 1 });
-        t.record(1, 1.0, EventKind::Recv { from: 0, words: 1 });
+        t.record(0, 0.0, 0.0, EventKind::Send { to: 1, words: 1 });
+        t.record(
+            1,
+            0.0,
+            1.0,
+            EventKind::Recv {
+                from: 0,
+                words: 1,
+                sent_at: 0.0,
+            },
+        );
         let s = t.ascii_timeline(2);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains('>'));
         assert!(lines[1].contains('<'));
+    }
+
+    #[test]
+    fn stage_markers_do_not_disturb_the_timeline() {
+        let mut plain = Trace::enabled();
+        plain.record(0, 0.0, 1.0, EventKind::Send { to: 1, words: 1 });
+        let mut staged = plain.clone();
+        staged.record_instant(
+            0,
+            1.0,
+            EventKind::Stage {
+                index: 0,
+                label: "send".into(),
+            },
+        );
+        assert_eq!(plain.ascii_timeline(1), staged.ascii_timeline(1));
+    }
+
+    #[test]
+    fn annotation_and_comm_classification() {
+        assert!(EventKind::Mark {
+            note: String::new()
+        }
+        .is_annotation());
+        assert!(EventKind::Stage {
+            index: 0,
+            label: String::new()
+        }
+        .is_annotation());
+        assert!(!EventKind::Barrier.is_annotation());
+        assert!(EventKind::Send { to: 0, words: 1 }.is_comm());
+        assert!(!EventKind::Barrier.is_comm());
+        assert!(!EventKind::Compute {
+            ops: 1.0,
+            label: String::new()
+        }
+        .is_comm());
     }
 }

@@ -21,20 +21,24 @@
 //! * `--optimal`     exhaustive search over rule orders for the cheapest plan
 //! * `--all-ranks`   only apply rules preserving every processor's value
 //! * `--report`      emit a full Markdown report instead of the summary
+//! * `--profile`     run both pipelines on the simulated machine and show
+//!   where the time goes (per-stage busy/idle tables + critical path)
 //! * `--table1`      also print the analytic Table 1 and exit
 
 use collopt::core::parser::parse_pipeline;
-use collopt::core::report::optimization_report;
+use collopt::core::report::{optimization_report, profile_section};
 use collopt::core::rewrite::{program_cost, Rewriter};
+use collopt::core::value::Value;
 use collopt::cost::table1::render_table1;
 use collopt::cost::MachineParams;
+use collopt::machine::ClockParams;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: collopt \"<pipeline>\" [--p N] [--ts X] [--tw X] [--m X] \
-             [--exhaustive] [--all-ranks] [--table1]"
+             [--exhaustive] [--all-ranks] [--report] [--profile] [--table1]"
         );
         eprintln!("  pipeline: e.g. \"map f ; scan(mul) ; reduce(add) ; bcast\"");
         eprintln!("  operators: add mul max min and or fadd fmul maxplus");
@@ -54,6 +58,7 @@ fn main() {
     let mut all_ranks = false;
     let mut report = false;
     let mut optimal = false;
+    let mut profile = false;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -72,6 +77,7 @@ fn main() {
             "--all-ranks" => all_ranks = true,
             "--report" => report = true,
             "--optimal" => optimal = true,
+            "--profile" => profile = true,
             other if other.starts_with("--") => {
                 eprintln!("unknown option {other}");
                 std::process::exit(2);
@@ -107,9 +113,26 @@ fn main() {
     }
     .allow_rank0_rules(!all_ranks);
 
+    // Deterministic synthetic input: `m` words per rank, small positive
+    // ints (safe for every parser operator; floats coerce from ints).
+    let profile_inputs = |p: usize, m: f64| -> Vec<Value> {
+        let words = m.clamp(0.0, 1e6) as usize;
+        (0..p)
+            .map(|r| Value::int_list((0..words).map(|j| ((r * 7 + j) % 5 + 1) as i64)))
+            .collect()
+    };
+
     if report {
-        let (_, md) = optimization_report(&prog, &rewriter, &params, m);
+        let (result, md) = optimization_report(&prog, &rewriter, &params, m);
         print!("{md}");
+        if profile {
+            let inputs = profile_inputs(p, m);
+            let clock = ClockParams::new(ts, tw);
+            println!("\n## Where the time goes\n\n### Original\n");
+            print!("{}", profile_section(&prog, &inputs, clock));
+            println!("\n### Optimized\n");
+            print!("{}", profile_section(&result.program, &inputs, clock));
+        }
         return;
     }
 
@@ -143,5 +166,13 @@ fn main() {
             "cost     : {before:.0} -> {after:.0} time units ({:+.1}%)",
             100.0 * (after - before) / before
         );
+    }
+    if profile {
+        let inputs = profile_inputs(p, m);
+        let clock = ClockParams::new(ts, tw);
+        println!("\n-- original: where the time goes --");
+        print!("{}", profile_section(&prog, &inputs, clock));
+        println!("\n-- optimized: where the time goes --");
+        print!("{}", profile_section(&result.program, &inputs, clock));
     }
 }
