@@ -1,0 +1,98 @@
+//! Chaos sweep driver — the scalable version of `tests/chaos_dst.rs`.
+//!
+//! Sweeps all three fault families (delay, lossy, crash) over the
+//! Table-1 rule programs (LHS and RHS of every rule) and checks the
+//! differential oracle of [`collopt_bench::chaos`]. Scale with:
+//!
+//! * `CHAOS_SEEDS` — seeds per family (default 96; nightly CI uses 256)
+//! * `CHAOS_PMAX`  — largest machine size drawn per seed (default 9;
+//!   nightly CI uses 16)
+//! * `CHAOS_M`     — words per block (default 4)
+//!
+//! Prints a per-family summary; on violation, every failing case is
+//! printed with its reproducing `(seed, plan)` spec — paste the plan into
+//! `collopt --faults "<plan>"` to replay — and the full list is written
+//! to `results/chaos_failures.json` before exiting non-zero.
+//!
+//! Run with `cargo run --release -p collopt-bench --bin gen_chaos`.
+
+use collopt_bench::chaos::{sweep, ChaosFailure, ChaosKind};
+
+fn env_or(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} expects an integer, got {v:?}")),
+        Err(_) => default,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn failures_json(failures: &[(ChaosKind, ChaosFailure)]) -> String {
+    let mut out = String::from("[\n");
+    for (i, (kind, f)) in failures.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"kind\": \"{}\", \"seed\": {}, \"p\": {}, \"rule\": \"{}\", \
+             \"side\": \"{}\", \"plan\": \"{}\", \"what\": \"{}\"}}{}\n",
+            kind.label(),
+            f.seed,
+            f.p,
+            json_escape(&f.rule),
+            f.side,
+            json_escape(&f.plan),
+            json_escape(&f.what),
+            if i + 1 < failures.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn main() {
+    let seeds = env_or("CHAOS_SEEDS", 96);
+    let pmax = env_or("CHAOS_PMAX", 9) as usize;
+    let m = env_or("CHAOS_M", 4) as usize;
+    assert!(pmax >= 2, "CHAOS_PMAX must be at least 2");
+
+    println!("# chaos sweep: {seeds} seeds/family, p in 2..={pmax}, m={m}");
+    let mut all: Vec<(ChaosKind, ChaosFailure)> = Vec::new();
+    for kind in ChaosKind::ALL {
+        let failures = sweep(kind, 0..seeds, pmax, m);
+        // 11 rules x 2 sides per seed.
+        println!(
+            "  {:5}: {} runs, {} violations",
+            kind.label(),
+            seeds * 22,
+            failures.len()
+        );
+        all.extend(failures.into_iter().map(|f| (kind, f)));
+    }
+
+    if all.is_empty() {
+        println!("# all invariants held");
+        return;
+    }
+
+    eprintln!(
+        "# {} violations — each line reproduces with `collopt --faults`:",
+        all.len()
+    );
+    for (kind, f) in &all {
+        eprintln!("  [{}] {f}", kind.label());
+    }
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/chaos_failures.json", failures_json(&all))
+        .expect("write results/chaos_failures.json");
+    eprintln!("# wrote results/chaos_failures.json");
+    std::process::exit(1);
+}

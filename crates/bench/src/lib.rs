@@ -10,6 +10,7 @@
 //! measure the algorithms, not interpretation overhead; the simulated
 //! makespans come from the same runs' deterministic clocks.
 
+pub mod chaos;
 pub mod harness;
 
 use collopt_collectives::{

@@ -1,0 +1,59 @@
+//! Deterministic simulation testing of the fault layer over the Table-1
+//! rule programs.
+//!
+//! Each test sweeps one fault family ([`ChaosKind`]) over 64 seeds. For
+//! every seed a machine size and a [`collopt_machine::FaultPlan`] are
+//! derived deterministically, and *all eleven* rules run on both sides of
+//! the rewrite (LHS and RHS) — so every collective the optimizer can emit
+//! is exercised under faults. The oracle ([`collopt_bench::chaos`]):
+//!
+//! * non-lossy plans reproduce results bit-identically with the makespan
+//!   inside the analytic delay envelope;
+//! * lossy-but-recoverable plans reproduce results bit-identically with
+//!   the overhead accounted exactly by the machine's retry counters;
+//! * crash plans surface `MachineError::RankFailed` naming the planned
+//!   victim (or complete bit-identically when the ordinal is never
+//!   reached) — no hangs, no panics;
+//! * every faulted run replays to the bit under the same `(seed, plan)`.
+//!
+//! Failures print reproducing `(seed, plan)` spec strings — feed them to
+//! `collopt --faults "<plan>"` or `FaultPlan::parse`.
+
+use collopt_bench::chaos::{sweep, ChaosKind};
+
+/// Seeds per family: the issue's floor is 64.
+const SEEDS: u64 = 64;
+/// Largest machine size the per-seed derivation may pick.
+const PMAX: usize = 9;
+/// Words per block — small but non-scalar so bandwidth terms participate.
+const M: usize = 4;
+
+fn run(kind: ChaosKind) {
+    let failures = sweep(kind, 0..SEEDS, PMAX, M);
+    assert!(
+        failures.is_empty(),
+        "{} {} violations — each line reproduces with `collopt --faults`:\n{}",
+        failures.len(),
+        kind.label(),
+        failures
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn delay_plans_stretch_time_but_never_results() {
+    run(ChaosKind::Delay);
+}
+
+#[test]
+fn lossy_plans_recover_bit_identically_with_exact_retry_accounting() {
+    run(ChaosKind::Lossy);
+}
+
+#[test]
+fn crash_plans_fail_cleanly_naming_the_victim() {
+    run(ChaosKind::Crash);
+}

@@ -19,7 +19,8 @@ use collopt_collectives::{
     Combine, PairedOp, RepeatOp,
 };
 use collopt_machine::{
-    critical_path, ClockParams, CriticalPath, Ctx, Machine, ProfileError, ProfileReport,
+    critical_path, ClockParams, CriticalPath, Ctx, FaultPlan, Machine, MachineError, ProfileError,
+    ProfileReport,
 };
 
 use crate::adjust::iter_balanced;
@@ -66,12 +67,48 @@ pub struct ExecOutcome {
     pub total_compute: f64,
     /// Total message exchanges across ranks.
     pub total_messages: u64,
+    /// Failed transmission attempts retried across ranks (always zero
+    /// without a lossy fault plan).
+    pub total_retries: u64,
+    /// Simulated time lost to failed attempts across ranks — the exact
+    /// overhead a lossy-but-recovered run paid for its retries.
+    pub total_retry_time: f64,
 }
 
 /// Execute `prog` on `inputs.len()` simulated processors with the given
 /// cost parameters. `inputs[i]` is processor `i`'s initial block.
 pub fn execute(prog: &Program, inputs: &[Value], clock: ClockParams) -> ExecOutcome {
     run_program(prog, inputs, clock, false, ExecConfig::default()).0
+}
+
+/// Execute `prog` under a [`FaultPlan`]: stragglers, slow links, message
+/// drops and rank crashes are replayed deterministically. Returns `Err`
+/// with the originating [`MachineError`] when the plan makes the run fail
+/// (a crash, or a message exhausting its retry budget) — cleanly, with
+/// every rank thread joined. An empty plan is observationally inert: the
+/// outcome is bit-identical to [`execute`].
+pub fn execute_faulted(
+    prog: &Program,
+    inputs: &[Value],
+    clock: ClockParams,
+    config: ExecConfig,
+    plan: &FaultPlan,
+) -> Result<ExecOutcome, MachineError> {
+    try_run_program(prog, inputs, clock, false, config, Some(plan)).map(|(o, _)| o)
+}
+
+/// [`execute_faulted`] with event tracing: the trace carries the injected
+/// [`Retry`](collopt_machine::EventKind::Retry) spans, so Chrome exports
+/// and profiles show exactly where the fault overhead went.
+pub fn execute_faulted_traced(
+    prog: &Program,
+    inputs: &[Value],
+    clock: ClockParams,
+    config: ExecConfig,
+    plan: &FaultPlan,
+) -> Result<TracedExecOutcome, MachineError> {
+    try_run_program(prog, inputs, clock, true, config, Some(plan))
+        .map(|(outcome, trace)| TracedExecOutcome { outcome, trace })
 }
 
 /// [`execute`] with explicit [`ExecConfig`] options.
@@ -179,13 +216,28 @@ fn run_program(
     tracing: bool,
     config: ExecConfig,
 ) -> (ExecOutcome, collopt_machine::Trace) {
+    try_run_program(prog, inputs, clock, tracing, config, None)
+        .expect("a fault-free run cannot fail")
+}
+
+fn try_run_program(
+    prog: &Program,
+    inputs: &[Value],
+    clock: ClockParams,
+    tracing: bool,
+    config: ExecConfig,
+    faults: Option<&FaultPlan>,
+) -> Result<(ExecOutcome, collopt_machine::Trace), MachineError> {
     assert!(!inputs.is_empty());
     let mut machine = Machine::new(inputs.len(), clock);
     if tracing {
         machine = machine.with_tracing();
     }
+    if let Some(plan) = faults {
+        machine = machine.with_faults(plan.clone());
+    }
     let inputs: Arc<Vec<Value>> = Arc::new(inputs.to_vec());
-    let run = machine.run(|ctx| {
+    let run = machine.try_run(|ctx| {
         let mut v = inputs[ctx.rank()].clone();
         for (i, stage) in prog.stages().iter().enumerate() {
             exec_stage(stage, ctx, &mut v, config);
@@ -194,16 +246,20 @@ fn run_program(
             }
         }
         v
-    });
-    (
+    })?;
+    let total_retries = run.total_retries();
+    let total_retry_time = run.total_retry_time();
+    Ok((
         ExecOutcome {
             outputs: run.results,
             makespan: run.makespan,
             total_compute: run.compute_ops.iter().sum(),
             total_messages: run.messages.iter().sum(),
+            total_retries,
+            total_retry_time,
         },
         run.trace,
-    )
+    ))
 }
 
 fn exec_stage(stage: &Stage, ctx: &mut Ctx, v: &mut Value, config: ExecConfig) {
@@ -763,6 +819,94 @@ mod tests {
         assert_eq!(*finish.last().unwrap(), outcome.makespan);
         assert!(finish.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(outcome.outputs, eval_program(&prog, &xs));
+    }
+
+    #[test]
+    fn faulted_execution_with_empty_plan_is_bit_identical() {
+        let prog = Program::new()
+            .map("inc", 1.0, |v| Value::Int(v.as_int() + 1))
+            .scan(lib::add())
+            .allreduce(lib::max())
+            .bcast();
+        let xs = ints(&[3, 1, 4, 1, 5, 9]);
+        let clock = ClockParams::parsytec_like();
+        let plain = execute(&prog, &xs, clock);
+        let faulted = execute_faulted(
+            &prog,
+            &xs,
+            clock,
+            ExecConfig::default(),
+            &FaultPlan::new(12345),
+        )
+        .expect("an empty plan cannot fail");
+        assert_eq!(plain.outputs, faulted.outputs);
+        assert_eq!(plain.makespan.to_bits(), faulted.makespan.to_bits());
+        assert_eq!(plain.total_compute, faulted.total_compute);
+        assert_eq!(plain.total_messages, faulted.total_messages);
+        assert_eq!(faulted.total_retries, 0);
+        assert_eq!(faulted.total_retry_time, 0.0);
+    }
+
+    #[test]
+    fn faulted_execution_survives_delays_and_drops_bit_identically() {
+        let prog = Program::new().scan(lib::add()).reduce(lib::add()).bcast();
+        let xs = ints(&[2, 7, 1, 8, 2, 8, 1, 8]);
+        let clock = ClockParams::new(100.0, 2.0);
+        let plain = execute(&prog, &xs, clock);
+        let plan = FaultPlan::new(9)
+            .with_straggler(3, 4.0)
+            .with_slow_link(0, 1, 2.0, 25.0)
+            .with_drops(0.3, 2);
+        let faulted = execute_faulted(&prog, &xs, clock, ExecConfig::default(), &plan)
+            .expect("bounded drops are recoverable");
+        assert_eq!(
+            plain.outputs, faulted.outputs,
+            "results must survive faults"
+        );
+        assert!(faulted.makespan >= plain.makespan);
+    }
+
+    #[test]
+    fn faulted_execution_surfaces_a_crash_as_rank_failed() {
+        let prog = Program::new().scan(lib::add()).allreduce(lib::add());
+        let xs = ints(&[1, 2, 3, 4, 5, 6]);
+        let clock = ClockParams::parsytec_like();
+        let err = execute_faulted(
+            &prog,
+            &xs,
+            clock,
+            ExecConfig::default(),
+            &FaultPlan::new(0).with_crash(4, 1),
+        )
+        .expect_err("a crashed rank fails the run");
+        assert_eq!(err, MachineError::RankFailed { rank: 4 });
+    }
+
+    #[test]
+    fn faulted_traced_run_records_retries() {
+        let prog = Program::new().bcast();
+        let xs = ints(&[7, 0, 0, 0]);
+        let clock = ClockParams::new(10.0, 1.0);
+        // Binomial bcast from rank 0 over p=4 sends on both lanes 0 -> 1
+        // and 0 -> 2 (whatever the tree order); drop each lane's first
+        // message once.
+        let plan = FaultPlan::new(0)
+            .with_drop_exact(0, 1, 0, 1)
+            .with_drop_exact(0, 2, 0, 1)
+            .with_retry(4, 50.0);
+        let run = execute_faulted_traced(&prog, &xs, clock, ExecConfig::default(), &plan)
+            .expect("one drop with four attempts is recoverable");
+        assert_eq!(run.outcome.total_retries, 2);
+        assert!(run.outcome.total_retry_time > 0.0);
+        let retries = run
+            .trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, collopt_machine::EventKind::Retry { .. }))
+            .count();
+        assert_eq!(retries, 2);
+        let plain = execute(&prog, &xs, clock);
+        assert_eq!(plain.outputs, run.outcome.outputs);
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! artifact a performance engineer would attach to a code review.
 
 use collopt_cost::MachineParams;
-use collopt_machine::ClockParams;
+use collopt_machine::{ClockParams, FaultPlan};
 
-use crate::exec::{execute_profiled, execute_traced_with, ExecConfig};
+use crate::exec::{execute, execute_faulted, execute_profiled, execute_traced_with, ExecConfig};
 use crate::rewrite::{program_cost, stage_cost, OptimizeResult, Rewriter};
 use crate::term::Program;
 use crate::value::Value;
@@ -147,6 +147,47 @@ pub fn profile_section(prog: &Program, inputs: &[Value], clock: ClockParams) -> 
     out
 }
 
+/// Run `prog` twice — clean and under `plan` — and render how gracefully
+/// it degrades: makespan overhead, retry accounting, and whether the
+/// results survived bit-identically. A failing run (crash, exhausted
+/// retries) renders the error instead, with the plan's reproducible spec
+/// string either way.
+pub fn degradation_section(
+    prog: &Program,
+    inputs: &[Value],
+    clock: ClockParams,
+    plan: &FaultPlan,
+) -> String {
+    let clean = execute(prog, inputs, clock);
+    let mut out = format!("fault plan : {}\n", plan.describe());
+    match execute_faulted(prog, inputs, clock, ExecConfig::default(), plan) {
+        Ok(faulted) => {
+            let overhead = if clean.makespan > 0.0 {
+                100.0 * (faulted.makespan - clean.makespan) / clean.makespan
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "makespan   : {:.0} -> {:.0} time units ({overhead:+.1}%)\n",
+                clean.makespan, faulted.makespan
+            ));
+            out.push_str(&format!(
+                "retries    : {} failed attempts, {:.0} time units lost\n",
+                faulted.total_retries, faulted.total_retry_time
+            ));
+            out.push_str(if faulted.outputs == clean.outputs {
+                "results    : bit-identical to the fault-free run\n"
+            } else {
+                "results    : DIFFER from the fault-free run (fault model violation!)\n"
+            });
+        }
+        Err(e) => {
+            out.push_str(&format!("run failed : {e}\n"));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +260,29 @@ mod tests {
         assert!(section.contains("reduce(add)"));
         assert!(section.contains("Critical path:"));
         assert!(!section.contains("unavailable"));
+    }
+
+    #[test]
+    fn degradation_section_reports_overhead_and_identical_results() {
+        let prog = Program::new().scan(lib::add()).reduce(lib::add());
+        let inputs: Vec<Value> = (0..8).map(|_| Value::int_list([1, 2, 3, 4])).collect();
+        let clock = ClockParams::new(100.0, 2.0);
+
+        // A pure-delay plan: results must survive bit-identically.
+        let plan = FaultPlan::new(11)
+            .with_straggler(2, 3.0)
+            .with_slow_link(0, 1, 2.0, 50.0);
+        let section = degradation_section(&prog, &inputs, clock, &plan);
+        assert!(section.contains("fault plan : seed=11"));
+        assert!(section.contains("bit-identical"));
+        assert!(section.contains('%'));
+        assert!(!section.contains("DIFFER"), "{section}");
+
+        // A crash plan: the section renders the failure instead of hanging.
+        let crash = FaultPlan::new(11).with_crash(3, 0);
+        let section = degradation_section(&prog, &inputs, clock, &crash);
+        assert!(section.contains("run failed"), "{section}");
+        assert!(section.contains('3'), "{section}");
     }
 
     #[test]

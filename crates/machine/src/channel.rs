@@ -144,11 +144,17 @@ impl Mailboxes {
                     return Ok((src, packet));
                 }
             }
-            if state.live.iter().all(|&l| !l) {
-                // Every queue is empty and every sender is gone: no packet
-                // can ever arrive. A single dead peer is fine — the others
-                // may still send.
-                return Err(MachineError::Disconnected { rank: p - 1 });
+            // Every queue is empty; if every *other* rank is also gone, no
+            // packet can ever arrive (a rank blocked in `pop_any` cannot
+            // send to itself), so report the lowest dead peer rather than
+            // waiting forever. A single dead peer is fine — the others may
+            // still send.
+            let dead_peer = (0..p).find(|&src| src != self.rank && !state.live[src]);
+            let any_live_peer = (0..p).any(|src| src != self.rank && state.live[src]);
+            if !any_live_peer {
+                if let Some(dead) = dead_peer.or((p == 1).then_some(0)) {
+                    return Err(MachineError::Disconnected { rank: dead });
+                }
             }
             state = inbox.arrived.wait(state).expect("inbox poisoned");
         }
@@ -305,6 +311,25 @@ mod tests {
             m1.pop(0).unwrap_err(),
             MachineError::Disconnected { rank: 0 }
         );
+    }
+
+    #[test]
+    fn pop_any_reports_disconnect_when_all_peers_die() {
+        let mut mesh = build_mesh(3);
+        let m2 = mesh.pop().unwrap();
+        let m1 = mesh.pop().unwrap();
+        let m0 = mesh.pop().unwrap();
+        // Rank 1 sends one packet then dies; rank 2 dies silently. Rank 0
+        // must drain the queued packet, then observe the disconnect (it
+        // can never receive from itself while blocked).
+        m1.push(0, packet(1u8, 1)).unwrap();
+        drop(m1);
+        drop(m2);
+        let (src, p) = m0.pop_any().unwrap();
+        assert_eq!(src, 1);
+        assert_eq!(*p.payload.downcast::<u8>().unwrap(), 1);
+        let err = m0.pop_any().unwrap_err();
+        assert_eq!(err, MachineError::Disconnected { rank: 1 });
     }
 
     #[test]

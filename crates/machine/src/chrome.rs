@@ -300,6 +300,7 @@ fn event_name(kind: &EventKind) -> String {
         EventKind::Send { to, .. } => format!("send -> P{to}"),
         EventKind::Recv { from, .. } => format!("recv <- P{from}"),
         EventKind::Exchange { partner, .. } => format!("exchange <-> P{partner}"),
+        EventKind::Retry { to, attempt, .. } => format!("retry #{attempt} -> P{to}"),
         EventKind::Compute { label, .. } => label.clone(),
         EventKind::Barrier => "barrier".to_string(),
         EventKind::Mark { note } => format!("mark {note}"),
@@ -309,7 +310,10 @@ fn event_name(kind: &EventKind) -> String {
 
 fn event_cat(kind: &EventKind) -> &'static str {
     match kind {
-        EventKind::Send { .. } | EventKind::Recv { .. } | EventKind::Exchange { .. } => "comm",
+        EventKind::Send { .. }
+        | EventKind::Recv { .. }
+        | EventKind::Exchange { .. }
+        | EventKind::Retry { .. } => "comm",
         EventKind::Compute { .. } => "compute",
         EventKind::Barrier => "sync",
         EventKind::Mark { .. } | EventKind::Stage { .. } => "annotation",
@@ -327,6 +331,10 @@ fn event_args(kind: &EventKind) -> Json {
         EventKind::Exchange { words, sent_at, .. } => {
             fields.push(("words", Json::Num(*words as f64)));
             fields.push(("sent_at", Json::Num(*sent_at)));
+        }
+        EventKind::Retry { words, attempt, .. } => {
+            fields.push(("words", Json::Num(*words as f64)));
+            fields.push(("attempt", Json::Num(*attempt as f64)));
         }
         EventKind::Compute { ops, .. } => fields.push(("ops", Json::Num(*ops))),
         EventKind::Mark { note } => fields.push(("note", Json::Str(note.clone()))),

@@ -246,6 +246,8 @@ pub struct SimClock {
     compute_ops: f64,
     messages: u64,
     words_sent: u64,
+    retries: u64,
+    retry_time: f64,
     rank: usize,
 }
 
@@ -263,6 +265,8 @@ impl SimClock {
             compute_ops: 0.0,
             messages: 0,
             words_sent: 0,
+            retries: 0,
+            retry_time: 0.0,
             rank,
         }
     }
@@ -285,6 +289,33 @@ impl SimClock {
         debug_assert!(ops >= 0.0);
         self.now += ops;
         self.compute_ops += ops;
+    }
+
+    /// Charge `ops` computation operations on a rank slowed by `scale`:
+    /// the clock advances by `ops * scale` but the *logical* operation
+    /// count stays `ops` (a straggler does the same work, slower). With
+    /// `scale == 1.0` this is bit-identical to
+    /// [`charge_compute`](Self::charge_compute).
+    #[inline]
+    pub fn charge_compute_scaled(&mut self, ops: f64, scale: f64) {
+        debug_assert!(ops >= 0.0 && scale >= 0.0);
+        self.now += ops * scale;
+        self.compute_ops += ops;
+    }
+
+    /// Charge one failed transmission attempt: `wasted` time (the dropped
+    /// transfer plus the ack timeout) passes on this clock, and the retry
+    /// counters record it. Returns the new time. Retry time is accounted
+    /// separately from [`messages`](Self::messages) /
+    /// [`words`](Self::words) so `retry_time` is *exactly* the fault
+    /// overhead a lossy-but-recovered run pays.
+    #[inline]
+    pub fn charge_retry(&mut self, wasted: f64) -> f64 {
+        debug_assert!(wasted >= 0.0);
+        self.now += wasted;
+        self.retries += 1;
+        self.retry_time += wasted;
+        self.now
     }
 
     /// Record the completion of a message exchange of `words` words whose
@@ -352,6 +383,17 @@ impl SimClock {
     pub fn words(&self) -> u64 {
         self.words_sent
     }
+
+    /// Number of failed transmission attempts this rank retried.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Total simulated time lost to failed attempts (wasted transfers
+    /// plus ack timeouts).
+    pub fn retry_time(&self) -> f64 {
+        self.retry_time
+    }
 }
 
 #[cfg(test)]
@@ -410,6 +452,41 @@ mod tests {
         assert_eq!(c.now(), 50.0);
         c.sync_to(80.0);
         assert_eq!(c.now(), 80.0);
+    }
+
+    #[test]
+    fn scaled_compute_at_unit_factor_is_bit_identical() {
+        let mut plain = SimClock::new(ClockParams::free());
+        let mut scaled = SimClock::new(ClockParams::free());
+        for ops in [0.1, 3.7, 1e-9, 1234.5] {
+            plain.charge_compute(ops);
+            scaled.charge_compute_scaled(ops, 1.0);
+        }
+        assert_eq!(plain.now().to_bits(), scaled.now().to_bits());
+        assert_eq!(plain.compute_ops(), scaled.compute_ops());
+    }
+
+    #[test]
+    fn scaled_compute_slows_the_clock_not_the_op_count() {
+        let mut c = SimClock::new(ClockParams::free());
+        c.charge_compute_scaled(10.0, 3.0);
+        assert_eq!(c.now(), 30.0);
+        assert_eq!(c.compute_ops(), 10.0);
+    }
+
+    #[test]
+    fn retry_charges_accumulate_separately() {
+        let mut c = SimClock::new(ClockParams::new(10.0, 1.0));
+        assert_eq!(c.retries(), 0);
+        assert_eq!(c.retry_time(), 0.0);
+        c.charge_retry(25.0);
+        c.charge_retry(25.0);
+        assert_eq!(c.now(), 50.0);
+        assert_eq!(c.retries(), 2);
+        assert_eq!(c.retry_time(), 50.0);
+        // Retries are not message exchanges.
+        assert_eq!(c.messages(), 0);
+        assert_eq!(c.words(), 0);
     }
 
     #[test]

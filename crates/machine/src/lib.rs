@@ -55,6 +55,7 @@ pub mod channel;
 pub mod chrome;
 pub mod clock;
 pub mod error;
+pub mod fault;
 pub mod machine;
 pub mod profile;
 pub mod rng;
@@ -64,6 +65,7 @@ pub mod trace;
 pub use chrome::{chrome_trace, chrome_trace_json, Json};
 pub use clock::{ClockParams, ClusterParams};
 pub use error::MachineError;
+pub use fault::{FaultInjector, FaultPlan, RetryParams};
 pub use machine::{Ctx, Machine, RunResult};
 pub use profile::{
     critical_path, CriticalPath, ProfileError, ProfileReport, RankProfile, StageProfile,

@@ -22,43 +22,150 @@
 //! Because message timestamps travel with the data, the simulated makespan
 //! of a run is a pure function of the communication structure — identical
 //! across reruns regardless of OS scheduling.
+//!
+//! ## Fault injection
+//!
+//! [`Machine::with_faults`] attaches a [`FaultPlan`]; every `Ctx`
+//! operation then consults a per-rank [`FaultInjector`]:
+//!
+//! * compute charges are stretched by the rank's straggler factor;
+//! * transfer costs are inflated for slow links (undirected, so exchanges
+//!   stay symmetric);
+//! * sends (and each direction of an exchange) replay the plan's message
+//!   drops through a sender-side ack/retry protocol — every failed
+//!   attempt costs the wasted transfer plus the ack timeout, recorded as
+//!   an [`EventKind::Retry`] span, before the retransmission; exhausting
+//!   [`RetryParams::max_attempts`](crate::fault::RetryParams) raises
+//!   [`MachineError::Timeout`];
+//! * a [`CrashSpec`](crate::fault::CrashSpec) kills its rank just before
+//!   the chosen operation ordinal; peers that depend on the dead rank
+//!   observe the disconnect and abort with
+//!   [`MachineError::RankFailed`].
+//!
+//! Faulted runs go through [`Machine::try_run`], which returns
+//! `Err(MachineError)` on any injected failure instead of hanging or
+//! panicking. A plan that injects nothing is observationally inert: the
+//! run is bit-identical to a plain one.
 
-use std::sync::{Barrier, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::channel::{build_mesh, Mailboxes, Packet};
 use crate::clock::{ClockParams, SimClock};
 use crate::error::MachineError;
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::trace::{EventKind, Trace};
 
 /// Clock-aware barrier: all ranks leave with their clocks advanced to the
 /// maximum entry time. The running maximum is monotonic (clocks never move
-/// backward), so it never needs resetting between rounds; a second wait
-/// keeps a fast rank's *next* barrier write from being observed early.
+/// backward), so it never needs resetting between rounds; the release time
+/// is snapshotted per generation so a fast rank's *next* barrier entry is
+/// never observed early. Unlike `std::sync::Barrier`, this one can be
+/// *aborted*: when a rank dies, every current and future waiter returns
+/// the abort error instead of blocking forever on an arrival that will
+/// never come.
 struct ClockBarrier {
-    barrier: Barrier,
-    max_time: Mutex<f64>,
+    p: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    /// Running max over all entry times ever seen (monotonic).
+    max_time: f64,
+    /// The max_time snapshot at the last release.
+    release_time: f64,
+    aborted: Option<MachineError>,
 }
 
 impl ClockBarrier {
     fn new(p: usize) -> Self {
         ClockBarrier {
-            barrier: Barrier::new(p),
-            max_time: Mutex::new(0.0),
+            p,
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                max_time: 0.0,
+                release_time: 0.0,
+                aborted: None,
+            }),
+            cv: Condvar::new(),
         }
     }
 
-    fn wait(&self, t: f64) -> f64 {
-        {
-            let mut m = self.max_time.lock().expect("barrier lock poisoned");
-            if t > *m {
-                *m = t;
+    /// Enter the barrier at local time `t`; returns the global maximum
+    /// entry time, or the abort error if any rank died.
+    fn wait(&self, t: f64) -> Result<f64, MachineError> {
+        let mut s = self.state.lock().expect("barrier lock poisoned");
+        if let Some(e) = &s.aborted {
+            return Err(e.clone());
+        }
+        if t > s.max_time {
+            s.max_time = t;
+        }
+        s.arrived += 1;
+        if s.arrived == self.p {
+            s.arrived = 0;
+            s.generation += 1;
+            s.release_time = s.max_time;
+            let out = s.release_time;
+            drop(s);
+            self.cv.notify_all();
+            return Ok(out);
+        }
+        let gen = s.generation;
+        loop {
+            s = self.cv.wait(s).expect("barrier lock poisoned");
+            if let Some(e) = &s.aborted {
+                return Err(e.clone());
+            }
+            if s.generation != gen {
+                // The next generation cannot complete (and overwrite
+                // release_time) until this rank re-enters, so the
+                // snapshot is still ours.
+                return Ok(s.release_time);
             }
         }
-        self.barrier.wait();
-        let out = *self.max_time.lock().expect("barrier lock poisoned");
-        self.barrier.wait();
-        out
     }
+
+    /// Abort the barrier: the first error wins; every waiter wakes with it.
+    fn abort(&self, err: MachineError) {
+        let mut s = self.state.lock().expect("barrier lock poisoned");
+        if s.aborted.is_none() {
+            s.aborted = Some(err);
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+}
+
+/// The panic payload a rank throws to unwind out of the SPMD closure when
+/// a fault fires. Private to the machine: [`Machine::try_run`] catches it
+/// at the thread boundary and turns it into an `Err`, so it is never
+/// visible to callers (and the panic hook stays silent about it).
+struct FaultAbort {
+    error: MachineError,
+    /// True on the rank where the fault originated (crash victim, timed-out
+    /// sender); false on ranks aborting in sympathy (disconnect cascades,
+    /// barrier aborts).
+    origin: bool,
+}
+
+/// Silence the default panic-hook output for [`FaultAbort`] unwinds —
+/// injected faults are expected control flow, not bugs — while delegating
+/// every other panic to the previously installed hook. Installed at most
+/// once per process, the first time a faulted run starts.
+fn install_quiet_fault_hook() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<FaultAbort>().is_none() {
+                prev(info);
+            }
+        }));
+    });
 }
 
 /// Per-rank execution context handed to the SPMD closure.
@@ -66,7 +173,8 @@ pub struct Ctx {
     mailboxes: Mailboxes,
     clock: SimClock,
     trace: Trace,
-    barrier: std::sync::Arc<ClockBarrier>,
+    barrier: Arc<ClockBarrier>,
+    injector: Option<FaultInjector>,
 }
 
 impl Ctx {
@@ -99,10 +207,101 @@ impl Ctx {
         &self.clock
     }
 
+    /// Advance the fault-plan operation counter; unwind if the plan
+    /// crashes this rank at this ordinal.
+    #[inline]
+    fn fault_tick(&mut self) {
+        if let Some(inj) = &mut self.injector {
+            if inj.tick() {
+                let rank = self.mailboxes.rank();
+                std::panic::panic_any(FaultAbort {
+                    error: MachineError::RankFailed { rank },
+                    origin: true,
+                });
+            }
+        }
+    }
+
+    /// Transfer cost between `a` and `b`, inflated by any slow-link
+    /// entries of the fault plan (bit-identical to the plain cost when
+    /// none apply).
+    #[inline]
+    fn link_cost(&self, a: usize, b: usize, words: u64) -> f64 {
+        let base = self.clock.params().transfer_between(a, b, words);
+        match &self.injector {
+            Some(inj) => inj.inflate_link(a, b, base),
+            None => base,
+        }
+    }
+
+    /// Replay the plan's drops for the next message on the directed lane
+    /// `self -> to`: each dropped attempt advances this clock by the
+    /// wasted transfer plus the ack timeout (recorded as a `Retry` span);
+    /// exhausting the attempt budget aborts with `Timeout`.
+    fn simulate_drops(&mut self, to: usize, words: u64, cost: f64) {
+        let Some(inj) = &mut self.injector else {
+            return;
+        };
+        if !inj.is_lossy() {
+            return;
+        }
+        let drops = inj.outgoing_drops(to);
+        if drops == 0 {
+            return;
+        }
+        let retry = inj.retry();
+        let from = self.mailboxes.rank();
+        if drops >= retry.max_attempts {
+            std::panic::panic_any(FaultAbort {
+                error: MachineError::Timeout {
+                    from,
+                    to,
+                    attempts: retry.max_attempts,
+                },
+                origin: true,
+            });
+        }
+        for attempt in 1..=drops {
+            let start = self.clock.now();
+            let t = self.clock.charge_retry(cost + retry.timeout);
+            if self.trace.is_enabled() {
+                self.trace
+                    .record(from, start, t, EventKind::Retry { to, words, attempt });
+            }
+        }
+    }
+
+    /// Unwind out of a failed channel operation: under a fault plan this
+    /// becomes a recoverable error (`Disconnected` peers are reported as
+    /// `RankFailed`); without one it is a programming error and panics
+    /// with the legacy message.
+    fn channel_failure(&self, what: &str, e: MachineError) -> ! {
+        if self.injector.is_some() {
+            let error = match e {
+                MachineError::Disconnected { rank } => MachineError::RankFailed { rank },
+                other => other,
+            };
+            std::panic::panic_any(FaultAbort {
+                error,
+                origin: false,
+            });
+        }
+        panic!("{what} on rank {}: {e}", self.rank());
+    }
+
     /// Charge `ops` units of local computation, labelled for the trace.
+    /// Under a fault plan a straggler rank's clock is stretched by its
+    /// slowdown factor (the logical op count is unchanged).
     pub fn charge(&mut self, ops: f64, label: &str) {
+        self.fault_tick();
         let start = self.clock.now();
-        self.clock.charge_compute(ops);
+        match &self.injector {
+            Some(inj) => {
+                let factor = inj.compute_factor();
+                self.clock.charge_compute_scaled(ops, factor);
+            }
+            None => self.clock.charge_compute(ops),
+        }
         if self.trace.is_enabled() {
             self.trace.record(
                 self.rank(),
@@ -147,21 +346,26 @@ impl Ctx {
     }
 
     /// Send `value` (declared size `words`) to rank `to`. Eager: this
-    /// rank's clock advances by `ts + words·tw`.
+    /// rank's clock advances by `ts + words·tw` (plus any injected retry
+    /// overhead — dropped attempts delay the packet's entry into the
+    /// network but never its payload or ordering, so recovered sends are
+    /// observationally identical to clean ones).
     pub fn send<T: Send + 'static>(&mut self, to: usize, value: T, words: u64) {
+        self.fault_tick();
+        let cost = self.link_cost(self.rank(), to, words);
+        self.simulate_drops(to, words, cost);
         let send_time = self.clock.now();
-        self.mailboxes
-            .push(
-                to,
-                Packet {
-                    payload: Box::new(value),
-                    words,
-                    send_time,
-                },
-            )
-            .unwrap_or_else(|e| panic!("send from rank {}: {e}", self.rank()));
+        if let Err(e) = self.mailboxes.push(
+            to,
+            Packet {
+                payload: Box::new(value),
+                words,
+                send_time,
+            },
+        ) {
+            self.channel_failure("send", e);
+        }
         // The sender pays the transfer from its own clock.
-        let cost = self.params().transfer_between(self.rank(), to, words);
         let t = self.clock.complete_exchange_costing(send_time, words, cost);
         if self.trace.is_enabled() {
             let rank = self.rank();
@@ -177,12 +381,13 @@ impl Ctx {
     /// Panics if the payload is not a `T` — a type mismatch is a bug in the
     /// SPMD program, not a runtime condition.
     pub fn recv<T: Send + 'static>(&mut self, from: usize) -> T {
-        let packet = self
-            .mailboxes
-            .pop(from)
-            .unwrap_or_else(|e| panic!("recv on rank {}: {e}", self.rank()));
+        self.fault_tick();
+        let packet = match self.mailboxes.pop(from) {
+            Ok(p) => p,
+            Err(e) => self.channel_failure("recv", e),
+        };
         let words = packet.words;
-        let cost = self.params().transfer_between(self.rank(), from, words);
+        let cost = self.link_cost(self.rank(), from, words);
         let (start, t) = self
             .clock
             .complete_exchange_spanning(packet.send_time, words, cost);
@@ -219,12 +424,13 @@ impl Ctx {
     /// # Panics
     /// Panics if the payload is not a `T`.
     pub fn recv_any<T: Send + 'static>(&mut self) -> (usize, T) {
-        let (from, packet) = self
-            .mailboxes
-            .pop_any()
-            .unwrap_or_else(|e| panic!("recv_any on rank {}: {e}", self.rank()));
+        self.fault_tick();
+        let (from, packet) = match self.mailboxes.pop_any() {
+            Ok(r) => r,
+            Err(e) => self.channel_failure("recv_any", e),
+        };
         let words = packet.words;
-        let cost = self.params().transfer_between(self.rank(), from, words);
+        let cost = self.link_cost(self.rank(), from, words);
         let (start, t) = self
             .clock
             .complete_exchange_spanning(packet.send_time, words, cost);
@@ -258,25 +464,31 @@ impl Ctx {
     /// Simultaneous bidirectional exchange with `partner`: sends `value`,
     /// returns the partner's value. Both sides pay a single
     /// `ts + max_words·tw` and end at the same simulated instant
-    /// (the paper's `T_sendrecv`).
+    /// (the paper's `T_sendrecv`). Under a lossy fault plan each direction
+    /// replays its own drop schedule before entering the rendezvous, so
+    /// retry delays push the meeting point out without breaking its
+    /// symmetry.
     pub fn exchange<T: Send + 'static>(&mut self, partner: usize, value: T, words: u64) -> T {
+        self.fault_tick();
+        let out_cost = self.link_cost(self.rank(), partner, words);
+        self.simulate_drops(partner, words, out_cost);
         let my_time = self.clock.now();
-        self.mailboxes
-            .push(
-                partner,
-                Packet {
-                    payload: Box::new(value),
-                    words,
-                    send_time: my_time,
-                },
-            )
-            .unwrap_or_else(|e| panic!("exchange push on rank {}: {e}", self.rank()));
-        let packet = self
-            .mailboxes
-            .pop(partner)
-            .unwrap_or_else(|e| panic!("exchange pop on rank {}: {e}", self.rank()));
+        if let Err(e) = self.mailboxes.push(
+            partner,
+            Packet {
+                payload: Box::new(value),
+                words,
+                send_time: my_time,
+            },
+        ) {
+            self.channel_failure("exchange push", e);
+        }
+        let packet = match self.mailboxes.pop(partner) {
+            Ok(p) => p,
+            Err(e) => self.channel_failure("exchange pop", e),
+        };
         let w = words.max(packet.words);
-        let cost = self.params().transfer_between(self.rank(), partner, w);
+        let cost = self.link_cost(self.rank(), partner, w);
         let (start, t) = self
             .clock
             .complete_exchange_spanning(packet.send_time, w, cost);
@@ -307,10 +519,23 @@ impl Ctx {
         })
     }
 
-    /// Barrier across all ranks; clocks leave at the global maximum.
+    /// Barrier across all ranks; clocks leave at the global maximum. If a
+    /// rank dies mid-run the barrier aborts instead of blocking forever.
     pub fn barrier(&mut self) {
+        self.fault_tick();
         let entry = self.clock.now();
-        let t = self.barrier.wait(entry);
+        let t = match self.barrier.wait(entry) {
+            Ok(t) => t,
+            Err(e) => {
+                if self.injector.is_some() {
+                    std::panic::panic_any(FaultAbort {
+                        error: e,
+                        origin: false,
+                    });
+                }
+                panic!("barrier on rank {}: {e}", self.rank());
+            }
+        };
         self.clock.sync_to(t);
         if self.trace.is_enabled() {
             let rank = self.rank();
@@ -337,8 +562,37 @@ pub struct RunResult<T> {
     pub compute_ops: Vec<f64>,
     /// Message exchanges each rank participated in.
     pub messages: Vec<u64>,
+    /// Failed transmission attempts each rank retried (all zero without a
+    /// lossy fault plan).
+    pub retries: Vec<u64>,
+    /// Simulated time each rank lost to failed attempts — the *exact*
+    /// fault overhead of a lossy-but-recovered run.
+    pub retry_time: Vec<f64>,
     /// Merged event trace (empty unless tracing was enabled).
     pub trace: Trace,
+}
+
+impl<T> RunResult<T> {
+    /// Failed transmission attempts summed over ranks.
+    pub fn total_retries(&self) -> u64 {
+        self.retries.iter().sum()
+    }
+
+    /// Retry time summed over ranks.
+    pub fn total_retry_time(&self) -> f64 {
+        self.retry_time.iter().sum()
+    }
+}
+
+/// What one rank's thread produced.
+enum RankOutcome<T> {
+    /// Clean completion.
+    Done(T, SimClock, Trace),
+    /// An injected fault unwound the rank.
+    Faulted(MachineError, bool),
+    /// A genuine panic (programming error) — payload re-raised by the
+    /// main thread after every rank has been joined.
+    Panicked(Box<dyn std::any::Any + Send>),
 }
 
 /// A virtual machine of `p` fully connected processors.
@@ -347,6 +601,7 @@ pub struct Machine {
     p: usize,
     params: ClockParams,
     tracing: bool,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Machine {
@@ -357,12 +612,21 @@ impl Machine {
             p,
             params,
             tracing: false,
+            faults: None,
         }
     }
 
     /// Enable event tracing for subsequent runs.
     pub fn with_tracing(mut self) -> Self {
         self.tracing = true;
+        self
+    }
+
+    /// Attach a fault plan: subsequent runs replay its faults
+    /// deterministically. Prefer [`try_run`](Self::try_run) afterwards —
+    /// [`run`](Self::run) panics if the plan makes the run fail.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(plan));
         self
     }
 
@@ -376,28 +640,60 @@ impl Machine {
         self.params
     }
 
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_deref()
+    }
+
     /// Run one SPMD program: `f` executes once per rank, concurrently.
     ///
     /// The closure is shared between threads, so captured state must be
     /// `Sync`; per-rank inputs are typically captured in an `Arc<Vec<_>>`
     /// and indexed by `ctx.rank()`.
+    ///
+    /// # Panics
+    /// Panics if an attached fault plan makes the run fail; use
+    /// [`try_run`](Self::try_run) to observe injected failures as errors.
     pub fn run<T, F>(&self, f: F) -> RunResult<T>
     where
         T: Send,
         F: Fn(&mut Ctx) -> T + Sync,
     {
+        self.try_run(f)
+            .unwrap_or_else(|e| panic!("machine run failed: {e}"))
+    }
+
+    /// Run one SPMD program, surfacing injected faults as errors.
+    ///
+    /// Returns `Err` when a fault plan crashes a rank
+    /// ([`MachineError::RankFailed`]) or exhausts a message's retry budget
+    /// ([`MachineError::Timeout`]); the error describes the *originating*
+    /// fault even when other ranks failed in sympathy. Every rank thread
+    /// is joined before returning — no hang, no leaked thread. Genuine
+    /// panics (programming errors) still propagate as panics.
+    pub fn try_run<T, F>(&self, f: F) -> Result<RunResult<T>, MachineError>
+    where
+        T: Send,
+        F: Fn(&mut Ctx) -> T + Sync,
+    {
+        if self.faults.is_some() {
+            install_quiet_fault_hook();
+        }
         let mesh = build_mesh(self.p);
-        let barrier = std::sync::Arc::new(ClockBarrier::new(self.p));
+        let barrier = Arc::new(ClockBarrier::new(self.p));
         let tracing = self.tracing;
         let params = self.params;
+        let plan = self.faults.clone();
+        let p = self.p;
 
-        let mut slots: Vec<Option<(T, SimClock, Trace)>> = Vec::with_capacity(self.p);
-        slots.resize_with(self.p, || None);
+        let mut outcomes: Vec<Option<RankOutcome<T>>> = Vec::with_capacity(p);
+        outcomes.resize_with(p, || None);
 
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(self.p);
+            let mut handles = Vec::with_capacity(p);
             for mailboxes in mesh {
                 let barrier = barrier.clone();
+                let plan = plan.clone();
                 let f = &f;
                 handles.push(scope.spawn(move || {
                     let rank = mailboxes.rank();
@@ -409,40 +705,105 @@ impl Machine {
                         } else {
                             Trace::disabled()
                         },
-                        barrier,
+                        barrier: barrier.clone(),
+                        injector: plan.map(|pl| FaultInjector::new(pl, rank, p)),
                     };
-                    let out = f(&mut ctx);
-                    let (clock, trace) = ctx.into_parts();
-                    (out, clock, trace)
+                    let caught =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
+                    match caught {
+                        Ok(out) => {
+                            let (clock, trace) = ctx.into_parts();
+                            RankOutcome::Done(out, clock, trace)
+                        }
+                        Err(payload) => {
+                            // Unblock peers: abort the barrier first, then
+                            // drop the mailboxes (disconnect cascade).
+                            let (error, outcome) = match payload.downcast::<FaultAbort>() {
+                                Ok(fa) => {
+                                    (fa.error.clone(), RankOutcome::Faulted(fa.error, fa.origin))
+                                }
+                                Err(other) => (
+                                    MachineError::Disconnected { rank },
+                                    RankOutcome::Panicked(other),
+                                ),
+                            };
+                            barrier.abort(error);
+                            drop(ctx);
+                            outcome
+                        }
+                    }
                 }));
             }
             for (rank, h) in handles.into_iter().enumerate() {
-                slots[rank] = Some(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+                outcomes[rank] = Some(match h.join() {
+                    Ok(outcome) => outcome,
+                    Err(payload) => RankOutcome::Panicked(payload),
+                });
             }
         });
 
-        let mut results = Vec::with_capacity(self.p);
-        let mut finish_times = Vec::with_capacity(self.p);
-        let mut compute_ops = Vec::with_capacity(self.p);
-        let mut messages = Vec::with_capacity(self.p);
+        // Decide the run's fate. A genuine panic outranks everything
+        // (programming errors must not be masked by injected faults); then
+        // the originating fault (lowest rank); then any derived fault.
+        let mut origin_error = None;
+        let mut derived_error = None;
+        for outcome in outcomes.iter().flatten() {
+            match outcome {
+                RankOutcome::Panicked(_) => {}
+                RankOutcome::Faulted(e, true) if origin_error.is_none() => {
+                    origin_error = Some(e.clone());
+                }
+                RankOutcome::Faulted(e, _) if derived_error.is_none() => {
+                    derived_error = Some(e.clone());
+                }
+                _ => {}
+            }
+        }
+        for outcome in outcomes.iter_mut().flatten() {
+            if let RankOutcome::Panicked(_) = outcome {
+                let RankOutcome::Panicked(payload) = std::mem::replace(
+                    outcome,
+                    RankOutcome::Faulted(MachineError::EmptyMachine, false),
+                ) else {
+                    unreachable!()
+                };
+                std::panic::resume_unwind(payload);
+            }
+        }
+        if let Some(e) = origin_error.or(derived_error) {
+            return Err(e);
+        }
+
+        let mut results = Vec::with_capacity(p);
+        let mut finish_times = Vec::with_capacity(p);
+        let mut compute_ops = Vec::with_capacity(p);
+        let mut messages = Vec::with_capacity(p);
+        let mut retries = Vec::with_capacity(p);
+        let mut retry_time = Vec::with_capacity(p);
         let mut trace = Trace::enabled();
-        for slot in slots {
-            let (out, clock, t) = slot.expect("every rank produces a result");
+        for outcome in outcomes {
+            let Some(RankOutcome::Done(out, clock, t)) = outcome else {
+                unreachable!("non-Done outcomes were handled above");
+            };
             results.push(out);
             finish_times.push(clock.now());
             compute_ops.push(clock.compute_ops());
             messages.push(clock.messages());
+            retries.push(clock.retries());
+            retry_time.push(clock.retry_time());
             trace.merge(t);
         }
         let makespan = finish_times.iter().cloned().fold(0.0, f64::max);
-        RunResult {
+        Ok(RunResult {
             results,
             makespan,
             finish_times,
             compute_ops,
             messages,
+            retries,
+            retry_time,
             trace,
-        }
+        })
     }
 }
 
@@ -693,7 +1054,218 @@ mod tests {
         });
         assert_eq!(run.compute_ops, vec![7.0, 7.0]);
         assert_eq!(run.messages, vec![1, 1]);
+        assert_eq!(run.retries, vec![0, 0]);
+        assert_eq!(run.retry_time, vec![0.0, 0.0]);
         assert_eq!(run.finish_times[0], run.finish_times[1]);
         assert_eq!(run.makespan, 7.0 + 1.0 + 3.0);
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    /// A small pipeline every fault test reuses: ring shift then butterfly.
+    fn chatty(ctx: &mut Ctx) -> u64 {
+        let mut v = ctx.rank() as u64 + 1;
+        ctx.charge(4.0, "warmup");
+        let next = (ctx.rank() + 1) % ctx.size();
+        let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+        ctx.send(next, v, 2);
+        v += ctx.recv::<u64>(prev);
+        if ctx.size().is_power_of_two() {
+            for round in 0..ctx.size().trailing_zeros() {
+                let partner = ctx.rank() ^ (1 << round);
+                let got = ctx.exchange(partner, v, 2);
+                v = v.wrapping_add(got);
+                ctx.charge(2.0, "combine");
+            }
+        }
+        ctx.barrier();
+        v
+    }
+
+    #[test]
+    fn empty_fault_plan_is_observationally_inert() {
+        let plain = Machine::new(4, ClockParams::new(10.0, 1.0)).with_tracing();
+        let faulted = plain.clone().with_faults(FaultPlan::new(1234));
+        let a = plain.run(chatty);
+        let b = faulted.try_run(chatty).expect("empty plan cannot fail");
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        assert_eq!(a.finish_times, b.finish_times);
+        assert_eq!(a.compute_ops, b.compute_ops);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(b.total_retries(), 0);
+        assert_eq!(b.total_retry_time(), 0.0);
+        assert_eq!(a.trace.events(), b.trace.events());
+    }
+
+    #[test]
+    fn straggler_slows_only_its_rank_and_keeps_results() {
+        let m = Machine::new(4, ClockParams::new(10.0, 1.0));
+        let clean = m.run(chatty);
+        let slow = m
+            .clone()
+            .with_faults(FaultPlan::new(0).with_straggler(2, 5.0))
+            .try_run(chatty)
+            .expect("delay-only plan cannot fail");
+        assert_eq!(clean.results, slow.results, "results must be bit-identical");
+        assert!(slow.makespan > clean.makespan);
+        // Logical op counts are unchanged — only the clock stretched.
+        assert_eq!(clean.compute_ops, slow.compute_ops);
+    }
+
+    #[test]
+    fn slow_link_inflates_only_the_named_pair() {
+        let prog = |ctx: &mut Ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, (), 5);
+                ctx.send(2, (), 5);
+            } else {
+                ctx.recv::<()>(0);
+            }
+            ctx.time()
+        };
+        let m = Machine::new(3, ClockParams::new(10.0, 1.0));
+        let clean = m.run(prog);
+        let faulted = m
+            .clone()
+            .with_faults(FaultPlan::new(0).with_slow_link(0, 1, 2.0, 3.0))
+            .try_run(prog)
+            .expect("delay-only plan cannot fail");
+        // 0 -> 1 costs 2*15 + 3 = 33 instead of 15 on both endpoints.
+        assert_eq!(faulted.results[1], 33.0);
+        // 0 -> 2 is still 15 but starts after the slow send: 33 + 15.
+        assert_eq!(faulted.results[2], 48.0);
+        assert_eq!(clean.results[1], 15.0);
+    }
+
+    #[test]
+    fn dropped_send_retries_and_stays_bit_identical() {
+        let m = Machine::new(4, ClockParams::new(10.0, 1.0)).with_tracing();
+        let clean = m.run(chatty);
+        // Drop the first message from 0 to 1 twice; retry costs
+        // 2 * (cost + timeout) = 2 * (12 + 7) = 38 extra on rank 0.
+        let plan = FaultPlan::new(0)
+            .with_drop_exact(0, 1, 0, 2)
+            .with_retry(4, 7.0);
+        let lossy = m
+            .clone()
+            .with_faults(plan)
+            .try_run(chatty)
+            .expect("recoverable");
+        assert_eq!(clean.results, lossy.results, "payloads must be untouched");
+        assert_eq!(lossy.retries[0], 2);
+        assert_eq!(lossy.retry_time[0], 2.0 * (12.0 + 7.0));
+        assert!(lossy.makespan >= clean.makespan);
+        let retry_events = lossy
+            .trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Retry { .. }))
+            .count();
+        assert_eq!(retry_events, 2);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_a_timeout() {
+        let m = Machine::new(4, ClockParams::new(10.0, 1.0));
+        let plan = FaultPlan::new(0)
+            .with_drop_exact(0, 1, 0, 10)
+            .with_retry(3, 5.0);
+        let err = m
+            .clone()
+            .with_faults(plan)
+            .try_run(chatty)
+            .expect_err("the message can never get through");
+        assert_eq!(
+            err,
+            MachineError::Timeout {
+                from: 0,
+                to: 1,
+                attempts: 3
+            }
+        );
+    }
+
+    #[test]
+    fn crash_surfaces_rank_failed_cleanly() {
+        let m = Machine::new(4, ClockParams::new(10.0, 1.0));
+        for after_ops in [0, 1, 2, 3] {
+            let err = m
+                .clone()
+                .with_faults(FaultPlan::new(0).with_crash(2, after_ops))
+                .try_run(chatty)
+                .expect_err("a crashed rank must fail the run");
+            assert_eq!(
+                err,
+                MachineError::RankFailed { rank: 2 },
+                "crash at op {after_ops}"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_before_a_barrier_does_not_hang() {
+        let m = Machine::new(3, ClockParams::free());
+        // Rank 1 dies before its only operation — the barrier all other
+        // ranks are waiting in must abort.
+        let err = m
+            .with_faults(FaultPlan::new(0).with_crash(1, 0))
+            .try_run(|ctx| {
+                ctx.barrier();
+                ctx.rank()
+            })
+            .expect_err("barrier can never complete");
+        assert_eq!(err, MachineError::RankFailed { rank: 1 });
+    }
+
+    #[test]
+    fn crash_with_recv_any_peers_does_not_hang() {
+        // Rank 0 collects from everyone; rank 2 dies first. pop_any must
+        // observe the eventual all-peers-dead state instead of spinning.
+        let m = Machine::new(3, ClockParams::free());
+        let err = m
+            .with_faults(FaultPlan::new(0).with_crash(2, 0))
+            .try_run(|ctx| {
+                if ctx.rank() == 0 {
+                    for _ in 1..ctx.size() {
+                        let _: (usize, u64) = ctx.recv_any();
+                    }
+                } else {
+                    ctx.send(0, ctx.rank() as u64, 1);
+                }
+            })
+            .expect_err("rank 0 waits on a message that never comes");
+        assert_eq!(err, MachineError::RankFailed { rank: 2 });
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let m = Machine::new(8, ClockParams::new(50.0, 2.0));
+        let plan = FaultPlan::new(77)
+            .with_straggler(3, 2.0)
+            .with_slow_link(0, 4, 1.5, 10.0)
+            .with_drops(0.2, 2);
+        let a = m.clone().with_faults(plan.clone()).try_run(chatty);
+        let b = m.clone().with_faults(plan).try_run(chatty);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(x.results, y.results);
+                assert_eq!(x.makespan.to_bits(), y.makespan.to_bits());
+                assert_eq!(x.retries, y.retries);
+                assert_eq!(x.retry_time, y.retry_time);
+            }
+            (Err(x), Err(y)) => assert_eq!(x, y),
+            (x, y) => panic!("reruns disagree on fate: {x:?} vs {y:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "machine run failed")]
+    fn run_panics_on_injected_failure() {
+        let m =
+            Machine::new(2, ClockParams::free()).with_faults(FaultPlan::new(0).with_crash(0, 0));
+        let _ = m.run(|ctx| {
+            ctx.barrier();
+        });
     }
 }

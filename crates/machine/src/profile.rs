@@ -326,7 +326,8 @@ fn event_words(kind: &EventKind) -> u64 {
     match kind {
         EventKind::Send { words, .. }
         | EventKind::Recv { words, .. }
-        | EventKind::Exchange { words, .. } => *words,
+        | EventKind::Exchange { words, .. }
+        | EventKind::Retry { words, .. } => *words,
         _ => 0,
     }
 }
@@ -359,7 +360,10 @@ impl ProfileReport {
                     r.compute += e.duration();
                     open[e.rank].1 += e.duration();
                 }
-                EventKind::Send { .. } | EventKind::Recv { .. } | EventKind::Exchange { .. } => {
+                EventKind::Send { .. }
+                | EventKind::Recv { .. }
+                | EventKind::Exchange { .. }
+                | EventKind::Retry { .. } => {
                     r.comm += e.duration();
                     r.messages += 1;
                     r.words += event_words(&e.kind);

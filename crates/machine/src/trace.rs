@@ -48,6 +48,18 @@ pub enum EventKind {
         /// The partner's clock when it entered the exchange.
         sent_at: f64,
     },
+    /// A transmission attempt to `to` that the fault plan dropped: the
+    /// sender paid the transfer plus the ack timeout, then retransmitted.
+    /// The span covers the wasted attempt; the eventual successful `Send`
+    /// follows as its own event.
+    Retry {
+        /// Destination rank of the dropped message.
+        to: usize,
+        /// Message size in words.
+        words: u64,
+        /// Which attempt this was (1-based; attempt 1 is the first drop).
+        attempt: u32,
+    },
     /// `ops` units of local computation, with a free-form label
     /// (e.g. the collective stage it belongs to).
     Compute {
@@ -81,10 +93,15 @@ impl EventKind {
     }
 
     /// Does this event occupy the network (vs local computation)?
+    /// Retries count: a dropped transmission holds the link (and the
+    /// sender's clock) exactly like a delivered one.
     pub fn is_comm(&self) -> bool {
         matches!(
             self,
-            EventKind::Send { .. } | EventKind::Recv { .. } | EventKind::Exchange { .. }
+            EventKind::Send { .. }
+                | EventKind::Recv { .. }
+                | EventKind::Exchange { .. }
+                | EventKind::Retry { .. }
         )
     }
 }
@@ -211,6 +228,7 @@ impl Trace {
                     EventKind::Send { .. } => b'>',
                     EventKind::Recv { .. } => b'<',
                     EventKind::Exchange { .. } => b'x',
+                    EventKind::Retry { .. } => b'!',
                     EventKind::Compute { .. } => b'*',
                     EventKind::Barrier => b'|',
                     EventKind::Mark { .. } => b'.',
@@ -342,6 +360,18 @@ mod tests {
         .is_annotation());
         assert!(!EventKind::Barrier.is_annotation());
         assert!(EventKind::Send { to: 0, words: 1 }.is_comm());
+        assert!(EventKind::Retry {
+            to: 0,
+            words: 1,
+            attempt: 1
+        }
+        .is_comm());
+        assert!(!EventKind::Retry {
+            to: 0,
+            words: 1,
+            attempt: 1
+        }
+        .is_annotation());
         assert!(!EventKind::Barrier.is_comm());
         assert!(!EventKind::Compute {
             ops: 1.0,

@@ -23,22 +23,26 @@
 //! * `--report`      emit a full Markdown report instead of the summary
 //! * `--profile`     run both pipelines on the simulated machine and show
 //!   where the time goes (per-stage busy/idle tables + critical path)
+//! * `--faults SPEC` run both pipelines under a deterministic fault plan
+//!   and show how gracefully they degrade, e.g.
+//!   `--faults "seed=42,straggler=3x2.5,link=0-1x2+50,drop=0.05/3"`
 //! * `--table1`      also print the analytic Table 1 and exit
 
 use collopt::core::parser::parse_pipeline;
-use collopt::core::report::{optimization_report, profile_section};
+use collopt::core::report::{degradation_section, optimization_report, profile_section};
 use collopt::core::rewrite::{program_cost, Rewriter};
 use collopt::core::value::Value;
 use collopt::cost::table1::render_table1;
 use collopt::cost::MachineParams;
-use collopt::machine::ClockParams;
+use collopt::machine::{ClockParams, FaultPlan};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: collopt \"<pipeline>\" [--p N] [--ts X] [--tw X] [--m X] \
-             [--exhaustive] [--all-ranks] [--report] [--profile] [--table1]"
+             [--exhaustive] [--all-ranks] [--report] [--profile] \
+             [--faults SPEC] [--table1]"
         );
         eprintln!("  pipeline: e.g. \"map f ; scan(mul) ; reduce(add) ; bcast\"");
         eprintln!("  operators: add mul max min and or fadd fmul maxplus");
@@ -59,6 +63,7 @@ fn main() {
     let mut report = false;
     let mut optimal = false;
     let mut profile = false;
+    let mut faults: Option<FaultPlan> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -78,6 +83,16 @@ fn main() {
             "--report" => report = true,
             "--optimal" => optimal = true,
             "--profile" => profile = true,
+            "--faults" => {
+                let spec = grab("--faults");
+                match FaultPlan::parse(&spec) {
+                    Ok(plan) => faults = Some(plan),
+                    Err(e) => {
+                        eprintln!("bad --faults spec: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other if other.starts_with("--") => {
                 eprintln!("unknown option {other}");
                 std::process::exit(2);
@@ -133,6 +148,18 @@ fn main() {
             println!("\n### Optimized\n");
             print!("{}", profile_section(&result.program, &inputs, clock));
         }
+        if let Some(plan) = &faults {
+            let inputs = profile_inputs(p, m);
+            let clock = ClockParams::new(ts, tw);
+            println!("\n## Degradation under faults\n\n### Original\n\n```text");
+            print!("{}", degradation_section(&prog, &inputs, clock, plan));
+            println!("```\n\n### Optimized\n\n```text");
+            print!(
+                "{}",
+                degradation_section(&result.program, &inputs, clock, plan)
+            );
+            println!("```");
+        }
         return;
     }
 
@@ -174,5 +201,16 @@ fn main() {
         print!("{}", profile_section(&prog, &inputs, clock));
         println!("\n-- optimized: where the time goes --");
         print!("{}", profile_section(&result.program, &inputs, clock));
+    }
+    if let Some(plan) = &faults {
+        let inputs = profile_inputs(p, m);
+        let clock = ClockParams::new(ts, tw);
+        println!("\n-- original: degradation under faults --");
+        print!("{}", degradation_section(&prog, &inputs, clock, plan));
+        println!("\n-- optimized: degradation under faults --");
+        print!(
+            "{}",
+            degradation_section(&result.program, &inputs, clock, plan)
+        );
     }
 }

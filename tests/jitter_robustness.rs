@@ -5,9 +5,19 @@
 //! a pseudo-random factor keyed on `(seed, rank, message index)` —
 //! "failure injection" for timing: links slow down unpredictably, but a
 //! rerun with the same seed sees the same machine.
+//!
+//! The second half drops the uniform-noise assumption entirely: a
+//! [`FaultPlan`] assigns every link its *own* latency (factor plus
+//! additive delay — a full heterogeneous latency matrix), and the
+//! Table-1 rules must still compute the same values on both sides of the
+//! rewrite, with the trace-derived critical path matching the makespan
+//! exactly.
 
+use collopt::core::exec::{execute_faulted, execute_faulted_traced, ExecConfig};
 use collopt::core::semantics::eval_program;
+use collopt::machine::{FaultPlan, Rng};
 use collopt::prelude::*;
+use collopt_bench::{rule_lhs, rule_rhs, varied_input};
 
 fn block_input(p: usize, m: usize) -> Vec<Value> {
     (0..p)
@@ -104,4 +114,79 @@ fn noise_breaks_exact_model_agreement_but_not_by_much() {
     // The critical path takes near-max draws somewhere, so the average
     // sits in the upper half of [1, 1.5] — but strictly below the bound.
     assert!(stretches.iter().all(|&s| (1.0..=1.5 + 1e-9).contains(&s)));
+}
+
+/// A full heterogeneous latency matrix: *every* undirected link gets its
+/// own multiplicative factor and additive delay, drawn deterministically
+/// from `seed`. No link is left at nominal speed.
+fn link_matrix_plan(seed: u64, p: usize) -> FaultPlan {
+    let mut rng = Rng::new(seed);
+    let mut plan = FaultPlan::new(seed);
+    for a in 0..p {
+        for b in a + 1..p {
+            let factor = 1.0 + rng.below(5) as f64 * 0.25;
+            let add = rng.below(4) as f64 * 25.0;
+            plan = plan.with_slow_link(a, b, factor, add);
+        }
+    }
+    plan
+}
+
+#[test]
+fn rule_equivalence_survives_heterogeneous_link_latencies() {
+    // Uniform-cost links are an assumption of the paper's cost model, not
+    // of the rules' *correctness*: both sides of every rewrite must
+    // compute the same values on a machine where every link has its own
+    // speed. (Rank-0 collectives only pin rank 0's value, so rank 0 is
+    // the cross-side comparison; full outputs are pinned per side against
+    // that side's uniform-latency run.)
+    for seed in 0..6u64 {
+        let p = 2 + (seed as usize % 6);
+        let plan = link_matrix_plan(seed, p);
+        let inputs = varied_input(p, 4, seed);
+        let clock = ClockParams::new(100.0, 2.0);
+        for rule in Rule::ALL {
+            let tag = format!("{rule} seed={seed} p={p}");
+            let mut rank0 = Vec::new();
+            for (side, prog) in [("LHS", rule_lhs(rule)), ("RHS", rule_rhs(rule))] {
+                let clean = execute(&prog, &inputs, clock);
+                let faulted = execute_faulted(&prog, &inputs, clock, ExecConfig::default(), &plan)
+                    .unwrap_or_else(|e| panic!("{tag} {side}: {e}"));
+                assert_eq!(faulted.outputs, clean.outputs, "{tag} {side}");
+                assert!(
+                    faulted.makespan >= clean.makespan,
+                    "{tag} {side}: slow links sped the run up"
+                );
+                rank0.push(faulted.outputs[0].clone());
+            }
+            assert_eq!(rank0[0], rank0[1], "{tag}: sides disagree at rank 0");
+        }
+    }
+}
+
+#[test]
+fn critical_path_stays_exact_under_heterogeneous_link_latencies() {
+    // The critical-path pass rebuilds the makespan backwards from the
+    // trace alone; link-level delays must leave that reconstruction
+    // exact — equal to the clock's forward makespan to the bit.
+    for seed in [3u64, 17, 40] {
+        let p = 3 + (seed as usize % 5);
+        let plan = link_matrix_plan(seed, p);
+        let inputs = varied_input(p, 4, seed);
+        let clock = ClockParams::new(100.0, 2.0);
+        for rule in Rule::ALL {
+            for (side, prog) in [("LHS", rule_lhs(rule)), ("RHS", rule_rhs(rule))] {
+                let tag = format!("{rule} {side} seed={seed} p={p}");
+                let run =
+                    execute_faulted_traced(&prog, &inputs, clock, ExecConfig::default(), &plan)
+                        .unwrap_or_else(|e| panic!("{tag}: {e}"));
+                let path = run.critical_path().unwrap_or_else(|e| panic!("{tag}: {e}"));
+                assert_eq!(
+                    path.length(),
+                    run.outcome.makespan,
+                    "{tag}: critical path must reproduce the makespan exactly"
+                );
+            }
+        }
+    }
 }
