@@ -32,8 +32,8 @@ fn bench_polyeval(c: &mut Criterion) {
         let coeffs: Vec<f64> = (1..=n).map(|i| 1.0 / i as f64).collect();
         let prog1 = poly_eval_1(Arc::new(coeffs));
         let prog3 = Rewriter::exhaustive().optimize(&prog1).program;
-        let mut input = vec![Value::List(vec![Value::Float(0.0); m]); n];
-        input[0] = Value::List(
+        let mut input = vec![Value::list(vec![Value::Float(0.0); m]); n];
+        input[0] = Value::list(
             (0..m)
                 .map(|j| Value::Float(0.2 + 0.7 * j as f64 / m as f64))
                 .collect(),

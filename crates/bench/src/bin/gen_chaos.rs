@@ -16,7 +16,8 @@
 //!
 //! Run with `cargo run --release -p collopt-bench --bin gen_chaos`.
 
-use collopt_bench::chaos::{sweep, ChaosFailure, ChaosKind};
+use collopt_bench::chaos::{sweep_parallel, ChaosFailure, ChaosKind};
+use collopt_bench::sweep_driver::default_workers;
 
 fn env_or(name: &str, default: u64) -> u64 {
     match std::env::var(name) {
@@ -64,10 +65,14 @@ fn main() {
     let m = env_or("CHAOS_M", 4) as usize;
     assert!(pmax >= 2, "CHAOS_PMAX must be at least 2");
 
-    println!("# chaos sweep: {seeds} seeds/family, p in 2..={pmax}, m={m}");
+    let workers = default_workers();
+    println!(
+        "# chaos sweep: {seeds} seeds/family, p in 2..={pmax}, m={m}, {workers} sweep workers"
+    );
+    let started = std::time::Instant::now();
     let mut all: Vec<(ChaosKind, ChaosFailure)> = Vec::new();
     for kind in ChaosKind::ALL {
-        let failures = sweep(kind, 0..seeds, pmax, m);
+        let failures = sweep_parallel(kind, 0..seeds, pmax, m);
         // 11 rules x 2 sides per seed.
         println!(
             "  {:5}: {} runs, {} violations",
@@ -78,6 +83,7 @@ fn main() {
         all.extend(failures.into_iter().map(|f| (kind, f)));
     }
 
+    println!("# wall-clock: {:.2}s", started.elapsed().as_secs_f64());
     if all.is_empty() {
         println!("# all invariants held");
         return;

@@ -16,6 +16,7 @@
 
 use std::sync::Arc;
 
+use collopt_bench::sweep_driver::par_map;
 use collopt_bench::{block_input, figure_clock, rule_lhs, rule_rhs};
 use collopt_core::exec::{execute_traced_with, ExecConfig, TracedExecOutcome};
 use collopt_core::op::lib as ops;
@@ -78,13 +79,18 @@ fn main() {
     let clock = figure_clock();
     let mut written = 0usize;
 
-    for rule in Rule::ALL {
+    // Profile the rules across host cores (each rule's LHS+RHS pair is an
+    // independent simulation), then print and write in rule order so the
+    // report and the golden files stay deterministic.
+    let profiles = par_map(Rule::ALL.to_vec(), |rule| {
         let lhs = rule_lhs(rule);
         let rhs = rule_rhs(rule);
         let inputs = block_input(P, M);
         let before = profiled(&lhs, &inputs, clock);
         let after = profiled(&rhs, &inputs, clock);
-
+        (rule, lhs, rhs, before, after)
+    });
+    for (rule, lhs, rhs, before, after) in profiles {
         println!("== {rule} (p={P}, m={M}) ==");
         summarize("LHS", &lhs, &before);
         summarize("RHS", &rhs, &after);
@@ -108,7 +114,7 @@ fn main() {
         .program;
     let ys: Vec<Value> = (0..P)
         .map(|r| {
-            Value::List(if r == 0 {
+            Value::list(if r == 0 {
                 (0..M)
                     .map(|j| Value::Float(1.0 + j as f64 * 1e-3))
                     .collect()

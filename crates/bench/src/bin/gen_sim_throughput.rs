@@ -1,0 +1,366 @@
+//! Simulation-engine throughput benchmark: legacy spawn-per-run engine
+//! and original 4-execution chaos harness vs the persistent rank pool,
+//! the lean 3-execution harness and the parallel sweep driver.
+//!
+//! Two suites are timed:
+//!
+//! * `engine_microbench` — the same single simulation point repeated
+//!   under each engine; isolates the per-run dispatch cost (thread
+//!   spawn+join vs park/unpark on the persistent pool).
+//! * `chaos_dst` — the headline: the full chaos differential sweep as it
+//!   ran before this overhaul (legacy engine, clean+faulty executed
+//!   twice per point, serial seed loop) against the current pipeline
+//!   (pooled engine, lean harness, seeds fanned out by
+//!   `bench::sweep_driver` — on a multi-core host the speedup scales
+//!   with `SWEEP_WORKERS` on top of the per-run win).
+//!
+//! Before any timing, an identity gate re-proves that the pooled engine
+//! is observationally indistinguishable from the legacy one — outputs,
+//! bit-exact makespans, retry counters and byte-identical Chrome trace
+//! exports across all 11 rules, both sides, p 2..=9, with and without
+//! fault plans (the full-strength version lives in
+//! `tests/engine_identity.rs`). A speedup claimed by a benchmark whose
+//! two arms compute different things is worthless; this pins both arms
+//! to the same observable behavior first.
+//!
+//! Writes `results/BENCH_sim_throughput.json` and prints a summary.
+//! Environment:
+//!
+//! * `SIM_THROUGHPUT_SEEDS` — chaos seeds per fault family (default 24).
+//! * `BASELINE_GEN_CHAOS` — path to a `gen_chaos` binary built from the
+//!   pre-overhaul tree; adds the `chaos_end_to_end` suite (subprocess
+//!   wall-clock, median of 5) and makes it the headline. This is the
+//!   honest "before": it includes the old deep-copy `Value` payloads
+//!   and per-rank fault-plan clones the in-process arm cannot emulate.
+//! * `COLLOPT_THROUGHPUT_FLOOR` — when set (e.g. `5.0`), exit non-zero
+//!   unless the chaos-suite speedup reaches the floor; unset = report
+//!   only. CI sets this on the nightly job, not on PRs.
+//! * `SWEEP_WORKERS` — worker count for the parallel arm.
+
+use std::time::Instant;
+
+use collopt_bench::chaos::{
+    random_plan, run_pair_with, sweep_parallel, worst_inflation, ChaosKind,
+};
+use collopt_bench::sweep_driver::default_workers;
+use collopt_bench::{rule_lhs, rule_rhs, varied_input};
+use collopt_core::exec::{execute_traced_with, execute_with, ExecConfig};
+use collopt_core::rules::Rule;
+use collopt_machine::{chrome_trace_json, ClockParams, ExecEngine, Rng};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn engine_config(engine: ExecEngine) -> ExecConfig {
+    ExecConfig {
+        engine: Some(engine),
+        ..ExecConfig::default()
+    }
+}
+
+/// Identity gate: every observable of a pooled run must match the legacy
+/// run to the bit. Returns the number of compared points.
+fn identity_gate() -> usize {
+    let clock = ClockParams::new(100.0, 2.0);
+    let mut points = 0usize;
+    for p in 2..=9usize {
+        let seed = 500 + p as u64;
+        let inputs = varied_input(p, 4, seed);
+        let plans = [
+            None,
+            Some(random_plan(seed, p, ChaosKind::Delay)),
+            Some(random_plan(seed, p, ChaosKind::Lossy)),
+        ];
+        for rule in Rule::ALL {
+            for (side, prog) in [("LHS", rule_lhs(rule)), ("RHS", rule_rhs(rule))] {
+                for plan in &plans {
+                    let tag = format!("{rule} {side} p={p}");
+                    let run = |engine| {
+                        let config = ExecConfig {
+                            engine: Some(engine),
+                            profile: true,
+                            ..ExecConfig::default()
+                        };
+                        match plan {
+                            None => execute_traced_with(&prog, &inputs, clock, config),
+                            Some(pl) => collopt_core::exec::execute_faulted_traced(
+                                &prog, &inputs, clock, config, pl,
+                            )
+                            .unwrap_or_else(|e| panic!("{tag}: recoverable plan failed: {e}")),
+                        }
+                    };
+                    let legacy = run(ExecEngine::Legacy);
+                    let pooled = run(ExecEngine::Pooled);
+                    assert_eq!(legacy.outcome.outputs, pooled.outcome.outputs, "{tag}");
+                    assert_eq!(
+                        legacy.outcome.makespan.to_bits(),
+                        pooled.outcome.makespan.to_bits(),
+                        "{tag}: makespans"
+                    );
+                    assert_eq!(
+                        legacy.outcome.total_retries, pooled.outcome.total_retries,
+                        "{tag}: retry counters"
+                    );
+                    assert_eq!(
+                        chrome_trace_json(&[(tag.as_str(), &legacy.trace)]),
+                        chrome_trace_json(&[(tag.as_str(), &pooled.trace)]),
+                        "{tag}: Chrome exports"
+                    );
+                    points += 1;
+                }
+            }
+        }
+    }
+    points
+}
+
+/// Time the same simulation point `reps` times under one engine; returns
+/// (seconds, simulations run).
+fn microbench(engine: ExecEngine, reps: usize) -> (f64, usize) {
+    let prog = rule_lhs(Rule::SrReduction);
+    let inputs = varied_input(8, 4, 42);
+    let clock = ClockParams::new(100.0, 2.0);
+    // Warm up (first pooled run pays the one-time pool construction).
+    let want = execute_with(&prog, &inputs, clock, engine_config(engine));
+    let start = Instant::now();
+    for _ in 0..reps {
+        let got = execute_with(&prog, &inputs, clock, engine_config(engine));
+        assert_eq!(got.makespan.to_bits(), want.makespan.to_bits());
+    }
+    (start.elapsed().as_secs_f64(), reps)
+}
+
+/// The chaos sweep exactly as it ran before this overhaul: legacy
+/// engine, serial seed loop, and the original harness shape — the
+/// clean/faulty pair executed *twice* per point (the determinism replay
+/// re-ran both). Returns (seconds, simulations run).
+fn chaos_legacy(seeds: u64, pmax: usize, m: usize) -> (f64, usize) {
+    let clock = ClockParams::new(100.0, 2.0);
+    let config = engine_config(ExecEngine::Legacy);
+    let mut sims = 0usize;
+    let start = Instant::now();
+    for kind in ChaosKind::ALL {
+        for seed in 0..seeds {
+            let mut rng = Rng::new(seed);
+            let p = rng.range_usize(2, pmax + 1);
+            let plan = random_plan(seed, p, kind);
+            for rule in Rule::ALL {
+                for (_, prog) in [("LHS", rule_lhs(rule)), ("RHS", rule_rhs(rule))] {
+                    let (_c1, _f1) = run_pair_with(&prog, p, m, seed, clock, &plan, config);
+                    let (_c2, _f2) = run_pair_with(&prog, p, m, seed, clock, &plan, config);
+                    // The old harness re-probed the plan's worst-case
+                    // inflation at every point (now hoisted per seed).
+                    let _ = worst_inflation(&plan, p);
+                    sims += 4;
+                }
+            }
+        }
+    }
+    (start.elapsed().as_secs_f64(), sims)
+}
+
+/// The chaos sweep as it runs now: pooled engine, lean 3-execution
+/// harness, seeds fanned out across host cores. Returns (seconds,
+/// simulations run).
+fn chaos_pooled(seeds: u64, pmax: usize, m: usize) -> (f64, usize) {
+    let start = Instant::now();
+    let mut violations = 0usize;
+    for kind in ChaosKind::ALL {
+        violations += sweep_parallel(kind, 0..seeds, pmax, m).len();
+    }
+    assert_eq!(violations, 0, "chaos invariants must hold during timing");
+    let sims = 3 * ChaosKind::ALL.len() * seeds as usize * Rule::ALL.len() * 2;
+    (start.elapsed().as_secs_f64(), sims)
+}
+
+/// End-to-end comparison against the *actual pre-overhaul tree*: when
+/// `BASELINE_GEN_CHAOS` points at a `gen_chaos` binary built from the
+/// commit before this overhaul, run it and the current `gen_chaos` as
+/// subprocesses on the identical sweep and compare wall-clock medians.
+/// This is the most honest "before" available — the in-process legacy
+/// arm cannot emulate the old deep-copy `Value` payloads or the
+/// per-rank fault-plan clones, both of which this overhaul removed.
+fn end_to_end(baseline: &std::path::Path, seeds: u64, pmax: usize) -> Option<Suite> {
+    let current = std::env::current_exe().ok()?.with_file_name("gen_chaos");
+    if !baseline.exists() || !current.exists() {
+        eprintln!("# end-to-end suite skipped: missing {baseline:?} or {current:?}");
+        return None;
+    }
+    let median_of_5 = |path: &std::path::Path| -> Option<f64> {
+        let mut times = Vec::new();
+        for _ in 0..5 {
+            let start = Instant::now();
+            let status = std::process::Command::new(path)
+                .env("CHAOS_SEEDS", seeds.to_string())
+                .env("CHAOS_PMAX", pmax.to_string())
+                .stdout(std::process::Stdio::null())
+                .status()
+                .ok()?;
+            if !status.success() {
+                eprintln!("# end-to-end suite: {path:?} exited with {status}");
+                return None;
+            }
+            times.push(start.elapsed().as_secs_f64());
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        Some(times[2])
+    };
+    let points = 3 * seeds as usize * Rule::ALL.len() * 2;
+    Some(Suite {
+        name: "chaos_end_to_end",
+        legacy_s: median_of_5(baseline)?,
+        legacy_sims: points * 4,
+        pooled_s: median_of_5(&current)?,
+        pooled_sims: points * 3,
+    })
+}
+
+struct Suite {
+    name: &'static str,
+    legacy_s: f64,
+    legacy_sims: usize,
+    pooled_s: f64,
+    pooled_sims: usize,
+}
+
+impl Suite {
+    fn speedup(&self) -> f64 {
+        // Throughput ratio: simulations per second after vs before, so
+        // the lean harness's smaller sim count is credited, not hidden.
+        (self.pooled_sims as f64 / self.pooled_s) / (self.legacy_sims as f64 / self.legacy_s)
+    }
+    fn wall_speedup(&self) -> f64 {
+        self.legacy_s / self.pooled_s
+    }
+}
+
+fn main() {
+    std::fs::create_dir_all("results").expect("create results/");
+    let seeds = env_usize("SIM_THROUGHPUT_SEEDS", 24) as u64;
+    let (pmax, m) = (9usize, 4usize);
+    let workers = default_workers();
+
+    println!("# identity gate: pooled vs legacy engine");
+    let identity_points = identity_gate();
+    println!("#   {identity_points} points bit-identical (traces, makespans, retries)");
+
+    let reps = env_usize("SIM_THROUGHPUT_REPS", 1500);
+    let (micro_legacy_s, micro_reps) = microbench(ExecEngine::Legacy, reps);
+    let (micro_pooled_s, _) = microbench(ExecEngine::Pooled, reps);
+    let micro = Suite {
+        name: "engine_microbench",
+        legacy_s: micro_legacy_s,
+        legacy_sims: micro_reps,
+        pooled_s: micro_pooled_s,
+        pooled_sims: micro_reps,
+    };
+
+    println!("# chaos sweep: {seeds} seeds/family, p in 2..={pmax}, m={m}, {workers} workers");
+    let (legacy_s, legacy_sims) = chaos_legacy(seeds, pmax, m);
+    let (pooled_s, pooled_sims) = chaos_pooled(seeds, pmax, m);
+    let chaos = Suite {
+        name: "chaos_dst",
+        legacy_s,
+        legacy_sims,
+        pooled_s,
+        pooled_sims,
+    };
+
+    let e2e = std::env::var("BASELINE_GEN_CHAOS")
+        .ok()
+        .and_then(|path| end_to_end(std::path::Path::new(&path), seeds, pmax));
+    let headline = e2e.as_ref().unwrap_or(&chaos);
+    let headline_speedup = headline.wall_speedup();
+    let headline_name = headline.name;
+
+    let mut suites = vec![&micro, &chaos];
+    if let Some(s) = &e2e {
+        suites.push(s);
+    }
+    let mut suites_json = Vec::new();
+    for s in suites {
+        println!(
+            "== {} ==\n  before: {:>8.3}s for {:>5} sims ({:>7.0} sims/s)  [legacy engine]\n  \
+             after:  {:>8.3}s for {:>5} sims ({:>7.0} sims/s)  [pooled engine]\n  \
+             wall-clock speedup {:.2}x, per-simulation throughput {:.2}x",
+            s.name,
+            s.legacy_s,
+            s.legacy_sims,
+            s.legacy_sims as f64 / s.legacy_s,
+            s.pooled_s,
+            s.pooled_sims,
+            s.pooled_sims as f64 / s.pooled_s,
+            s.wall_speedup(),
+            s.speedup(),
+        );
+        suites_json.push(format!(
+            r#"    {{
+      "name": "{}",
+      "legacy_s": {:.6},
+      "legacy_sims": {},
+      "pooled_s": {:.6},
+      "pooled_sims": {},
+      "legacy_sims_per_sec": {:.1},
+      "pooled_sims_per_sec": {:.1},
+      "wall_speedup": {:.3},
+      "throughput_speedup": {:.3}
+    }}"#,
+            s.name,
+            s.legacy_s,
+            s.legacy_sims,
+            s.pooled_s,
+            s.pooled_sims,
+            s.legacy_sims as f64 / s.legacy_s,
+            s.pooled_sims as f64 / s.pooled_s,
+            s.wall_speedup(),
+            s.speedup(),
+        ));
+    }
+
+    let json = format!(
+        r#"{{
+  "bench": "sim_throughput",
+  "host_cores": {},
+  "sweep_workers": {},
+  "chaos_seeds_per_family": {},
+  "identity_points": {},
+  "identity_bit_identical": true,
+  "headline_suite": "{}",
+  "headline_wall_speedup": {:.3},
+  "suites": [
+{}
+  ]
+}}
+"#,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        workers,
+        seeds,
+        identity_points,
+        headline_name,
+        headline_speedup,
+        suites_json.join(",\n"),
+    );
+    std::fs::write("results/BENCH_sim_throughput.json", json)
+        .expect("write results/BENCH_sim_throughput.json");
+    println!("# wrote results/BENCH_sim_throughput.json");
+
+    println!("# headline: {headline_name} wall-clock speedup {headline_speedup:.2}x");
+    if let Ok(floor) = std::env::var("COLLOPT_THROUGHPUT_FLOOR") {
+        let floor: f64 = floor
+            .trim()
+            .parse()
+            .expect("COLLOPT_THROUGHPUT_FLOOR is a number");
+        if headline_speedup < floor {
+            eprintln!(
+                "FAIL: {headline_name} wall-clock speedup {headline_speedup:.2}x \
+                 below floor {floor:.2}x"
+            );
+            std::process::exit(1);
+        }
+        println!("# throughput floor {floor:.2}x satisfied ({headline_speedup:.2}x)");
+    }
+}

@@ -25,9 +25,10 @@
 //! whose `plan` field is the [`FaultPlan::describe`] spec string — paste
 //! it into `collopt --faults` to reproduce.
 
-use collopt_core::exec::{execute, execute_faulted, ExecConfig, ExecOutcome};
+use collopt_core::exec::{execute, execute_faulted, execute_with, ExecConfig, ExecOutcome};
 use collopt_core::rules::Rule;
 use collopt_core::term::Program;
+use collopt_core::value::Value;
 use collopt_machine::{ClockParams, FaultInjector, FaultPlan, MachineError, Rng};
 
 use crate::{rule_lhs, rule_rhs, varied_input};
@@ -130,7 +131,7 @@ pub fn random_plan(seed: u64, p: usize, kind: ChaosKind) -> FaultPlan {
 }
 
 /// Clean and faulty runs of one program under one plan.
-fn run_pair(
+pub fn run_pair(
     prog: &Program,
     p: usize,
     m: usize,
@@ -138,9 +139,24 @@ fn run_pair(
     clock: ClockParams,
     plan: &FaultPlan,
 ) -> (ExecOutcome, Result<ExecOutcome, MachineError>) {
+    run_pair_with(prog, p, m, seed, clock, plan, ExecConfig::default())
+}
+
+/// [`run_pair`] with explicit [`ExecConfig`] options — the throughput
+/// benchmark uses this to pin runs to a specific execution engine.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pair_with(
+    prog: &Program,
+    p: usize,
+    m: usize,
+    seed: u64,
+    clock: ClockParams,
+    plan: &FaultPlan,
+    config: ExecConfig,
+) -> (ExecOutcome, Result<ExecOutcome, MachineError>) {
     let inputs = varied_input(p, m, seed);
-    let clean = execute(prog, &inputs, clock);
-    let faulty = execute_faulted(prog, &inputs, clock, ExecConfig::default(), plan);
+    let clean = execute_with(prog, &inputs, clock, config);
+    let faulty = execute_faulted(prog, &inputs, clock, config, plan);
     (clean, faulty)
 }
 
@@ -153,7 +169,9 @@ fn eps(bound: f64) -> f64 {
 /// Worst-case multiplicative factor and additive delay any single event
 /// can suffer under `plan` on a `p`-rank machine. Probes the injector's
 /// compounded per-rank compute factor and per-link linear map directly.
-fn worst_inflation(plan: &FaultPlan, p: usize) -> (f64, f64) {
+/// Depends only on `(plan, p)` — [`sweep_seed`] computes it once per
+/// seed and shares it across the whole rule battery.
+pub fn worst_inflation(plan: &FaultPlan, p: usize) -> (f64, f64) {
     let arc = std::sync::Arc::new(plan.clone());
     let mut fmax = 1.0f64;
     let mut amax = 0.0f64;
@@ -181,10 +199,11 @@ pub fn check_point(
     side: &'static str,
     prog: &Program,
     p: usize,
-    m: usize,
+    inputs: &[Value],
     seed: u64,
     clock: ClockParams,
     plan: &FaultPlan,
+    worst: (f64, f64),
     kind: ChaosKind,
 ) -> Vec<ChaosFailure> {
     let mut failures = Vec::new();
@@ -197,9 +216,13 @@ pub fn check_point(
         what,
     };
 
-    let (clean, faulty) = run_pair(prog, p, m, seed, clock, plan);
+    let clean = execute(prog, inputs, clock);
+    let faulty = execute_faulted(prog, inputs, clock, ExecConfig::default(), plan);
     // Determinism first: the exact same point must replay to the bit.
-    let (_, again) = run_pair(prog, p, m, seed, clock, plan);
+    // Only the *faulted* run is repeated — the clean executor exercises
+    // the same machinery minus the injector, so rerunning it here bought
+    // nothing and cost a third of the whole sweep.
+    let again = execute_faulted(prog, inputs, clock, ExecConfig::default(), plan);
     match (&faulty, &again) {
         (Ok(a), Ok(b)) => {
             if a.outputs != b.outputs || a.makespan.to_bits() != b.makespan.to_bits() {
@@ -269,7 +292,7 @@ pub fn check_point(
             // on the same rank/link *compound*, so probe the injector's
             // actual linear map `cost -> F·cost + A` per rank and link
             // rather than trusting per-entry maxima.
-            let (fmax, amax) = worst_inflation(plan, p);
+            let (fmax, amax) = worst;
             let bound = fmax * clean.makespan
                 + amax * clean.total_messages as f64
                 + faulty.total_retry_time;
@@ -285,30 +308,58 @@ pub fn check_point(
     failures
 }
 
+/// Everything [`check_point`] needs for one seed's full rule battery:
+/// the machine size and plan are derived deterministically from the seed
+/// alone, so seeds partition cleanly across sweep workers.
+fn sweep_seed(kind: ChaosKind, seed: u64, pmax: usize, m: usize) -> Vec<ChaosFailure> {
+    let clock = ClockParams::new(100.0, 2.0);
+    let mut rng = Rng::new(seed);
+    let p = rng.range_usize(2, pmax + 1);
+    let plan = random_plan(seed, p, kind);
+    let worst = worst_inflation(&plan, p);
+    let inputs = varied_input(p, m, seed);
+    let mut failures = Vec::new();
+    for rule in Rule::ALL {
+        for (side, prog) in [("LHS", rule_lhs(rule)), ("RHS", rule_rhs(rule))] {
+            failures.extend(check_point(
+                rule, side, &prog, p, &inputs, seed, clock, &plan, worst, kind,
+            ));
+        }
+    }
+    failures
+}
+
 /// Sweep one fault family over `seeds` seeds: for each seed, a machine
 /// size `p ∈ 2..=pmax` and plan are derived deterministically, then every
-/// Table-1 rule's LHS *and* RHS run through [`check_point`].
+/// Table-1 rule's LHS *and* RHS run through [`check_point`]. Serial; see
+/// [`sweep_parallel`] for the multi-core driver (identical output).
 pub fn sweep(
     kind: ChaosKind,
     seeds: std::ops::Range<u64>,
     pmax: usize,
     m: usize,
 ) -> Vec<ChaosFailure> {
-    let clock = ClockParams::new(100.0, 2.0);
     let mut failures = Vec::new();
     for seed in seeds {
-        let mut rng = Rng::new(seed);
-        let p = rng.range_usize(2, pmax + 1);
-        let plan = random_plan(seed, p, kind);
-        for rule in Rule::ALL {
-            for (side, prog) in [("LHS", rule_lhs(rule)), ("RHS", rule_rhs(rule))] {
-                failures.extend(check_point(
-                    rule, side, &prog, p, m, seed, clock, &plan, kind,
-                ));
-            }
-        }
+        failures.extend(sweep_seed(kind, seed, pmax, m));
     }
     failures
+}
+
+/// [`sweep`] fanned out across host cores by the run-level sweep driver:
+/// each seed is one independent work item, results are collected in seed
+/// order, and every simulation is internally deterministic — so the
+/// returned failure list is byte-identical to the serial sweep's.
+pub fn sweep_parallel(
+    kind: ChaosKind,
+    seeds: std::ops::Range<u64>,
+    pmax: usize,
+    m: usize,
+) -> Vec<ChaosFailure> {
+    crate::sweep_driver::par_map(seeds.collect(), |seed| sweep_seed(kind, seed, pmax, m))
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 #[cfg(test)]
@@ -351,6 +402,18 @@ mod tests {
                 let plan = random_plan(seed, 6, kind);
                 let parsed = FaultPlan::parse(&plan.describe()).expect("spec parses");
                 assert_eq!(parsed.describe(), plan.describe());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_sweep() {
+        for kind in ChaosKind::ALL {
+            let serial = sweep(kind, 0..3, 5, 4);
+            let parallel = sweep_parallel(kind, 0..3, 5, 4);
+            assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(parallel.iter()) {
+                assert_eq!(a.to_string(), b.to_string());
             }
         }
     }

@@ -12,6 +12,7 @@
 
 pub mod chaos;
 pub mod harness;
+pub mod sweep_driver;
 
 use collopt_collectives::{
     bcast_binomial, comcast_bcast_repeat, comcast_cost_optimal, scan_butterfly, Combine, RepeatOp,
@@ -58,7 +59,7 @@ pub fn rule_rhs(rule: Rule) -> Program {
 /// workload (values kept at 1 to avoid overflow in scan(mul)).
 pub fn block_input(p: usize, m: usize) -> Vec<Value> {
     (0..p)
-        .map(|_| Value::List(vec![Value::Int(1); m]))
+        .map(|_| Value::list(vec![Value::Int(1); m]))
         .collect()
 }
 
@@ -67,7 +68,7 @@ pub fn block_input(p: usize, m: usize) -> Vec<Value> {
 pub fn varied_input(p: usize, m: usize, seed: u64) -> Vec<Value> {
     (0..p)
         .map(|i| {
-            Value::List(
+            Value::list(
                 (0..m)
                     .map(|j| {
                         let x = (seed ^ (i as u64 * 2654435761) ^ (j as u64 * 40503)) % 17;

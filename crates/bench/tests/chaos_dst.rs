@@ -19,7 +19,7 @@
 //! Failures print reproducing `(seed, plan)` spec strings — feed them to
 //! `collopt --faults "<plan>"` or `FaultPlan::parse`.
 
-use collopt_bench::chaos::{sweep, ChaosKind};
+use collopt_bench::chaos::{sweep_parallel, ChaosKind};
 
 /// Seeds per family: the issue's floor is 64.
 const SEEDS: u64 = 64;
@@ -29,7 +29,7 @@ const PMAX: usize = 9;
 const M: usize = 4;
 
 fn run(kind: ChaosKind) {
-    let failures = sweep(kind, 0..SEEDS, PMAX, M);
+    let failures = sweep_parallel(kind, 0..SEEDS, PMAX, M);
     assert!(
         failures.is_empty(),
         "{} {} violations — each line reproduces with `collopt --faults`:\n{}",

@@ -1,0 +1,184 @@
+//! Differential identity: the pooled execution engine must be
+//! *observationally indistinguishable* from the legacy spawn-per-run
+//! engine — same outputs, bit-identical makespans, same retry counters,
+//! byte-identical Chrome trace exports — across every Table-1 rule, both
+//! sides of each rewrite, machine sizes 2..=9, with and without fault
+//! plans, and under every collective-lowering variant.
+//!
+//! This is the license for making [`ExecEngine::Pooled`] the default:
+//! the simulated clock travels with the data, so scheduling differences
+//! between parked pool workers and freshly spawned threads can never
+//! leak into any observable of a run.
+
+use collopt_bench::chaos::{random_plan, ChaosKind};
+use collopt_bench::sweep_driver::par_map;
+use collopt_bench::{rule_lhs, rule_rhs, varied_input};
+use collopt_core::exec::{
+    execute_faulted, execute_faulted_traced, execute_traced_with, ExecConfig, TracedExecOutcome,
+};
+use collopt_core::term::Program;
+use collopt_core::value::Value;
+use collopt_machine::{chrome_trace_json, ClockParams, ExecEngine, FaultPlan};
+
+fn engine_config(engine: ExecEngine) -> ExecConfig {
+    ExecConfig {
+        engine: Some(engine),
+        profile: true,
+        ..ExecConfig::default()
+    }
+}
+
+/// Assert every observable of two runs matches to the bit, including the
+/// serialized Chrome trace.
+fn assert_identical(tag: &str, legacy: &TracedExecOutcome, pooled: &TracedExecOutcome) {
+    assert_eq!(
+        legacy.outcome.outputs, pooled.outcome.outputs,
+        "{tag}: outputs"
+    );
+    assert_eq!(
+        legacy.outcome.makespan.to_bits(),
+        pooled.outcome.makespan.to_bits(),
+        "{tag}: makespan {} vs {}",
+        legacy.outcome.makespan,
+        pooled.outcome.makespan
+    );
+    assert_eq!(
+        legacy.outcome.total_compute.to_bits(),
+        pooled.outcome.total_compute.to_bits(),
+        "{tag}: compute totals"
+    );
+    assert_eq!(
+        legacy.outcome.total_messages, pooled.outcome.total_messages,
+        "{tag}: message counts"
+    );
+    assert_eq!(
+        legacy.outcome.total_retries, pooled.outcome.total_retries,
+        "{tag}: retry counters"
+    );
+    assert_eq!(
+        legacy.outcome.total_retry_time.to_bits(),
+        pooled.outcome.total_retry_time.to_bits(),
+        "{tag}: retry time"
+    );
+    let a = chrome_trace_json(&[(tag, &legacy.trace)]);
+    let b = chrome_trace_json(&[(tag, &pooled.trace)]);
+    assert_eq!(a, b, "{tag}: Chrome trace exports differ");
+}
+
+fn run_traced(
+    prog: &Program,
+    inputs: &[Value],
+    clock: ClockParams,
+    plan: Option<&FaultPlan>,
+    engine: ExecEngine,
+) -> Result<TracedExecOutcome, collopt_machine::MachineError> {
+    match plan {
+        None => Ok(execute_traced_with(
+            prog,
+            inputs,
+            clock,
+            engine_config(engine),
+        )),
+        Some(plan) => execute_faulted_traced(prog, inputs, clock, engine_config(engine), plan),
+    }
+}
+
+#[test]
+fn pooled_engine_is_bit_identical_to_legacy_across_rules_sizes_and_plans() {
+    // Every p gets an independent battery — fan the sizes across cores.
+    par_map((2usize..=9).collect(), |p| {
+        let clock = ClockParams::new(100.0, 2.0);
+        let seed = 1000 + p as u64;
+        let inputs = varied_input(p, 4, seed);
+        // Recoverable plans only: traced comparison needs completed runs.
+        let plans: Vec<Option<FaultPlan>> = vec![
+            None,
+            Some(random_plan(seed, p, ChaosKind::Delay)),
+            Some(random_plan(seed, p, ChaosKind::Lossy)),
+        ];
+        for rule in collopt_core::rules::Rule::ALL {
+            for (side, prog) in [("LHS", rule_lhs(rule)), ("RHS", rule_rhs(rule))] {
+                for (i, plan) in plans.iter().enumerate() {
+                    let tag = format!("{rule} {side} p={p} plan#{i}");
+                    let legacy =
+                        run_traced(&prog, &inputs, clock, plan.as_ref(), ExecEngine::Legacy)
+                            .unwrap_or_else(|e| panic!("{tag} legacy: {e}"));
+                    let pooled =
+                        run_traced(&prog, &inputs, clock, plan.as_ref(), ExecEngine::Pooled)
+                            .unwrap_or_else(|e| panic!("{tag} pooled: {e}"));
+                    assert_identical(&tag, &legacy, &pooled);
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn engines_agree_on_crash_plan_errors() {
+    // A crashed run must surface the *same* MachineError from both
+    // engines — pooled teardown must not change failure reporting.
+    for p in [2usize, 5, 9] {
+        let clock = ClockParams::new(100.0, 2.0);
+        let seed = 7 + p as u64;
+        let inputs = varied_input(p, 4, seed);
+        let plan = random_plan(seed, p, ChaosKind::Crash);
+        for rule in collopt_core::rules::Rule::ALL {
+            for (side, prog) in [("LHS", rule_lhs(rule)), ("RHS", rule_rhs(rule))] {
+                let tag = format!("{rule} {side} p={p}");
+                let legacy = execute_faulted(
+                    &prog,
+                    &inputs,
+                    clock,
+                    engine_config(ExecEngine::Legacy),
+                    &plan,
+                );
+                let pooled = execute_faulted(
+                    &prog,
+                    &inputs,
+                    clock,
+                    engine_config(ExecEngine::Pooled),
+                    &plan,
+                );
+                match (legacy, pooled) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.outputs, b.outputs, "{tag}");
+                        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits(), "{tag}");
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b, "{tag}: errors differ"),
+                    (a, b) => panic!("{tag}: engines disagree on success: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_under_every_collective_lowering_variant() {
+    // The adaptive lowering paths (cost-model-selected broadcast and
+    // reduction algorithms) route through different collectives — the
+    // engines must agree under each of the four lowering combinations.
+    let p = 8;
+    let clock = ClockParams::parsytec_like();
+    let inputs = varied_input(p, 16, 99);
+    for (adaptive_bcast, adaptive_reduction) in
+        [(false, false), (true, false), (false, true), (true, true)]
+    {
+        for rule in collopt_core::rules::Rule::ALL {
+            for (side, prog) in [("LHS", rule_lhs(rule)), ("RHS", rule_rhs(rule))] {
+                let tag = format!(
+                    "{rule} {side} adaptive_bcast={adaptive_bcast} \
+                     adaptive_reduction={adaptive_reduction}"
+                );
+                let config = |engine| ExecConfig {
+                    adaptive_bcast,
+                    adaptive_reduction,
+                    profile: true,
+                    engine: Some(engine),
+                };
+                let legacy = execute_traced_with(&prog, &inputs, clock, config(ExecEngine::Legacy));
+                let pooled = execute_traced_with(&prog, &inputs, clock, config(ExecEngine::Pooled));
+                assert_identical(&tag, &legacy, &pooled);
+            }
+        }
+    }
+}

@@ -254,9 +254,8 @@ mod tests {
         // Figure 4: input [2,5,9,1,2,6] with + yields (86, 200) at root.
         let inputs = Arc::new(vec![2i64, 5, 9, 1, 2, 6]);
         let m = Machine::new(6, ClockParams::free());
-        let inp = inputs.clone();
         let run = m.run(move |ctx| {
-            let x = inp[ctx.rank()];
+            let x = inputs[ctx.rank()];
             reduce_balanced(ctx, (x, x), 1, &sr_balanced_op())
         });
         assert_eq!(run.results[0], Some((86, 200)));

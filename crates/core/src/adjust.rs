@@ -146,7 +146,7 @@ mod tests {
         let p = pair(&block);
         assert_eq!(
             p,
-            Value::List(vec![
+            Value::list(vec![
                 Value::Tuple(vec![1.into(), 1.into()]),
                 Value::Tuple(vec![2.into(), 2.into()])
             ])

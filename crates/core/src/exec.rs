@@ -19,8 +19,8 @@ use collopt_collectives::{
     Combine, PairedOp, RepeatOp,
 };
 use collopt_machine::{
-    critical_path, ClockParams, CriticalPath, Ctx, FaultPlan, Machine, MachineError, ProfileError,
-    ProfileReport,
+    critical_path, ClockParams, CriticalPath, Ctx, ExecEngine, FaultPlan, Machine, MachineError,
+    ProfileError, ProfileReport,
 };
 
 use crate::adjust::iter_balanced;
@@ -54,6 +54,12 @@ pub struct ExecConfig {
     /// [`collopt_machine::ProfileReport`]. Only meaningful together with
     /// tracing (see [`execute_traced_with`]); silently inert otherwise.
     pub profile: bool,
+    /// Pin the run to a specific execution engine (persistent rank pool
+    /// vs legacy spawn-per-run). `None` uses the session default
+    /// ([`ExecEngine::Pooled`] unless overridden via `COLLOPT_ENGINE`).
+    /// Both engines are observationally identical — this knob exists for
+    /// the differential identity suite and the throughput benchmarks.
+    pub engine: Option<ExecEngine>,
 }
 
 /// Result of running a program on the machine.
@@ -236,6 +242,9 @@ fn try_run_program(
     if let Some(plan) = faults {
         machine = machine.with_faults(plan.clone());
     }
+    if let Some(engine) = config.engine {
+        machine = machine.with_engine(engine);
+    }
     let inputs: Arc<Vec<Value>> = Arc::new(inputs.to_vec());
     let run = machine.try_run(|ctx| {
         let mut v = inputs[ctx.rank()].clone();
@@ -278,7 +287,7 @@ fn exec_stage(stage: &Stage, ctx: &mut Ctx, v: &mut Value, config: ExecConfig) {
             // SPMD-uniform for all ranks to take the same branch.
             if config.adaptive_bcast && matches!(v, Value::List(_)) {
                 let value = (ctx.rank() == 0).then(|| v.as_list().to_vec());
-                *v = Value::List(bcast_auto(ctx, value, 1));
+                *v = Value::list(bcast_auto(ctx, value, 1));
             } else {
                 let words = v.words();
                 let value = (ctx.rank() == 0).then(|| v.clone());
@@ -425,7 +434,7 @@ fn exec_stage(stage: &Stage, ctx: &mut Ctx, v: &mut Value, config: ExecConfig) {
         Stage::Gather => {
             let words = v.words().max(1);
             if let Some(all) = gather_binomial(ctx, v.clone(), words) {
-                *v = Value::List(all);
+                *v = Value::list(all);
             }
         }
         Stage::Scatter => {
@@ -443,7 +452,7 @@ fn exec_stage(stage: &Stage, ctx: &mut Ctx, v: &mut Value, config: ExecConfig) {
         }
         Stage::AllGather => {
             let words = v.words().max(1);
-            *v = Value::List(allgather(ctx, v.clone(), words));
+            *v = Value::list(allgather(ctx, v.clone(), words));
         }
         Stage::IterLocal {
             combine,
@@ -614,9 +623,9 @@ mod tests {
                     .gather()
                     .map("rev", 1.0, |v| match v {
                         Value::List(l) => {
-                            let mut l = l.clone();
+                            let mut l = (**l).clone();
                             l.reverse();
-                            Value::List(l)
+                            Value::list(l)
                         }
                         other => other.clone(),
                     })
@@ -646,7 +655,7 @@ mod tests {
         let mw = 32_000usize;
         let prog = Program::new().bcast();
         let input: Vec<Value> = (0..p)
-            .map(|r| Value::List(vec![Value::Int(if r == 0 { 7 } else { 0 }); mw]))
+            .map(|r| Value::list(vec![Value::Int(if r == 0 { 7 } else { 0 }); mw]))
             .collect();
         let clock = ClockParams::parsytec_like();
         let fixed = execute(&prog, &input, clock);
@@ -669,7 +678,7 @@ mod tests {
         // For tiny blocks the selector falls back to the binomial tree
         // (plus the 1-word length pre-broadcast).
         let small: Vec<Value> = (0..p)
-            .map(|_| Value::List(vec![Value::Int(1); 4]))
+            .map(|_| Value::list(vec![Value::Int(1); 4]))
             .collect();
         let f = execute(&prog, &small, clock);
         let a = execute_with(
@@ -692,7 +701,7 @@ mod tests {
         let mw = 32_000usize;
         let prog = Program::new().allreduce(lib::add());
         let input: Vec<Value> = (0..p)
-            .map(|r| Value::List(vec![Value::Int(r as i64); mw]))
+            .map(|r| Value::list(vec![Value::Int(r as i64); mw]))
             .collect();
         let clock = ClockParams::parsytec_like();
         let fixed = execute(&prog, &input, clock);
@@ -715,7 +724,7 @@ mod tests {
         // Below the crossover the selector keeps the butterfly, so the
         // adaptive run costs exactly the same.
         let small: Vec<Value> = (0..p)
-            .map(|r| Value::List(vec![Value::Int(r as i64); 4]))
+            .map(|r| Value::list(vec![Value::Int(r as i64); 4]))
             .collect();
         let f = execute(&prog, &small, clock);
         let a = execute_with(
@@ -746,7 +755,7 @@ mod tests {
             .program;
         let input: Vec<Value> = (0..p)
             .map(|r| {
-                Value::List(
+                Value::list(
                     (0..mw)
                         .map(|i| Value::Int((r * 7 + i % 5) as i64))
                         .collect(),

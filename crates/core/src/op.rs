@@ -201,8 +201,11 @@ pub fn value_close(a: &Value, b: &Value) -> bool {
             let scale = x.abs().max(y.abs()).max(1.0);
             (x - y).abs() <= 1e-9 * scale
         }
-        (Value::Tuple(xs), Value::Tuple(ys)) | (Value::List(xs), Value::List(ys)) => {
-            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| value_close(x, y))
+        (Value::Tuple(xs), Value::Tuple(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys.iter()).all(|(x, y)| value_close(x, y))
+        }
+        (Value::List(xs), Value::List(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys.iter()).all(|(x, y)| value_close(x, y))
         }
         _ => false,
     }

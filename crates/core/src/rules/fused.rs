@@ -123,12 +123,12 @@ pub fn op_ss(oplus: &BinOp) -> (PairedFn, ValueFn) {
                 assert_eq!(xs.len(), ys.len());
                 let mut lows = Vec::with_capacity(xs.len());
                 let mut highs = Vec::with_capacity(xs.len());
-                for (x, y) in xs.iter().zip(ys) {
+                for (x, y) in xs.iter().zip(ys.iter()) {
                     let (l, h) = scalar(x, y);
                     lows.push(l);
                     highs.push(h);
                 }
-                (Value::List(lows), Value::List(highs))
+                (Value::list(lows), Value::list(highs))
             }
             (x, y) => scalar(x, y),
         }
@@ -439,7 +439,7 @@ mod tests {
     fn fused_ops_lift_over_blocks() {
         let fused = op_sr2(&lib::mul(), &lib::add());
         let block = |v: i64| {
-            Value::List(vec![
+            Value::list(vec![
                 Value::Tuple(vec![Value::Int(v), Value::Int(v)]),
                 Value::Tuple(vec![Value::Int(10 * v), Value::Int(10 * v)]),
             ])

@@ -143,7 +143,7 @@ pub fn eval_stage(stage: &Stage, xs: &mut Vec<Value>) {
             }
         }
         Stage::Gather => {
-            xs[0] = Value::List(xs.clone());
+            xs[0] = Value::list(xs.clone());
         }
         Stage::Scatter => {
             let list = xs[0].as_list().to_vec();
@@ -151,7 +151,7 @@ pub fn eval_stage(stage: &Stage, xs: &mut Vec<Value>) {
             *xs = list;
         }
         Stage::AllGather => {
-            let all = Value::List(xs.clone());
+            let all = Value::list(xs.clone());
             for x in xs.iter_mut() {
                 *x = all.clone();
             }

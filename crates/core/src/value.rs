@@ -10,8 +10,16 @@
 //! tuples are [`Value::Tuple`]s. Tupling and projection distribute over
 //! blocks: `pair` of a list is a list of pairs, matching the paper's
 //! convention that the base operator acts elementwise on blocks.
+//!
+//! List blocks are `Arc`-backed: cloning a [`Value`] — which every send,
+//! broadcast fan-out and input distribution does — bumps a reference
+//! count instead of deep-copying `m` elements. Blocks are immutable once
+//! built, so sharing is safe; the rare consumer that needs ownership
+//! (e.g. [`Splittable::concat`]) unwraps the `Arc`, copying only when the
+//! block is genuinely shared.
 
 use std::fmt;
+use std::sync::Arc;
 
 use collopt_collectives::Splittable;
 
@@ -27,8 +35,9 @@ pub enum Value {
     Bool(bool),
     /// An auxiliary tuple (pair, triple, quadruple, …).
     Tuple(Vec<Value>),
-    /// A block of values (one processor's `m`-word block).
-    List(Vec<Value>),
+    /// A block of values (one processor's `m`-word block), shared on
+    /// clone. Construct via [`Value::list`].
+    List(Arc<Vec<Value>>),
 }
 
 impl Value {
@@ -42,9 +51,14 @@ impl Value {
         Value::Float(v)
     }
 
+    /// Build a list block from its elements.
+    pub fn list(vs: Vec<Value>) -> Value {
+        Value::List(Arc::new(vs))
+    }
+
     /// Build a list block from integers.
     pub fn int_list(vs: impl IntoIterator<Item = i64>) -> Value {
-        Value::List(vs.into_iter().map(Value::Int).collect())
+        Value::list(vs.into_iter().map(Value::Int).collect())
     }
 
     /// Build a pair.
@@ -122,7 +136,7 @@ impl Value {
     /// paper's elementwise base operators lift to `m`-word blocks.
     pub fn map_block(&self, f: &impl Fn(&Value) -> Value) -> Value {
         match self {
-            Value::List(vs) => Value::List(vs.iter().map(f).collect()),
+            Value::List(vs) => Value::list(vs.iter().map(f).collect()),
             v => f(v),
         }
     }
@@ -132,7 +146,7 @@ impl Value {
         match (self, other) {
             (Value::List(a), Value::List(b)) => {
                 assert_eq!(a.len(), b.len(), "blocks must have equal length");
-                Value::List(a.iter().zip(b).map(|(x, y)| f(x, y)).collect())
+                Value::list(a.iter().zip(b.iter()).map(|(x, y)| f(x, y)).collect())
             }
             (a, b) => f(a, b),
         }
@@ -179,7 +193,7 @@ impl Splittable for Value {
 
     fn split_into(&self, parts: usize) -> Vec<Value> {
         match self {
-            Value::List(vs) => vs.split_into(parts).into_iter().map(Value::List).collect(),
+            Value::List(vs) => vs.split_into(parts).into_iter().map(Value::list).collect(),
             other => {
                 assert_eq!(parts, 1, "cannot segment a scalar-like value {other}");
                 vec![other.clone()]
@@ -192,11 +206,13 @@ impl Splittable for Value {
             // A scalar round-trips through its single "segment".
             return parts.into_iter().next().expect("one part");
         }
-        Value::List(
+        Value::list(
             parts
                 .into_iter()
                 .flat_map(|p| match p {
-                    Value::List(vs) => vs,
+                    // Unshared blocks are consumed in place; shared ones
+                    // are copied (the other owners keep reading theirs).
+                    Value::List(vs) => Arc::try_unwrap(vs).unwrap_or_else(|a| (*a).clone()),
                     other => panic!("cannot concatenate non-list segment {other}"),
                 })
                 .collect(),
@@ -243,7 +259,7 @@ mod tests {
         assert_eq!(Value::pair(1.into(), 2.into()).words(), 2);
         let block = Value::int_list([1, 2, 3]);
         assert_eq!(block.words(), 3);
-        let block_of_pairs = Value::List(vec![
+        let block_of_pairs = Value::list(vec![
             Value::pair(1.into(), 2.into()),
             Value::pair(3.into(), 4.into()),
         ]);

@@ -8,16 +8,25 @@
 //! broadcast of `Vec<f64>` followed by a scan over pairs.
 //!
 //! Built on `std::sync` only: each rank owns one inbox (a mutex-protected
-//! set of per-source FIFO queues plus a condvar). A sender locks the
-//! destination inbox, enqueues, and notifies; a receiver waits on its own
-//! condvar. When a rank's [`Mailboxes`] is dropped, it marks itself dead in
-//! every peer's inbox so blocked receivers observe a disconnect instead of
+//! set of per-source FIFO queues). A sender locks the destination inbox,
+//! enqueues, and wakes the receiver if one is parked; a receiver blocks via
+//! `thread::park`. Because each rank is the *only* thread that ever
+//! receives from its own inbox, at most one waiter can exist per inbox, so
+//! a single parked-thread slot replaces a condvar — roughly halving the
+//! cost of every blocking receive, which dominates simulator wall-clock.
+//! When a rank's [`Mailboxes`] is dropped, it marks itself dead in every
+//! peer's inbox so blocked receivers observe a disconnect instead of
 //! hanging — the same semantics a per-pair channel would give when its
 //! sending half is dropped (queued packets still drain first).
+//!
+//! The inbox array itself lives in a [`Mesh`] that survives across runs:
+//! the persistent engine resets the queues in place via [`Mesh::issue`]
+//! instead of reallocating `p²` queues per simulation.
 
 use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
+use std::thread::Thread;
 
 use crate::error::MachineError;
 
@@ -49,13 +58,15 @@ struct InboxState {
     /// Rotating start index so [`Mailboxes::pop_any`] is fair across
     /// sources rather than always favouring rank 0.
     next_scan: usize,
+    /// The owning rank's thread, registered while it is parked waiting for
+    /// a packet. Single-slot: only the owner ever receives from its inbox.
+    waiter: Option<Thread>,
 }
 
-/// One rank's inbox: the state under a mutex and a condvar that senders
-/// signal on every enqueue (and droppers on every disconnect).
+/// One rank's inbox. Receivers block via `park`; senders and droppers wake
+/// the registered waiter, if any.
 struct Inbox {
     state: Mutex<InboxState>,
-    arrived: Condvar,
 }
 
 impl Inbox {
@@ -65,9 +76,31 @@ impl Inbox {
                 queues: (0..p).map(|_| VecDeque::new()).collect(),
                 live: vec![true; p],
                 next_scan: 0,
+                waiter: None,
             }),
-            arrived: Condvar::new(),
         }
+    }
+
+    /// Restore the pristine post-construction state in place, keeping the
+    /// queue allocations. Called between runs by [`Mesh::issue`].
+    fn reset(&self) {
+        let mut state = self.state.lock().expect("inbox poisoned");
+        for q in &mut state.queues {
+            q.clear();
+        }
+        state.live.fill(true);
+        state.next_scan = 0;
+        state.waiter = None;
+    }
+}
+
+/// Wake the parked receiver, if any. Must be called *after* mutating the
+/// state the receiver re-checks (enqueue or liveness flip) while still
+/// holding the lock, so the take-then-unpark pairs with the receiver's
+/// register-then-park.
+fn wake(state: &mut InboxState) {
+    if let Some(t) = state.waiter.take() {
+        t.unpark();
     }
 }
 
@@ -75,7 +108,10 @@ impl Inbox {
 /// peer's inbox (to send).
 pub struct Mailboxes {
     rank: usize,
-    inboxes: Vec<Arc<Inbox>>,
+    /// Shared, not per-rank-cloned: handing out `p` views costs `p` Arc
+    /// bumps instead of `p²`, which matters when a pooled engine reissues
+    /// views for every one of thousands of short runs.
+    inboxes: Arc<Vec<Arc<Inbox>>>,
 }
 
 impl Mailboxes {
@@ -89,9 +125,7 @@ impl Mailboxes {
         self.inboxes.len()
     }
 
-    /// Enqueue a packet for `dst`. Panics on an invalid destination — the
-    /// collectives never produce one, so this is an assertion, not a
-    /// recoverable condition.
+    /// Enqueue a packet for `dst`.
     pub fn push(&self, dst: usize, packet: Packet) -> Result<(), MachineError> {
         if dst >= self.inboxes.len() {
             return Err(MachineError::InvalidRank {
@@ -101,8 +135,7 @@ impl Mailboxes {
         }
         let mut state = self.inboxes[dst].state.lock().expect("inbox poisoned");
         state.queues[self.rank].push_back(packet);
-        drop(state);
-        self.inboxes[dst].arrived.notify_all();
+        wake(&mut state);
         Ok(())
     }
 
@@ -118,13 +151,21 @@ impl Mailboxes {
         let mut state = inbox.state.lock().expect("inbox poisoned");
         loop {
             if let Some(p) = state.queues[src].pop_front() {
+                state.waiter = None;
                 return Ok(p);
             }
             if !state.live[src] {
                 // Sender gone and its queue drained.
+                state.waiter = None;
                 return Err(MachineError::Disconnected { rank: src });
             }
-            state = inbox.arrived.wait(state).expect("inbox poisoned");
+            state.waiter = Some(std::thread::current());
+            drop(state);
+            // A push between the drop above and this park leaves an unpark
+            // token, so the wakeup cannot be lost; stale tokens merely cause
+            // one extra trip around the re-check loop.
+            std::thread::park();
+            state = inbox.state.lock().expect("inbox poisoned");
         }
     }
 
@@ -141,6 +182,7 @@ impl Mailboxes {
                 let src = (start + off) % p;
                 if let Some(packet) = state.queues[src].pop_front() {
                     state.next_scan = (src + 1) % p;
+                    state.waiter = None;
                     return Ok((src, packet));
                 }
             }
@@ -153,10 +195,14 @@ impl Mailboxes {
             let any_live_peer = (0..p).any(|src| src != self.rank && state.live[src]);
             if !any_live_peer {
                 if let Some(dead) = dead_peer.or((p == 1).then_some(0)) {
+                    state.waiter = None;
                     return Err(MachineError::Disconnected { rank: dead });
                 }
             }
-            state = inbox.arrived.wait(state).expect("inbox poisoned");
+            state.waiter = Some(std::thread::current());
+            drop(state);
+            std::thread::park();
+            state = inbox.state.lock().expect("inbox poisoned");
         }
     }
 
@@ -186,26 +232,59 @@ impl Mailboxes {
 impl Drop for Mailboxes {
     fn drop(&mut self) {
         // Mark this rank dead in every inbox (including our own, for
-        // completeness) and wake all blocked receivers so they can observe
+        // completeness) and wake any blocked receiver so it can observe
         // the disconnect instead of waiting forever.
-        for inbox in &self.inboxes {
+        for inbox in self.inboxes.iter() {
             if let Ok(mut state) = inbox.state.lock() {
                 state.live[self.rank] = false;
+                wake(&mut state);
             }
-            inbox.arrived.notify_all();
         }
     }
 }
 
-/// Builds the full `p × p` mesh and hands each rank its mailboxes.
+/// The persistent `p × p` inbox array. Constructing one allocates all
+/// queues; [`issue`](Mesh::issue) resets them in place and hands each rank
+/// a fresh [`Mailboxes`] view, so a pooled engine pays the allocation once
+/// per pool instead of once per run.
+pub struct Mesh {
+    inboxes: Arc<Vec<Arc<Inbox>>>,
+}
+
+impl Mesh {
+    /// Allocate a mesh for `p` ranks.
+    pub fn new(p: usize) -> Mesh {
+        Mesh {
+            inboxes: Arc::new((0..p).map(|_| Arc::new(Inbox::new(p))).collect()),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// Reset every inbox to its pristine state (empty queues, all ranks
+    /// live) and hand out one [`Mailboxes`] view per rank. The previous
+    /// run's views must have been dropped first; the reset erases the
+    /// dead-rank marks they left behind, so the new run starts from a
+    /// state indistinguishable from a freshly built mesh.
+    pub fn issue(&self) -> Vec<Mailboxes> {
+        for inbox in self.inboxes.iter() {
+            inbox.reset();
+        }
+        (0..self.inboxes.len())
+            .map(|rank| Mailboxes {
+                rank,
+                inboxes: self.inboxes.clone(),
+            })
+            .collect()
+    }
+}
+
+/// Builds a full `p × p` mesh and hands each rank its mailboxes.
 pub fn build_mesh(p: usize) -> Vec<Mailboxes> {
-    let inboxes: Vec<Arc<Inbox>> = (0..p).map(|_| Arc::new(Inbox::new(p))).collect();
-    (0..p)
-        .map(|rank| Mailboxes {
-            rank,
-            inboxes: inboxes.clone(),
-        })
-        .collect()
+    Mesh::new(p).issue()
 }
 
 #[cfg(test)]
@@ -346,5 +425,40 @@ mod tests {
         }
         sources.sort_unstable();
         assert_eq!(sources, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn mesh_issue_resets_state_between_runs() {
+        let mesh = Mesh::new(2);
+        let mut boxes = mesh.issue();
+        let m1 = boxes.pop().unwrap();
+        let m0 = boxes.pop().unwrap();
+        // Leave a packet queued and drop both views (marking ranks dead).
+        m0.push(1, packet(9u8, 1)).unwrap();
+        drop(m0);
+        drop(m1);
+        // A reissued mesh must behave like a fresh one: no residue, no
+        // dead marks.
+        let reissued = mesh.issue();
+        assert!(reissued[1].try_pop(0).unwrap().is_none());
+        reissued[0].push(1, packet(3u8, 1)).unwrap();
+        let p = reissued[1].pop(0).unwrap();
+        assert_eq!(*p.payload.downcast::<u8>().unwrap(), 3);
+    }
+
+    #[test]
+    fn parked_receiver_wakes_on_push() {
+        let mesh = Mesh::new(2);
+        let mut boxes = mesh.issue();
+        let m1 = boxes.pop().unwrap();
+        let m0 = boxes.pop().unwrap();
+        let handle = std::thread::spawn(move || {
+            let p = m1.pop(0).unwrap();
+            *p.payload.downcast::<u64>().unwrap()
+        });
+        // Give the receiver a moment to park, then wake it with a push.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        m0.push(1, packet(77u64, 1)).unwrap();
+        assert_eq!(handle.join().unwrap(), 77);
     }
 }

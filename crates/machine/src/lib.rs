@@ -57,6 +57,7 @@ pub mod clock;
 pub mod error;
 pub mod fault;
 pub mod machine;
+pub mod pool;
 pub mod profile;
 pub mod rng;
 pub mod topology;
@@ -66,7 +67,8 @@ pub use chrome::{chrome_trace, chrome_trace_json, Json};
 pub use clock::{ClockParams, ClusterParams};
 pub use error::MachineError;
 pub use fault::{FaultInjector, FaultPlan, RetryParams};
-pub use machine::{Ctx, Machine, RunResult};
+pub use machine::{Ctx, ExecEngine, Machine, RunResult};
+pub use pool::RankPool;
 pub use profile::{
     critical_path, CriticalPath, ProfileError, ProfileReport, RankProfile, StageProfile,
 };

@@ -47,12 +47,15 @@
 //! panicking. A plan that injects nothing is observationally inert: the
 //! run is bit-identical to a plain one.
 
-use std::sync::{Arc, Condvar, Mutex};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-use crate::channel::{build_mesh, Mailboxes, Packet};
+use crate::channel::{build_mesh, Mailboxes, Mesh, Packet};
 use crate::clock::{ClockParams, SimClock};
 use crate::error::MachineError;
 use crate::fault::{FaultInjector, FaultPlan};
+use crate::pool::RankPool;
 use crate::trace::{EventKind, Trace};
 
 /// Clock-aware barrier: all ranks leave with their clocks advanced to the
@@ -137,6 +140,17 @@ impl ClockBarrier {
         }
         drop(s);
         self.cv.notify_all();
+    }
+
+    /// Restore the freshly constructed state. Only called between runs,
+    /// when no rank can be waiting, so no wakeup is needed.
+    fn reset(&self) {
+        let mut s = self.state.lock().expect("barrier lock poisoned");
+        s.arrived = 0;
+        s.generation = 0;
+        s.max_time = 0.0;
+        s.release_time = 0.0;
+        s.aborted = None;
     }
 }
 
@@ -595,6 +609,48 @@ enum RankOutcome<T> {
     Panicked(Box<dyn std::any::Any + Send>),
 }
 
+/// How [`Machine::run`] maps ranks onto OS threads.
+///
+/// Both engines execute the identical per-rank body against the identical
+/// channel/clock/barrier machinery, and the simulated clock travels with
+/// the data, so every observable output — results, makespans, traces,
+/// retry counters — is bit-identical between them. The difference is pure
+/// host-side overhead: `Legacy` spawns and joins `p` fresh threads per
+/// run, `Pooled` dispatches to a persistent per-thread worker pool with
+/// reusable mesh and barrier (roughly an order of magnitude cheaper for
+/// the short runs a sweep is made of).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecEngine {
+    /// Persistent rank pool, reused mesh/barrier (default).
+    Pooled,
+    /// Spawn `p` fresh scoped threads per run (the historical engine).
+    Legacy,
+}
+
+/// Process-wide default engine: `Pooled`, unless overridden once via the
+/// `COLLOPT_ENGINE` environment variable (`legacy` or `pooled`).
+fn default_engine() -> ExecEngine {
+    static DEFAULT: OnceLock<ExecEngine> = OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("COLLOPT_ENGINE").as_deref() {
+        Ok("legacy") => ExecEngine::Legacy,
+        _ => ExecEngine::Pooled,
+    })
+}
+
+/// The per-host-thread persistent substrate for one machine size: parked
+/// rank workers plus the reusable mesh and barrier they run against.
+/// Caching per calling thread (rather than globally) keeps concurrent
+/// sweep workers from serializing on a shared pool.
+struct Engine {
+    pool: RankPool,
+    mesh: Mesh,
+    barrier: Arc<ClockBarrier>,
+}
+
+thread_local! {
+    static ENGINES: RefCell<HashMap<usize, Engine>> = RefCell::new(HashMap::new());
+}
+
 /// A virtual machine of `p` fully connected processors.
 #[derive(Debug, Clone)]
 pub struct Machine {
@@ -602,6 +658,7 @@ pub struct Machine {
     params: ClockParams,
     tracing: bool,
     faults: Option<Arc<FaultPlan>>,
+    engine: Option<ExecEngine>,
 }
 
 impl Machine {
@@ -613,12 +670,20 @@ impl Machine {
             params,
             tracing: false,
             faults: None,
+            engine: None,
         }
     }
 
     /// Enable event tracing for subsequent runs.
     pub fn with_tracing(mut self) -> Self {
         self.tracing = true;
+        self
+    }
+
+    /// Pin the execution engine for this machine, overriding the process
+    /// default (see [`ExecEngine`]; observable behaviour is identical).
+    pub fn with_engine(mut self, engine: ExecEngine) -> Self {
+        self.engine = Some(engine);
         self
     }
 
@@ -643,6 +708,11 @@ impl Machine {
     /// The attached fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_deref()
+    }
+
+    /// The engine runs will use: the pinned one, else the process default.
+    pub fn engine(&self) -> ExecEngine {
+        self.engine.unwrap_or_else(default_engine)
     }
 
     /// Run one SPMD program: `f` executes once per rank, concurrently.
@@ -679,132 +749,218 @@ impl Machine {
         if self.faults.is_some() {
             install_quiet_fault_hook();
         }
+        let outcomes = match self.engine() {
+            ExecEngine::Pooled => self.run_ranks_pooled(&f),
+            ExecEngine::Legacy => self.run_ranks_spawned(&f),
+        };
+        collect_outcomes(self.p, outcomes)
+    }
+
+    /// Historical engine: `p` fresh scoped threads per run. Immutable run
+    /// configuration (fault plan, params) is shared by reference into the
+    /// scope — no per-rank deep clones.
+    fn run_ranks_spawned<T, F>(&self, f: &F) -> Vec<RankOutcome<T>>
+    where
+        T: Send,
+        F: Fn(&mut Ctx) -> T + Sync,
+    {
         let mesh = build_mesh(self.p);
         let barrier = Arc::new(ClockBarrier::new(self.p));
         let tracing = self.tracing;
         let params = self.params;
-        let plan = self.faults.clone();
+        let plan = self.faults.as_ref();
         let p = self.p;
 
-        let mut outcomes: Vec<Option<RankOutcome<T>>> = Vec::with_capacity(p);
-        outcomes.resize_with(p, || None);
-
+        let mut outcomes = Vec::with_capacity(p);
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(p);
-            for mailboxes in mesh {
-                let barrier = barrier.clone();
-                let plan = plan.clone();
-                let f = &f;
-                handles.push(scope.spawn(move || {
-                    let rank = mailboxes.rank();
-                    let mut ctx = Ctx {
-                        mailboxes,
-                        clock: SimClock::new_for_rank(params, rank),
-                        trace: if tracing {
-                            Trace::enabled()
-                        } else {
-                            Trace::disabled()
-                        },
-                        barrier: barrier.clone(),
-                        injector: plan.map(|pl| FaultInjector::new(pl, rank, p)),
-                    };
-                    let caught =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
-                    match caught {
-                        Ok(out) => {
-                            let (clock, trace) = ctx.into_parts();
-                            RankOutcome::Done(out, clock, trace)
-                        }
-                        Err(payload) => {
-                            // Unblock peers: abort the barrier first, then
-                            // drop the mailboxes (disconnect cascade).
-                            let (error, outcome) = match payload.downcast::<FaultAbort>() {
-                                Ok(fa) => {
-                                    (fa.error.clone(), RankOutcome::Faulted(fa.error, fa.origin))
-                                }
-                                Err(other) => (
-                                    MachineError::Disconnected { rank },
-                                    RankOutcome::Panicked(other),
-                                ),
-                            };
-                            barrier.abort(error);
-                            drop(ctx);
-                            outcome
-                        }
-                    }
-                }));
-            }
-            for (rank, h) in handles.into_iter().enumerate() {
-                outcomes[rank] = Some(match h.join() {
+            let handles: Vec<_> = mesh
+                .into_iter()
+                .map(|mailboxes| {
+                    let barrier = &barrier;
+                    scope.spawn(move || rank_body(mailboxes, barrier, params, tracing, plan, p, f))
+                })
+                .collect();
+            for h in handles {
+                outcomes.push(match h.join() {
                     Ok(outcome) => outcome,
                     Err(payload) => RankOutcome::Panicked(payload),
                 });
             }
         });
+        outcomes
+    }
 
-        // Decide the run's fate. A genuine panic outranks everything
-        // (programming errors must not be masked by injected faults); then
-        // the originating fault (lowest rank); then any derived fault.
-        let mut origin_error = None;
-        let mut derived_error = None;
-        for outcome in outcomes.iter().flatten() {
-            match outcome {
-                RankOutcome::Panicked(_) => {}
-                RankOutcome::Faulted(e, true) if origin_error.is_none() => {
-                    origin_error = Some(e.clone());
-                }
-                RankOutcome::Faulted(e, _) if derived_error.is_none() => {
-                    derived_error = Some(e.clone());
-                }
-                _ => {}
-            }
-        }
-        for outcome in outcomes.iter_mut().flatten() {
-            if let RankOutcome::Panicked(_) = outcome {
-                let RankOutcome::Panicked(payload) = std::mem::replace(
-                    outcome,
-                    RankOutcome::Faulted(MachineError::EmptyMachine, false),
-                ) else {
-                    unreachable!()
-                };
-                std::panic::resume_unwind(payload);
-            }
-        }
-        if let Some(e) = origin_error.or(derived_error) {
-            return Err(e);
-        }
-
-        let mut results = Vec::with_capacity(p);
-        let mut finish_times = Vec::with_capacity(p);
-        let mut compute_ops = Vec::with_capacity(p);
-        let mut messages = Vec::with_capacity(p);
-        let mut retries = Vec::with_capacity(p);
-        let mut retry_time = Vec::with_capacity(p);
-        let mut trace = Trace::enabled();
-        for outcome in outcomes {
-            let Some(RankOutcome::Done(out, clock, t)) = outcome else {
-                unreachable!("non-Done outcomes were handled above");
-            };
-            results.push(out);
-            finish_times.push(clock.now());
-            compute_ops.push(clock.compute_ops());
-            messages.push(clock.messages());
-            retries.push(clock.retries());
-            retry_time.push(clock.retry_time());
-            trace.merge(t);
-        }
-        let makespan = finish_times.iter().cloned().fold(0.0, f64::max);
-        Ok(RunResult {
-            results,
-            makespan,
-            finish_times,
-            compute_ops,
-            messages,
-            retries,
-            retry_time,
-            trace,
+    /// Pooled engine: dispatch the run to this host thread's persistent
+    /// workers, resetting the cached mesh and barrier in place. Observable
+    /// behaviour is identical to the spawn engine — the rank body, channel
+    /// semantics and clock are shared — only the host-side setup differs.
+    fn run_ranks_pooled<T, F>(&self, f: &F) -> Vec<RankOutcome<T>>
+    where
+        T: Send,
+        F: Fn(&mut Ctx) -> T + Sync,
+    {
+        let tracing = self.tracing;
+        let params = self.params;
+        let plan = self.faults.as_ref();
+        let p = self.p;
+        ENGINES.with(|cell| {
+            let mut engines = cell.borrow_mut();
+            let engine = engines.entry(p).or_insert_with(|| Engine {
+                pool: RankPool::new(p),
+                mesh: Mesh::new(p),
+                barrier: Arc::new(ClockBarrier::new(p)),
+            });
+            engine.barrier.reset();
+            let handout: Vec<Mutex<Option<Mailboxes>>> = engine
+                .mesh
+                .issue()
+                .into_iter()
+                .map(|m| Mutex::new(Some(m)))
+                .collect();
+            let slots: Vec<Mutex<Option<RankOutcome<T>>>> =
+                (0..p).map(|_| Mutex::new(None)).collect();
+            let barrier = &engine.barrier;
+            engine.pool.run_on(&|rank| {
+                let mailboxes = handout[rank]
+                    .lock()
+                    .expect("mailbox cell poisoned")
+                    .take()
+                    .expect("mailbox taken twice");
+                let outcome = rank_body(mailboxes, barrier, params, tracing, plan, p, f);
+                *slots[rank].lock().expect("outcome slot poisoned") = Some(outcome);
+            });
+            slots
+                .into_iter()
+                .map(|s| {
+                    s.into_inner()
+                        .expect("outcome slot poisoned")
+                        .expect("worker finished without an outcome")
+                })
+                .collect()
         })
     }
+}
+
+/// The SPMD body of one rank — identical for every engine. Builds the
+/// rank's context, runs the user closure under `catch_unwind`, and turns
+/// an unwind into a [`RankOutcome`] after unblocking peers (barrier abort
+/// first, then the mailbox-drop disconnect cascade).
+fn rank_body<T, F>(
+    mailboxes: Mailboxes,
+    barrier: &Arc<ClockBarrier>,
+    params: ClockParams,
+    tracing: bool,
+    plan: Option<&Arc<FaultPlan>>,
+    p: usize,
+    f: &F,
+) -> RankOutcome<T>
+where
+    T: Send,
+    F: Fn(&mut Ctx) -> T + Sync,
+{
+    let rank = mailboxes.rank();
+    let mut ctx = Ctx {
+        mailboxes,
+        clock: SimClock::new_for_rank(params, rank),
+        trace: if tracing {
+            Trace::enabled()
+        } else {
+            Trace::disabled()
+        },
+        barrier: barrier.clone(),
+        injector: plan.map(|pl| FaultInjector::new(pl.clone(), rank, p)),
+    };
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
+    match caught {
+        Ok(out) => {
+            let (clock, trace) = ctx.into_parts();
+            RankOutcome::Done(out, clock, trace)
+        }
+        Err(payload) => {
+            // Unblock peers: abort the barrier first, then drop the
+            // mailboxes (disconnect cascade).
+            let (error, outcome) = match payload.downcast::<FaultAbort>() {
+                Ok(fa) => (fa.error.clone(), RankOutcome::Faulted(fa.error, fa.origin)),
+                Err(other) => (
+                    MachineError::Disconnected { rank },
+                    RankOutcome::Panicked(other),
+                ),
+            };
+            barrier.abort(error);
+            drop(ctx);
+            outcome
+        }
+    }
+}
+
+/// Triage per-rank outcomes and assemble the [`RunResult`], identically
+/// for every engine. A genuine panic outranks everything (programming
+/// errors must not be masked by injected faults); then the originating
+/// fault (lowest rank); then any derived fault.
+fn collect_outcomes<T>(
+    p: usize,
+    mut outcomes: Vec<RankOutcome<T>>,
+) -> Result<RunResult<T>, MachineError> {
+    let mut origin_error = None;
+    let mut derived_error = None;
+    for outcome in &outcomes {
+        match outcome {
+            RankOutcome::Panicked(_) => {}
+            RankOutcome::Faulted(e, true) if origin_error.is_none() => {
+                origin_error = Some(e.clone());
+            }
+            RankOutcome::Faulted(e, _) if derived_error.is_none() => {
+                derived_error = Some(e.clone());
+            }
+            _ => {}
+        }
+    }
+    for outcome in &mut outcomes {
+        if let RankOutcome::Panicked(_) = outcome {
+            let RankOutcome::Panicked(payload) = std::mem::replace(
+                outcome,
+                RankOutcome::Faulted(MachineError::EmptyMachine, false),
+            ) else {
+                unreachable!()
+            };
+            std::panic::resume_unwind(payload);
+        }
+    }
+    if let Some(e) = origin_error.or(derived_error) {
+        return Err(e);
+    }
+
+    let mut results = Vec::with_capacity(p);
+    let mut finish_times = Vec::with_capacity(p);
+    let mut compute_ops = Vec::with_capacity(p);
+    let mut messages = Vec::with_capacity(p);
+    let mut retries = Vec::with_capacity(p);
+    let mut retry_time = Vec::with_capacity(p);
+    let mut traces = Vec::with_capacity(p);
+    for outcome in outcomes {
+        let RankOutcome::Done(out, clock, t) = outcome else {
+            unreachable!("non-Done outcomes were handled above");
+        };
+        results.push(out);
+        finish_times.push(clock.now());
+        compute_ops.push(clock.compute_ops());
+        messages.push(clock.messages());
+        retries.push(clock.retries());
+        retry_time.push(clock.retry_time());
+        traces.push(t);
+    }
+    let trace = Trace::merge_many(traces);
+    let makespan = finish_times.iter().cloned().fold(0.0, f64::max);
+    Ok(RunResult {
+        results,
+        makespan,
+        finish_times,
+        compute_ops,
+        messages,
+        retries,
+        retry_time,
+        trace,
+    })
 }
 
 #[cfg(test)]
@@ -1103,7 +1259,6 @@ mod tests {
         let m = Machine::new(4, ClockParams::new(10.0, 1.0));
         let clean = m.run(chatty);
         let slow = m
-            .clone()
             .with_faults(FaultPlan::new(0).with_straggler(2, 5.0))
             .try_run(chatty)
             .expect("delay-only plan cannot fail");
@@ -1127,7 +1282,6 @@ mod tests {
         let m = Machine::new(3, ClockParams::new(10.0, 1.0));
         let clean = m.run(prog);
         let faulted = m
-            .clone()
             .with_faults(FaultPlan::new(0).with_slow_link(0, 1, 2.0, 3.0))
             .try_run(prog)
             .expect("delay-only plan cannot fail");
@@ -1147,11 +1301,7 @@ mod tests {
         let plan = FaultPlan::new(0)
             .with_drop_exact(0, 1, 0, 2)
             .with_retry(4, 7.0);
-        let lossy = m
-            .clone()
-            .with_faults(plan)
-            .try_run(chatty)
-            .expect("recoverable");
+        let lossy = m.with_faults(plan).try_run(chatty).expect("recoverable");
         assert_eq!(clean.results, lossy.results, "payloads must be untouched");
         assert_eq!(lossy.retries[0], 2);
         assert_eq!(lossy.retry_time[0], 2.0 * (12.0 + 7.0));
@@ -1172,7 +1322,6 @@ mod tests {
             .with_drop_exact(0, 1, 0, 10)
             .with_retry(3, 5.0);
         let err = m
-            .clone()
             .with_faults(plan)
             .try_run(chatty)
             .expect_err("the message can never get through");
@@ -1246,7 +1395,7 @@ mod tests {
             .with_slow_link(0, 4, 1.5, 10.0)
             .with_drops(0.2, 2);
         let a = m.clone().with_faults(plan.clone()).try_run(chatty);
-        let b = m.clone().with_faults(plan).try_run(chatty);
+        let b = m.with_faults(plan).try_run(chatty);
         match (a, b) {
             (Ok(x), Ok(y)) => {
                 assert_eq!(x.results, y.results);

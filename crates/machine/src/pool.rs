@@ -1,0 +1,276 @@
+//! A persistent pool of rank workers.
+//!
+//! Spawning and joining `p` OS threads costs two orders of magnitude more
+//! than dispatching a job to `p` already-parked workers (measured ~119µs
+//! vs ~9µs for `p = 6` on a stock Linux box), and a sweep runs thousands
+//! of short simulations. A [`RankPool`] therefore keeps one long-lived
+//! thread per rank; each [`run_on`](RankPool::run_on) call publishes a
+//! job, bumps an epoch, unparks every worker, and blocks until all of
+//! them report completion.
+//!
+//! The dispatch path is lock-free: the job is published through an
+//! `AtomicPtr` to a submitter-stack cell, the epoch bump (release) makes
+//! it visible to workers (acquire), and wake-ups are targeted
+//! `Thread::unpark` calls instead of a condvar broadcast — a broadcast
+//! makes every woken worker re-acquire the state mutex in turn, which on
+//! a loaded host serializes the very hand-off the pool exists to speed
+//! up. Park/unpark's token semantics make the obvious race benign: an
+//! unpark delivered before the target parks just makes the next park
+//! return immediately, and both wait loops re-check their condition.
+//!
+//! The job is passed as a raw pointer to a caller-owned closure. This is
+//! the one `unsafe` trick in the crate, and it is sound for a simple
+//! reason: `run_on` does not return until `remaining == 0`, i.e. until
+//! every worker has finished executing the closure, so the borrow the
+//! pointer was derived from strictly outlives every dereference.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{JoinHandle, Thread};
+
+/// Type-erased, lifetime-erased pointer to the current job closure,
+/// published on the submitter's stack for the duration of one dispatch.
+struct JobCell {
+    f: *const (dyn Fn(usize) + Sync + 'static),
+}
+
+struct PoolShared {
+    /// Bumped (release) once per job, strictly after the job pointer and
+    /// `remaining` are published; workers detect work by acquire-loading
+    /// it, which makes those writes visible.
+    epoch: AtomicU64,
+    /// Thin pointer to the submitter's [`JobCell`]; valid exactly while
+    /// `run_on` blocks.
+    job: AtomicPtr<JobCell>,
+    /// Workers still executing the current job.
+    remaining: AtomicUsize,
+    shutdown: AtomicBool,
+    /// The thread blocked in `run_on`, unparked by the last finisher.
+    submitter: Mutex<Option<Thread>>,
+    /// First panic payload that escaped the job closure, re-raised by the
+    /// submitter once every worker is idle again.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// A persistent pool driving `p` ranks: rank 0 runs *inline on the
+/// submitter thread* (it is about to block waiting for the result
+/// anyway), ranks `1..p` run on parked worker threads. Running rank 0
+/// in place saves one wake-up/park round-trip per dispatch — measurable
+/// when a sweep runs thousands of sub-100µs simulations — and makes
+/// `p = 1` runs entirely thread-free.
+pub struct RankPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Unpark handles for ranks `1..p`.
+    handles: Vec<Thread>,
+    p: usize,
+}
+
+impl RankPool {
+    /// Build a pool for `p ≥ 1` ranks: `p - 1` workers are spawned and
+    /// park immediately; rank 0 needs no thread.
+    pub fn new(p: usize) -> RankPool {
+        assert!(p >= 1, "a rank pool needs at least one rank");
+        let shared = Arc::new(PoolShared {
+            epoch: AtomicU64::new(0),
+            job: AtomicPtr::new(std::ptr::null_mut()),
+            remaining: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            submitter: Mutex::new(None),
+            panic: Mutex::new(None),
+        });
+        let workers: Vec<JoinHandle<()>> = (1..p)
+            .map(|rank| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .spawn(move || worker_loop(&shared, rank))
+                    .expect("failed to spawn rank worker")
+            })
+            .collect();
+        let handles = workers.iter().map(|w| w.thread().clone()).collect();
+        RankPool {
+            shared,
+            workers,
+            handles,
+            p,
+        }
+    }
+
+    /// Number of ranks (rank 0 inline plus `size() - 1` workers).
+    pub fn size(&self) -> usize {
+        self.p
+    }
+
+    /// Execute `f(rank)` on every rank concurrently — rank 0 on the
+    /// calling thread, the rest on the parked workers; blocks until all
+    /// have finished. If the closure panicked on any rank, the first
+    /// stashed payload is re-raised here (after all ranks are idle),
+    /// matching the join-then-resume behaviour of the spawn-per-run
+    /// engine.
+    pub fn run_on(&self, f: &(dyn Fn(usize) + Sync)) {
+        if self.p == 1 {
+            // Single rank: no dispatch machinery at all.
+            f(0);
+            return;
+        }
+        // Erase the closure's lifetime. SAFETY: we block below until every
+        // worker has decremented `remaining`, so no worker can touch the
+        // pointer after this call returns.
+        let cell = JobCell {
+            f: unsafe {
+                std::mem::transmute::<
+                    *const (dyn Fn(usize) + Sync),
+                    *const (dyn Fn(usize) + Sync + 'static),
+                >(f)
+            },
+        };
+        debug_assert_eq!(
+            self.shared.remaining.load(Ordering::Acquire),
+            0,
+            "run_on is not reentrant"
+        );
+        *self.shared.submitter.lock().expect("pool lock poisoned") = Some(std::thread::current());
+        self.shared
+            .job
+            .store(&cell as *const JobCell as *mut JobCell, Ordering::Relaxed);
+        self.shared.remaining.store(self.p - 1, Ordering::Relaxed);
+        // The release bump publishes the two stores above.
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        for t in &self.handles {
+            t.unpark();
+        }
+
+        // Rank 0 runs here while the workers run ranks 1..p.
+        let own = std::panic::catch_unwind(AssertUnwindSafe(|| f(0)));
+
+        while self.shared.remaining.load(Ordering::Acquire) != 0 {
+            std::thread::park();
+        }
+        self.shared
+            .job
+            .store(std::ptr::null_mut(), Ordering::Relaxed);
+        let mut stash = self.shared.panic.lock().expect("pool lock poisoned");
+        if let Err(payload) = own {
+            stash.get_or_insert(payload);
+        }
+        let payload = stash.take();
+        drop(stash);
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for RankPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for t in &self.handles {
+            t.unpark();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, rank: usize) {
+    let mut last_epoch = 0u64;
+    loop {
+        // Wait for a new epoch. A stale unpark token (or one delivered
+        // by a channel wake-up during the previous job) only makes one
+        // park return early; the loop re-checks.
+        loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let epoch = shared.epoch.load(Ordering::Acquire);
+            if epoch != last_epoch {
+                last_epoch = epoch;
+                break;
+            }
+            std::thread::park();
+        }
+        // SAFETY: the acquire epoch load above synchronizes with the
+        // release bump in `run_on`, so the job pointer is visible, and
+        // `run_on` keeps the closure alive until `remaining` reaches
+        // zero, which happens strictly after this call returns.
+        let cell = shared.job.load(Ordering::Relaxed);
+        let f = unsafe { &*(*cell).f };
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| f(rank)));
+        if let Err(payload) = caught {
+            shared
+                .panic
+                .lock()
+                .expect("pool lock poisoned")
+                .get_or_insert(payload);
+        }
+        if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let submitter = shared.submitter.lock().expect("pool lock poisoned");
+            if let Some(t) = submitter.as_ref() {
+                t.unpark();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_ranks_run_each_job() {
+        let pool = RankPool::new(4);
+        let hits = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.run_on(&|_rank| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn ranks_receive_their_own_index() {
+        let pool = RankPool::new(6);
+        let seen: Vec<AtomicUsize> = (0..6).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_on(&|rank| {
+            seen[rank].fetch_add(rank + 1, Ordering::Relaxed);
+        });
+        for (i, s) in seen.iter().enumerate() {
+            assert_eq!(s.load(Ordering::Relaxed), i + 1);
+        }
+    }
+
+    #[test]
+    fn jobs_can_borrow_caller_state() {
+        let pool = RankPool::new(3);
+        let local = [10usize, 20, 30];
+        let sum = AtomicUsize::new(0);
+        pool.run_on(&|rank| {
+            sum.fetch_add(local[rank], Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 60);
+    }
+
+    #[test]
+    fn panic_in_job_is_resumed_on_submitter() {
+        let pool = RankPool::new(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_on(&|rank| {
+                if rank == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        // The pool must still be usable afterwards.
+        let hits = AtomicUsize::new(0);
+        pool.run_on(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+}

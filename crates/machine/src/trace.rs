@@ -206,6 +206,28 @@ impl Trace {
         });
     }
 
+    /// Merge many traces (one per rank) with a single sort: concatenate
+    /// in order, then sort stably by completion time once. Byte-identical
+    /// to folding [`merge`](Self::merge) over the traces in the same
+    /// order — a stable sort keeps equal-keyed events in concatenation
+    /// order, and re-sorting an already sorted prefix plus a suffix
+    /// reduces to exactly that — but avoids re-sorting `p` times per run.
+    pub fn merge_many(traces: impl IntoIterator<Item = Trace>) -> Trace {
+        let mut events = Vec::new();
+        for t in traces {
+            events.extend(t.events);
+        }
+        events.sort_by(|a, b| {
+            a.time
+                .partial_cmp(&b.time)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Trace {
+            events,
+            enabled: true,
+        }
+    }
+
     /// Renders a compact ASCII timeline: one row per rank, one column per
     /// distinct event time, `*` where the rank acted. A lightweight
     /// regeneration of the paper's Figure 1 style run-time diagrams.

@@ -73,7 +73,7 @@ fn main() {
         .optimize(&prog)
         .program;
     let input: Vec<Value> = (0..p)
-        .map(|r| Value::List(vec![Value::Int(r as i64); mw]))
+        .map(|r| Value::list(vec![Value::Int(r as i64); mw]))
         .collect();
     let fixed = execute(&opt, &input, clock);
     let adaptive = execute_with(

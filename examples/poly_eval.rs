@@ -51,8 +51,8 @@ fn main() {
 
     // Distributed input: processor 0 holds the point block, the rest don't
     // care (the paper's `[ys, _, …, _]`).
-    let mut input = vec![Value::List(vec![Value::Float(0.0); m]); n];
-    input[0] = Value::List(points.iter().map(|&y| Value::Float(y)).collect());
+    let mut input = vec![Value::list(vec![Value::Float(0.0); m]); n];
+    input[0] = Value::list(points.iter().map(|&y| Value::Float(y)).collect());
 
     // PolyEval_1 = bcast ; scan(×) ; map2(×) as ; reduce(+).
     let cs = Arc::new(coeffs.clone());

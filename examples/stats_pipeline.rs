@@ -26,7 +26,7 @@ fn main() {
     // Synthetic sensor data: processor i, slot j holds a small signed delta.
     let input: Vec<Value> = (0..p)
         .map(|i| {
-            Value::List(
+            Value::list(
                 (0..m)
                     .map(|j| Value::Int(((i * 7 + j * 3) % 11) as i64 - 5))
                     .collect(),

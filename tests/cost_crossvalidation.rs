@@ -41,7 +41,7 @@ fn rhs(rule: Rule) -> Program {
 /// we only care about timing here, overflow-free.
 fn block_input(p: usize, m: usize) -> Vec<Value> {
     (0..p)
-        .map(|_| Value::List(vec![Value::Int(1); m]))
+        .map(|_| Value::list(vec![Value::Int(1); m]))
         .collect()
 }
 

@@ -11,7 +11,7 @@ use collopt::prelude::*;
 
 fn block_input(p: usize, m: usize) -> Vec<Value> {
     (0..p)
-        .map(|_| Value::List(vec![Value::Int(1); m]))
+        .map(|_| Value::list(vec![Value::Int(1); m]))
         .collect()
 }
 

@@ -17,11 +17,12 @@ use collopt::core::exec::{execute_faulted, execute_faulted_traced, ExecConfig};
 use collopt::core::semantics::eval_program;
 use collopt::machine::{FaultPlan, Rng};
 use collopt::prelude::*;
+use collopt_bench::sweep_driver::par_map;
 use collopt_bench::{rule_lhs, rule_rhs, varied_input};
 
 fn block_input(p: usize, m: usize) -> Vec<Value> {
     (0..p)
-        .map(|_| Value::List(vec![Value::Int(1); m]))
+        .map(|_| Value::list(vec![Value::Int(1); m]))
         .collect()
 }
 
@@ -140,7 +141,8 @@ fn rule_equivalence_survives_heterogeneous_link_latencies() {
     // speed. (Rank-0 collectives only pin rank 0's value, so rank 0 is
     // the cross-side comparison; full outputs are pinned per side against
     // that side's uniform-latency run.)
-    for seed in 0..6u64 {
+    // Each seed is an independent simulation point — fan out across cores.
+    par_map((0..6u64).collect(), |seed| {
         let p = 2 + (seed as usize % 6);
         let plan = link_matrix_plan(seed, p);
         let inputs = varied_input(p, 4, seed);
@@ -161,7 +163,7 @@ fn rule_equivalence_survives_heterogeneous_link_latencies() {
             }
             assert_eq!(rank0[0], rank0[1], "{tag}: sides disagree at rank 0");
         }
-    }
+    });
 }
 
 #[test]
@@ -169,7 +171,7 @@ fn critical_path_stays_exact_under_heterogeneous_link_latencies() {
     // The critical-path pass rebuilds the makespan backwards from the
     // trace alone; link-level delays must leave that reconstruction
     // exact — equal to the clock's forward makespan to the bit.
-    for seed in [3u64, 17, 40] {
+    par_map(vec![3u64, 17, 40], |seed| {
         let p = 3 + (seed as usize % 5);
         let plan = link_matrix_plan(seed, p);
         let inputs = varied_input(p, 4, seed);
@@ -188,5 +190,5 @@ fn critical_path_stays_exact_under_heterogeneous_link_latencies() {
                 );
             }
         }
-    }
+    });
 }

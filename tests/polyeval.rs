@@ -32,8 +32,8 @@ fn reference(coeffs: &[f64], ys: &[f64]) -> Vec<f64> {
 }
 
 fn points_input(n: usize, ys: &[f64]) -> Vec<Value> {
-    let mut input = vec![Value::List(vec![Value::Float(0.0); ys.len()]); n];
-    input[0] = Value::List(ys.iter().map(|&y| Value::Float(y)).collect());
+    let mut input = vec![Value::list(vec![Value::Float(0.0); ys.len()]); n];
+    input[0] = Value::list(ys.iter().map(|&y| Value::Float(y)).collect());
     input
 }
 

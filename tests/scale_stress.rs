@@ -23,7 +23,7 @@ fn sixty_four_processors_full_pipeline() {
         .bcast();
     let input: Vec<Value> = (0..p)
         .map(|i| {
-            Value::List(
+            Value::list(
                 (0..m)
                     .map(|j| Value::Int(((i * 31 + j) % 13) as i64 - 6))
                     .collect(),
