@@ -1,0 +1,36 @@
+//! # collopt-analysis — static soundness analysis for collective pipelines
+//!
+//! The rewrite engine of [`collopt_core`] applies the paper's eleven
+//! fusion rules on the strength of *declared* operator properties
+//! (associativity, commutativity, distributivity). Declarations can lie
+//! in both directions: an **over-claim** makes the engine apply a wrong
+//! rule (silent wrong answers), an **under-claim** makes it skip a legal
+//! fusion (silent slow answers). This crate is the correctness tooling
+//! around that trust boundary — three passes, no external dependencies:
+//!
+//! * [`audit`] — verify every declared property by exhaustive
+//!   small-domain enumeration plus seeded randomized search, shrinking
+//!   counterexamples to minimal witnesses; float operators are classified
+//!   tolerance-approximate rather than exact.
+//! * [`certify`] — re-validate the precondition [`Certificate`]s the
+//!   engine attaches to every applied rewrite, structurally (does the
+//!   certificate carry the law kinds the rule demands?) and semantically
+//!   (do the laws actually hold?).
+//! * [`lint`] — analyze whole pipelines for missed fusions, unsound
+//!   declarations, cost regressions, and redundant collectives, emitting
+//!   structured diagnostics (`COL001`..`COL006`) with byte spans, a human
+//!   caret renderer, and byte-stable JSON. Surfaced on the command line
+//!   as `collopt lint`.
+//!
+//! [`Certificate`]: collopt_core::rewrite::Certificate
+
+pub mod audit;
+pub mod certify;
+pub mod lint;
+
+pub use audit::{
+    audit_builtin_table, audit_operator, builtin_table, domain_of_builtin, samples_for_domain,
+    AuditConfig, Domain, Exactness, OpAudit, OverClaim, UnderClaim,
+};
+pub use certify::{required_kinds, validate_result, validate_step, CertificateIssue};
+pub use lint::{lint_program, lint_source, Diagnostic, LintConfig, LintReport, Severity};

@@ -1,0 +1,90 @@
+//! The auditor over the built-in operator table (satellite audit).
+//!
+//! Every operator the parser can name is audited against its declarations,
+//! with distributivity probed against every same-domain peer. The verdict
+//! is pinned:
+//!
+//! * **zero over-claims** — no built-in declares a law it does not have.
+//!   This is the soundness bar: an over-claim here means the engine
+//!   mis-optimizes real pipelines.
+//! * the surviving under-claims are **exactly** the documented benign set.
+//!   The audit run that produced this list also found the `(max, min)`
+//!   lattice distributivity genuinely missing — that one is now declared
+//!   in `collopt_core::op::lib` (and exercised by the rule × operator
+//!   matrix); what remains is intentionally undeclared:
+//!
+//!   - *self-distributivity of idempotent operators* (`max`, `min`,
+//!     `gcd`, `and`, `or`, `maxloc`, `minloc` over themselves): true, but
+//!     declaring it enables no new fusion — every same-operator window
+//!     already fuses via the commutative rule variants, which are cheaper
+//!     to certify.
+//!   - *`add` over `max`/`min`*: true on the bounded audit domain but
+//!     unsound at the edges of machine arithmetic (`wrapping_add` breaks
+//!     monotonicity at overflow). The tropical semiring operator
+//!     (`maxplus` in the parser) carries these declarations as the
+//!     explicit opt-in.
+
+use collopt_analysis::{audit_builtin_table, AuditConfig, Exactness};
+
+#[test]
+fn builtin_table_has_no_over_claims() {
+    for audit in audit_builtin_table(&AuditConfig::default()) {
+        assert!(
+            audit.is_sound(),
+            "{} over-claims: {:#?}",
+            audit.op,
+            audit.over_claims
+        );
+        assert!(
+            !audit.verified.is_empty(),
+            "{}: nothing verified — audit ran vacuously",
+            audit.op
+        );
+    }
+}
+
+#[test]
+fn remaining_under_claims_are_exactly_the_documented_benign_set() {
+    let mut found: Vec<String> = audit_builtin_table(&AuditConfig::default())
+        .iter()
+        .flat_map(|a| a.under_claims.iter().map(|u| u.law.clone()))
+        .collect();
+    found.sort();
+    found.dedup();
+    let expected = [
+        "add distributes over max",
+        "add distributes over min",
+        "and distributes over and",
+        "gcd distributes over gcd",
+        "max distributes over max",
+        "maxloc distributes over maxloc",
+        "min distributes over min",
+        "minloc distributes over minloc",
+        "or distributes over or",
+    ];
+    assert_eq!(found, expected, "under-claim set drifted — re-triage");
+}
+
+#[test]
+fn lattice_distributivity_is_now_declared_and_verifies() {
+    // The fix the audit motivated: max/min mutually distribute, and the
+    // declarations verify (they show up as `verified`, not under-claims).
+    let audits = audit_builtin_table(&AuditConfig::default());
+    for (op, peer) in [("max", "min"), ("min", "max")] {
+        let audit = audits.iter().find(|a| a.op == op).unwrap();
+        let law = format!("{op} distributes over {peer}");
+        assert!(audit.verified.contains(&law), "{op}: {:?}", audit.verified);
+    }
+}
+
+#[test]
+fn float_operators_audit_approximately() {
+    for audit in audit_builtin_table(&AuditConfig::default()) {
+        let expect = if audit.op.starts_with('f') {
+            Exactness::Approximate
+        } else {
+            Exactness::Exact
+        };
+        assert_eq!(audit.exactness, expect, "{}", audit.op);
+    }
+}

@@ -71,8 +71,11 @@ pub use exec::{
     execute, execute_profiled, execute_traced, execute_traced_with, execute_with, ExecConfig,
     ExecOutcome, TracedExecOutcome,
 };
-pub use op::BinOp;
-pub use rewrite::{program_cost, OptimizeResult, Rewriter};
+pub use op::{BinOp, Counterexample, RequiredLaw, FLOAT_RTOL};
+pub use rewrite::{
+    program_cost, Certificate, OptimizeResult, RewriteStep, Rewriter, RuleRejection, Witness,
+    RULE_PRIORITY,
+};
 pub use rules::Rule;
 pub use term::{Program, Stage};
 pub use value::Value;

@@ -131,30 +131,16 @@ impl BinOp {
     /// Randomized associativity check over the given sample values:
     /// verifies `(a⊕b)⊕c = a⊕(b⊕c)` for all triples.
     pub fn check_associative(&self, samples: &[Value]) -> bool {
-        for a in samples {
-            for b in samples {
-                for c in samples {
-                    let left = self.apply(&self.apply(a, b), c);
-                    let right = self.apply(a, &self.apply(b, c));
-                    if !value_close(&left, &right) {
-                        return false;
-                    }
-                }
-            }
-        }
-        true
+        RequiredLaw::Associative(self.clone())
+            .counterexample(samples)
+            .is_none()
     }
 
     /// Randomized commutativity check: `a⊕b = b⊕a` for all pairs.
     pub fn check_commutative(&self, samples: &[Value]) -> bool {
-        for a in samples {
-            for b in samples {
-                if !value_close(&self.apply(a, b), &self.apply(b, a)) {
-                    return false;
-                }
-            }
-        }
-        true
+        RequiredLaw::Commutative(self.clone())
+            .counterexample(samples)
+            .is_none()
     }
 
     /// Randomized distributivity check:
@@ -162,20 +148,9 @@ impl BinOp {
     /// `(b ⊕ c) ⊗ a = (b ⊗ a) ⊕ (c ⊗ a)` for all triples. The rules need
     /// both orientations (the fused operators multiply on either side).
     pub fn check_distributes_over(&self, other: &BinOp, samples: &[Value]) -> bool {
-        for a in samples {
-            for b in samples {
-                for c in samples {
-                    let l1 = self.apply(a, &other.apply(b, c));
-                    let r1 = other.apply(&self.apply(a, b), &self.apply(a, c));
-                    let l2 = self.apply(&other.apply(b, c), a);
-                    let r2 = other.apply(&self.apply(b, a), &self.apply(c, a));
-                    if !value_close(&l1, &r1) || !value_close(&l2, &r2) {
-                        return false;
-                    }
-                }
-            }
-        }
-        true
+        RequiredLaw::DistributesOver(self.clone(), other.clone())
+            .counterexample(samples)
+            .is_none()
     }
 }
 
@@ -191,23 +166,308 @@ impl std::fmt::Debug for BinOp {
     }
 }
 
+/// The relative tolerance used by [`value_close`] for floating-point
+/// comparisons — the **single** place the epsilon is defined.
+///
+/// Tolerance semantics: two floats `x`, `y` are close when
+/// `|x − y| ≤ FLOAT_RTOL · max(|x|, |y|, 1)` — relative for large
+/// magnitudes, absolute (`FLOAT_RTOL`) near zero. Consequently every
+/// algebraic law the checkers report for a floating-point operator is
+/// *tolerance-approximate*: it holds up to rounding at this epsilon, not
+/// exactly. Integer and boolean comparisons are always exact. Callers
+/// needing a different epsilon use [`value_close_with`].
+pub const FLOAT_RTOL: f64 = 1e-9;
+
 /// Structural equality with a small tolerance on floats (the randomized
-/// checkers must not fail on benign rounding).
+/// checkers must not fail on benign rounding). Uses [`FLOAT_RTOL`]; see
+/// its docs for the exact comparison semantics.
 pub fn value_close(a: &Value, b: &Value) -> bool {
+    value_close_with(a, b, FLOAT_RTOL)
+}
+
+/// [`value_close`] with an explicit relative tolerance for floats.
+pub fn value_close_with(a: &Value, b: &Value, rtol: f64) -> bool {
     match (a, b) {
         (Value::Int(x), Value::Int(y)) => x == y,
         (Value::Bool(x), Value::Bool(y)) => x == y,
         (Value::Float(x), Value::Float(y)) => {
             let scale = x.abs().max(y.abs()).max(1.0);
-            (x - y).abs() <= 1e-9 * scale
+            (x - y).abs() <= rtol * scale
         }
         (Value::Tuple(xs), Value::Tuple(ys)) => {
-            xs.len() == ys.len() && xs.iter().zip(ys.iter()).all(|(x, y)| value_close(x, y))
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys.iter())
+                    .all(|(x, y)| value_close_with(x, y, rtol))
         }
         (Value::List(xs), Value::List(ys)) => {
-            xs.len() == ys.len() && xs.iter().zip(ys.iter()).all(|(x, y)| value_close(x, y))
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys.iter())
+                    .all(|(x, y)| value_close_with(x, y, rtol))
         }
         _ => false,
+    }
+}
+
+/// A concrete refutation of an algebraic law: the assignment of sample
+/// values to the law's variables, and the two sides that disagree.
+///
+/// Produced by [`RequiredLaw::counterexample`] after greedy shrinking:
+/// each variable is minimized (towards fewer distinct values, then
+/// smaller magnitudes) while the violation is preserved, so the reported
+/// witness is as readable as the sample pool allows.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The violated law, e.g. `"commutativity of sub"`.
+    pub law: String,
+    /// The shrunk variable assignment, in the law's variable order
+    /// (`a`, `b`, `c`).
+    pub values: Vec<Value>,
+    /// The equation instance that fails, e.g. `"a⊕b = b⊕a"`.
+    pub equation: String,
+    /// Left-hand side under the assignment.
+    pub left: Value,
+    /// Right-hand side under the assignment.
+    pub right: Value,
+}
+
+impl Counterexample {
+    /// Number of distinct values in the assignment (shrinking drives this
+    /// down; a law over three variables needs at most three).
+    pub fn distinct_values(&self) -> usize {
+        let mut seen: Vec<String> = self.values.iter().map(|v| format!("{v:?}")).collect();
+        seen.sort();
+        seen.dedup();
+        seen.len()
+    }
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names = ["a", "b", "c"];
+        let binds: Vec<String> = self
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| format!("{}={}", names.get(i).copied().unwrap_or("?"), v))
+            .collect();
+        write!(
+            f,
+            "{} fails at {}: {} gives {} vs {}",
+            self.law,
+            binds.join(", "),
+            self.equation,
+            self.left,
+            self.right
+        )
+    }
+}
+
+/// An algebraic side condition over concrete operators — the unit a
+/// rewrite certificate is made of, and the unit the operator auditor
+/// checks. Unlike the boolean `check_*` methods this type can *search*
+/// for counterexamples, shrink them, and describe itself.
+#[derive(Debug, Clone)]
+pub enum RequiredLaw {
+    /// `(a⊕b)⊕c = a⊕(b⊕c)`.
+    Associative(BinOp),
+    /// `a⊕b = b⊕a`.
+    Commutative(BinOp),
+    /// `a ⊗ (b⊕c) = (a⊗b) ⊕ (a⊗c)` and its mirrored form (the fused
+    /// operators multiply on either side).
+    DistributesOver(BinOp, BinOp),
+}
+
+impl RequiredLaw {
+    /// Number of variables the law quantifies over.
+    pub fn arity(&self) -> usize {
+        match self {
+            RequiredLaw::Commutative(_) => 2,
+            RequiredLaw::Associative(_) | RequiredLaw::DistributesOver(..) => 3,
+        }
+    }
+
+    /// Human-readable statement, e.g. `"mul distributes over add"`.
+    pub fn describe(&self) -> String {
+        match self {
+            RequiredLaw::Associative(op) => format!("associativity of {}", op.name()),
+            RequiredLaw::Commutative(op) => format!("commutativity of {}", op.name()),
+            RequiredLaw::DistributesOver(ot, op) => {
+                format!("{} distributes over {}", ot.name(), op.name())
+            }
+        }
+    }
+
+    /// Name(s) of the operator(s) the law constrains.
+    pub fn op_names(&self) -> Vec<&str> {
+        match self {
+            RequiredLaw::Associative(op) | RequiredLaw::Commutative(op) => vec![op.name()],
+            RequiredLaw::DistributesOver(ot, op) => vec![ot.name(), op.name()],
+        }
+    }
+
+    /// Check the law at one concrete assignment. Returns the first failing
+    /// equation instance as `(equation, left, right)`, or `None` when the
+    /// law holds there (within `rtol` on floats).
+    pub fn violation(&self, vs: &[Value], rtol: f64) -> Option<(String, Value, Value)> {
+        debug_assert_eq!(vs.len(), self.arity());
+        let differ = |l: &Value, r: &Value| !value_close_with(l, r, rtol);
+        match self {
+            RequiredLaw::Associative(op) => {
+                let (a, b, c) = (&vs[0], &vs[1], &vs[2]);
+                let left = op.apply(&op.apply(a, b), c);
+                let right = op.apply(a, &op.apply(b, c));
+                differ(&left, &right).then(|| ("(a⊕b)⊕c = a⊕(b⊕c)".to_string(), left, right))
+            }
+            RequiredLaw::Commutative(op) => {
+                let (a, b) = (&vs[0], &vs[1]);
+                let left = op.apply(a, b);
+                let right = op.apply(b, a);
+                differ(&left, &right).then(|| ("a⊕b = b⊕a".to_string(), left, right))
+            }
+            RequiredLaw::DistributesOver(ot, op) => {
+                let (a, b, c) = (&vs[0], &vs[1], &vs[2]);
+                let l1 = ot.apply(a, &op.apply(b, c));
+                let r1 = op.apply(&ot.apply(a, b), &ot.apply(a, c));
+                if differ(&l1, &r1) {
+                    return Some(("a⊗(b⊕c) = (a⊗b)⊕(a⊗c)".to_string(), l1, r1));
+                }
+                let l2 = ot.apply(&op.apply(b, c), a);
+                let r2 = op.apply(&ot.apply(b, a), &ot.apply(c, a));
+                differ(&l2, &r2).then(|| ("(b⊕c)⊗a = (b⊗a)⊕(c⊗a)".to_string(), l2, r2))
+            }
+        }
+    }
+
+    /// Does the law hold on every assignment drawn from `samples`?
+    pub fn holds_on(&self, samples: &[Value]) -> bool {
+        self.counterexample(samples).is_none()
+    }
+
+    /// Exhaustive search over all assignments from `samples` (default
+    /// float tolerance); the first violation found is shrunk before being
+    /// returned.
+    pub fn counterexample(&self, samples: &[Value]) -> Option<Counterexample> {
+        self.counterexample_with(samples, FLOAT_RTOL)
+    }
+
+    /// [`counterexample`](Self::counterexample) with an explicit float
+    /// tolerance.
+    pub fn counterexample_with(&self, samples: &[Value], rtol: f64) -> Option<Counterexample> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let arity = self.arity();
+        let mut idx = vec![0usize; arity];
+        loop {
+            let vs: Vec<Value> = idx.iter().map(|&i| samples[i].clone()).collect();
+            if self.violation(&vs, rtol).is_some() {
+                return Some(self.shrink(samples, vs, rtol));
+            }
+            // Odometer over `arity` digits base `n`.
+            let mut carry = true;
+            for d in idx.iter_mut() {
+                if carry {
+                    *d += 1;
+                    carry = *d == n;
+                    if carry {
+                        *d = 0;
+                    }
+                }
+            }
+            if carry {
+                return None;
+            }
+        }
+    }
+
+    /// Greedily shrink a known-violating assignment: repeatedly replace a
+    /// variable with a simpler sample value, or with another variable's
+    /// value (reducing the distinct count), as long as the violation
+    /// survives. Deterministic; terminates because every accepted step
+    /// strictly decreases the `(distinct count, total magnitude)` score.
+    pub fn shrink(&self, samples: &[Value], witness: Vec<Value>, rtol: f64) -> Counterexample {
+        fn magnitude(v: &Value) -> f64 {
+            match v {
+                Value::Int(x) => x.abs() as f64 + if *x < 0 { 0.5 } else { 0.0 },
+                Value::Float(x) => x.abs() + if *x < 0.0 { 0.5 } else { 0.0 },
+                Value::Bool(b) => f64::from(*b),
+                Value::Tuple(xs) => xs.iter().map(magnitude).sum(),
+                Value::List(xs) => xs.iter().map(magnitude).sum(),
+            }
+        }
+        fn score(vs: &[Value]) -> (usize, f64) {
+            let mut keys: Vec<String> = vs.iter().map(|v| format!("{v:?}")).collect();
+            keys.sort();
+            keys.dedup();
+            (keys.len(), vs.iter().map(magnitude).sum())
+        }
+        fn better(a: (usize, f64), b: (usize, f64)) -> bool {
+            a.0 < b.0 || (a.0 == b.0 && a.1 < b.1 - 1e-12)
+        }
+
+        debug_assert!(self.violation(&witness, rtol).is_some());
+        let mut pool: Vec<Value> = samples.to_vec();
+        pool.sort_by(|a, b| magnitude(a).total_cmp(&magnitude(b)));
+        let mut best = witness;
+        loop {
+            let mut improved = false;
+            // Move 1: replace one variable with a pool value or with
+            // another variable's value (reduces the distinct count).
+            'positions: for i in 0..best.len() {
+                let mut candidates: Vec<Value> = pool.clone();
+                candidates.extend(best.iter().cloned());
+                for c in candidates {
+                    if c == best[i] {
+                        continue;
+                    }
+                    let mut trial = best.clone();
+                    trial[i] = c;
+                    if self.violation(&trial, rtol).is_some() && better(score(&trial), score(&best))
+                    {
+                        best = trial;
+                        improved = true;
+                        continue 'positions;
+                    }
+                }
+            }
+            // Move 2: substitute ALL occurrences of one value at once —
+            // escapes local minima like (x,x,x) where any single-position
+            // change would first increase the distinct count.
+            for old in best.clone() {
+                for c in &pool {
+                    if *c == old {
+                        continue;
+                    }
+                    let trial: Vec<Value> = best
+                        .iter()
+                        .map(|v| if *v == old { c.clone() } else { v.clone() })
+                        .collect();
+                    if self.violation(&trial, rtol).is_some() && better(score(&trial), score(&best))
+                    {
+                        best = trial;
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        let (equation, left, right) = self
+            .violation(&best, rtol)
+            .expect("shrinking preserves the violation");
+        Counterexample {
+            law: self.describe(),
+            values: best,
+            equation,
+            left,
+            right,
+        }
     }
 }
 
@@ -234,14 +494,24 @@ pub mod lib {
         .distributes_over_op("add")
     }
 
-    /// Integer maximum — associative, commutative, idempotent.
+    /// Integer maximum — associative, commutative, idempotent. In the
+    /// (max, min) lattice, each operation distributes over the other
+    /// (`max(a, min(b,c)) = min(max(a,b), max(a,c))` — pure order theory,
+    /// exact on all of `i64`), so `scan(max) ; reduce(min)` windows fuse
+    /// by the distributivity rules. Found by the operator auditor
+    /// (`collopt-analysis`): the declaration was originally missing.
     pub fn max() -> BinOp {
-        BinOp::new("max", |a, b| Value::Int(a.as_int().max(b.as_int()))).commutative()
+        BinOp::new("max", |a, b| Value::Int(a.as_int().max(b.as_int())))
+            .commutative()
+            .distributes_over_op("min")
     }
 
-    /// Integer minimum.
+    /// Integer minimum — the lattice dual of [`max`]; distributes over it
+    /// (see there).
     pub fn min() -> BinOp {
-        BinOp::new("min", |a, b| Value::Int(a.as_int().min(b.as_int()))).commutative()
+        BinOp::new("min", |a, b| Value::Int(a.as_int().min(b.as_int())))
+            .commutative()
+            .distributes_over_op("max")
     }
 
     /// Tropical addition: `add` distributing over `max` — the max-plus
@@ -503,5 +773,78 @@ mod tests {
     fn debug_shows_declarations() {
         let d = format!("{:?}", mul());
         assert!(d.contains("mul") && d.contains("add"));
+    }
+
+    #[test]
+    fn counterexample_found_and_shrunk_for_subtraction() {
+        let sub = BinOp::new("sub", |a, b| Value::Int(a.as_int() - b.as_int()));
+        let samples = int_samples();
+        let cex = RequiredLaw::Associative(sub.clone())
+            .counterexample(&samples)
+            .expect("sub is not associative");
+        // Shrinking must land on a minimal witness: at most 2 distinct
+        // values, all of magnitude <= 1 (e.g. (0,0,1) or (0,1,1)).
+        assert!(cex.distinct_values() <= 2, "{cex}");
+        for v in &cex.values {
+            assert!(v.as_int().abs() <= 1, "{cex}");
+        }
+        // And the reported sides really disagree under re-evaluation.
+        assert_ne!(cex.left, cex.right);
+        let comm = RequiredLaw::Commutative(sub)
+            .counterexample(&samples)
+            .expect("sub does not commute");
+        assert!(comm.distinct_values() <= 2, "{comm}");
+        assert!(comm.to_string().contains("commutativity of sub"));
+    }
+
+    #[test]
+    fn counterexample_absent_for_true_laws() {
+        let samples = int_samples();
+        assert!(RequiredLaw::Associative(add())
+            .counterexample(&samples)
+            .is_none());
+        assert!(RequiredLaw::Commutative(mul())
+            .counterexample(&samples)
+            .is_none());
+        assert!(RequiredLaw::DistributesOver(mul(), add())
+            .counterexample(&samples)
+            .is_none());
+    }
+
+    #[test]
+    fn false_distributivity_yields_shrunk_witness() {
+        // mul does NOT distribute over max on negatives.
+        let law = RequiredLaw::DistributesOver(mul(), max());
+        let cex = law.counterexample(&int_samples()).expect("must fail");
+        assert!(cex.distinct_values() <= 3, "{cex}");
+        assert!(cex.law.contains("mul distributes over max"));
+        // Witness survives re-checking at the reported assignment.
+        assert!(law.violation(&cex.values, FLOAT_RTOL).is_some());
+    }
+
+    #[test]
+    fn value_close_with_respects_custom_tolerance() {
+        let a = Value::Float(1.0);
+        let b = Value::Float(1.0 + 1e-6);
+        assert!(!value_close(&a, &b));
+        assert!(value_close_with(&a, &b, 1e-5));
+        // The default tolerance is the documented constant.
+        assert!(value_close_with(
+            &Value::Float(1.0),
+            &Value::Float(1.0 + 0.5 * FLOAT_RTOL),
+            FLOAT_RTOL
+        ));
+    }
+
+    #[test]
+    fn law_metadata_is_consistent() {
+        let law = RequiredLaw::DistributesOver(mul(), add());
+        assert_eq!(law.arity(), 3);
+        assert_eq!(law.op_names(), vec!["mul", "add"]);
+        assert_eq!(RequiredLaw::Commutative(add()).arity(), 2);
+        assert_eq!(
+            RequiredLaw::Associative(add()).describe(),
+            "associativity of add"
+        );
     }
 }

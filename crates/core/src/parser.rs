@@ -18,24 +18,115 @@
 //!
 //! `map` stages parse to identity functions carrying the given label and
 //! cost — sufficient for cost analysis and rule matching, which never look
-//! inside local stages. Whitespace is free. Parse errors carry the byte
-//! offset and a description.
+//! inside local stages. Whitespace is free. Parse errors carry a byte
+//! [`Span`], 1-based line/column, and a description; [`ParseError::render`]
+//! produces a caret-underlined report. [`parse_pipeline_spanned`]
+//! additionally returns the byte span of every parsed stage, which the
+//! `collopt-analysis` linter reuses to anchor its diagnostics in the
+//! source text.
 
 use crate::op::{lib, BinOp};
 use crate::term::Program;
 
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// A new span; `end < start` is clamped to the empty span at `start`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The spanned slice of `src` (empty if out of bounds).
+    pub fn slice<'s>(&self, src: &'s str) -> &'s str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
 /// A parse error with position information.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
-    /// Byte offset in the input the error was detected at.
+    /// Byte offset in the input the error was detected at (`span.start`).
     pub at: usize,
+    /// Byte span of the offending token (empty when the error is at a
+    /// position rather than a token, e.g. unexpected end of input).
+    pub span: Span,
+    /// 1-based line of `at`.
+    pub line: usize,
+    /// 1-based column of `at`, in characters.
+    pub col: usize,
     /// What went wrong.
     pub message: String,
 }
 
+impl ParseError {
+    fn new(src: &str, span: Span, message: String) -> Self {
+        let at = span.start;
+        let prefix = &src[..at.min(src.len())];
+        let line = prefix.matches('\n').count() + 1;
+        let line_start = prefix.rfind('\n').map_or(0, |i| i + 1);
+        let col = prefix[line_start..].chars().count() + 1;
+        ParseError {
+            at,
+            span,
+            line,
+            col,
+            message,
+        }
+    }
+
+    /// Render the error against its source with a caret underline:
+    ///
+    /// ```text
+    /// error: unknown operator 'xor' (…)
+    ///  --> line 1, column 6
+    ///   |
+    ///   | scan(xor)
+    ///   |      ^^^
+    /// ```
+    pub fn render(&self, src: &str) -> String {
+        let line_src = src.lines().nth(self.line - 1).unwrap_or("");
+        let pad = " ".repeat(self.col - 1);
+        let carets = "^".repeat(self.span.slice(src).chars().count().max(1));
+        format!(
+            "error: {}\n --> line {}, column {}\n  |\n  | {}\n  | {}{}",
+            self.message, self.line, self.col, line_src, pad, carets
+        )
+    }
+}
+
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.at, self.message)
+        write!(
+            f,
+            "parse error at line {}, column {} (byte {}): {}",
+            self.line, self.col, self.at, self.message
+        )
     }
 }
 
@@ -44,18 +135,30 @@ impl std::error::Error for ParseError {}
 struct Parser<'a> {
     src: &'a str,
     pos: usize,
+    /// Byte span of each parsed stage, in order.
+    spans: Vec<Span>,
 }
 
 impl<'a> Parser<'a> {
     fn new(src: &'a str) -> Self {
-        Parser { src, pos: 0 }
+        Parser {
+            src,
+            pos: 0,
+            spans: Vec::new(),
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError {
-            at: self.pos,
-            message: message.into(),
-        }
+        // Span the next character if there is one, else the end position.
+        let end = self.src[self.pos..]
+            .chars()
+            .next()
+            .map_or(self.pos, |c| self.pos + c.len_utf8());
+        ParseError::new(self.src, Span::new(self.pos, end), message.into())
+    }
+
+    fn error_span(&self, span: Span, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.src, span, message.into())
     }
 
     fn skip_ws(&mut self) {
@@ -116,6 +219,7 @@ impl<'a> Parser<'a> {
     }
 
     fn operator(&mut self) -> Result<BinOp, ParseError> {
+        self.skip_ws();
         let name_pos = self.pos;
         let name = self.ident()?;
         match name {
@@ -128,16 +232,17 @@ impl<'a> Parser<'a> {
             "fadd" => Ok(lib::fadd()),
             "fmul" => Ok(lib::fmul()),
             "maxplus" => Ok(lib::add_tropical()),
-            other => Err(ParseError {
-                at: name_pos,
-                message: format!(
+            other => Err(self.error_span(
+                Span::new(name_pos, name_pos + other.len()),
+                format!(
                     "unknown operator '{other}' (expected add, mul, max, min, and, or, fadd, fmul, maxplus)"
                 ),
-            }),
+            )),
         }
     }
 
     fn stage(&mut self, prog: Program) -> Result<Program, ParseError> {
+        self.skip_ws();
         let kw_pos = self.pos;
         let kw = self.ident()?;
         match kw {
@@ -165,18 +270,31 @@ impl<'a> Parser<'a> {
                 };
                 Ok(prog.map(label, ops, |v| v.clone()))
             }
-            other => Err(ParseError {
-                at: kw_pos,
-                message: format!(
+            other => Err(self.error_span(
+                Span::new(kw_pos, kw_pos + other.len()),
+                format!(
                     "unknown stage '{other}' (expected bcast, gather, scatter, allgather, \
                      scan, reduce, allreduce, map)"
                 ),
-            }),
+            )),
         }
     }
 
+    /// Parse one stage and record its byte span. `stage` appends exactly
+    /// one [`crate::term::Stage`], so `spans[i]` covers `stages()[i]`.
+    fn spanned_stage(&mut self, prog: Program) -> Result<Program, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let prog = self.stage(prog)?;
+        // `stage` may have skipped trailing whitespace while peeking for
+        // an optional token; don't let the span cover it.
+        let end = start + self.src[start..self.pos].trim_end().len();
+        self.spans.push(Span::new(start, end));
+        Ok(prog)
+    }
+
     fn pipeline(&mut self) -> Result<Program, ParseError> {
-        let mut prog = self.stage(Program::new())?;
+        let mut prog = self.spanned_stage(Program::new())?;
         loop {
             self.skip_ws();
             if self.pos >= self.src.len() {
@@ -187,19 +305,28 @@ impl<'a> Parser<'a> {
             if self.pos >= self.src.len() {
                 return Ok(prog); // tolerate a trailing semicolon
             }
-            prog = self.stage(prog)?;
+            prog = self.spanned_stage(prog)?;
         }
     }
 }
 
 /// Parse a pipeline string into a [`Program`].
 pub fn parse_pipeline(src: &str) -> Result<Program, ParseError> {
+    parse_pipeline_spanned(src).map(|(prog, _)| prog)
+}
+
+/// Parse a pipeline string into a [`Program`] together with the byte span
+/// of each stage: `spans[i]` covers `program.stages()[i]` in `src`. The
+/// linter uses these to anchor diagnostics on the offending stages.
+pub fn parse_pipeline_spanned(src: &str) -> Result<(Program, Vec<Span>), ParseError> {
     let mut p = Parser::new(src);
     p.skip_ws();
     if p.pos >= src.len() {
         return Err(p.error("empty pipeline"));
     }
-    p.pipeline()
+    let prog = p.pipeline()?;
+    debug_assert_eq!(prog.len(), p.spans.len());
+    Ok((prog, p.spans))
 }
 
 #[cfg(test)]
@@ -282,6 +409,45 @@ mod tests {
     fn rejects_garbage_between_stages() {
         let err = parse_pipeline("bcast scan(add)").unwrap_err();
         assert!(err.message.contains("expected ';'"));
+    }
+
+    #[test]
+    fn spanned_parse_covers_every_stage() {
+        let src = "map f ; scan(mul) ; reduce(add) ; bcast";
+        let (prog, spans) = parse_pipeline_spanned(src).unwrap();
+        assert_eq!(spans.len(), prog.len());
+        assert_eq!(spans[0].slice(src), "map f");
+        assert_eq!(spans[1].slice(src), "scan(mul)");
+        assert_eq!(spans[2].slice(src), "reduce(add)");
+        assert_eq!(spans[3].slice(src), "bcast");
+    }
+
+    #[test]
+    fn spans_ignore_surrounding_whitespace() {
+        let src = "  bcast ;  reduce( add ) ;  ";
+        let (_, spans) = parse_pipeline_spanned(src).unwrap();
+        assert_eq!(spans[0].slice(src), "bcast");
+        assert_eq!(spans[1].slice(src), "reduce( add )");
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let err = parse_pipeline("scan(xor)").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 6));
+        assert_eq!(err.span.slice("scan(xor)"), "xor");
+        let err = parse_pipeline("bcast ;\nscan(add) ;\nshuffle").unwrap_err();
+        assert_eq!((err.line, err.col), (3, 1));
+        assert!(err.to_string().contains("line 3, column 1"));
+    }
+
+    #[test]
+    fn render_underlines_the_offending_token() {
+        let src = "scan(mul) ; reduce(bogus)";
+        let err = parse_pipeline(src).unwrap_err();
+        let rendered = err.render(src);
+        assert!(rendered.contains("  | scan(mul) ; reduce(bogus)"));
+        assert!(rendered.contains("  |                    ^^^^^"));
+        assert!(rendered.contains("line 1, column 20"));
     }
 
     #[test]

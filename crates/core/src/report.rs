@@ -65,6 +65,13 @@ pub fn optimization_report(
             )),
             None => out.push_str(&format!("* **{}** at stage {}\n", step.rule, step.at)),
         }
+        out.push_str(&format!(
+            "  * certificate: {}\n",
+            step.certificate.describe()
+        ));
+    }
+    for rej in &result.rejections {
+        out.push_str(&format!("* **refused** — {rej}\n"));
     }
     for n in &result.normalizations {
         out.push_str(&format!("* normalization: `{n:?}`\n"));

@@ -19,9 +19,11 @@
 
 use collopt_cost::{collectives as ccost, MachineParams, PhaseCost};
 
+use crate::op::{Counterexample, RequiredLaw};
 use crate::rules::enabling::{self, Normalization};
 use crate::rules::{self, Rule};
 use crate::term::{ComcastVariant, Program, Stage};
+use crate::value::Value;
 
 /// Per-stage cost at block size `m` on machine `params`, in time units.
 ///
@@ -136,6 +138,86 @@ pub fn stage_phase_cost(stage: &Stage) -> PhaseCost {
     }
 }
 
+/// How a certificate's laws were established at rewrite time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Witness {
+    /// The operators' *declared* properties were trusted without a
+    /// runtime check (the default fast path).
+    Declared,
+    /// Every law was verified on `samples` sample values at application
+    /// time ([`Rewriter::verify_properties`] / [`Rewriter::audited`]).
+    Checked {
+        /// Size of the sample pool the laws were checked over.
+        samples: usize,
+    },
+}
+
+/// A machine-checkable precondition certificate attached to every applied
+/// rewrite: *which* algebraic laws of *which* operators justified the
+/// rule, and how they were established. `collopt-analysis` re-validates
+/// certificates end-to-end (each law carries its concrete operators, so a
+/// validator can re-run the checks on any domain it likes).
+#[derive(Debug, Clone)]
+pub struct Certificate {
+    /// The rule the certificate justifies.
+    pub rule: Rule,
+    /// The side conditions, bound to the concrete operators.
+    pub laws: Vec<RequiredLaw>,
+    /// How the laws were established at application time.
+    pub witness: Witness,
+}
+
+impl Certificate {
+    /// One-line summary, e.g.
+    /// `"SR2-Reduction: associativity of mul, associativity of add, mul
+    /// distributes over add (declared)"`.
+    pub fn describe(&self) -> String {
+        let laws: Vec<String> = self.laws.iter().map(RequiredLaw::describe).collect();
+        let how = match self.witness {
+            Witness::Declared => "declared".to_string(),
+            Witness::Checked { samples } => format!("checked on {samples} samples"),
+        };
+        format!("{}: {} ({how})", self.rule, laws.join(", "))
+    }
+
+    /// Re-check every law on `samples`; the first violated law is
+    /// returned with a shrunk counterexample.
+    pub fn revalidate(&self, samples: &[Value]) -> Result<(), Counterexample> {
+        for law in &self.laws {
+            if let Some(cex) = law.counterexample(samples) {
+                return Err(cex);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A rule application the audited engine refused because a required law
+/// failed verification — the diagnostic that turns a silently-skipped
+/// rewrite into an actionable report.
+#[derive(Debug, Clone)]
+pub struct RuleRejection {
+    /// The rule that matched structurally.
+    pub rule: Rule,
+    /// Stage index the matched window started at (in the program as it
+    /// was when the match was attempted).
+    pub at: usize,
+    /// The law that failed, e.g. `"commutativity of sub"`.
+    pub law: String,
+    /// Shrunk witness refuting the law.
+    pub counterexample: Counterexample,
+}
+
+impl std::fmt::Display for RuleRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "refused {} at stage {}: {} does not hold — {}",
+            self.rule, self.at, self.law, self.counterexample
+        )
+    }
+}
+
 /// One applied rewrite, for the optimization log.
 #[derive(Debug, Clone)]
 pub struct RewriteStep {
@@ -147,6 +229,8 @@ pub struct RewriteStep {
     pub saving: Option<f64>,
     /// Human-readable `before → after` of the whole program.
     pub description: String,
+    /// The precondition certificate justifying this application.
+    pub certificate: Certificate,
 }
 
 /// Result of an optimization run.
@@ -159,6 +243,9 @@ pub struct OptimizeResult {
     /// Enabling transformations applied (map fusion, bcast/map
     /// commutation) interleaved with the rule applications.
     pub normalizations: Vec<Normalization>,
+    /// Rule applications the engine refused because a required law failed
+    /// verification (only populated by [`Rewriter::audited`]), deduped.
+    pub rejections: Vec<RuleRejection>,
 }
 
 /// Optimization regime.
@@ -175,13 +262,15 @@ pub struct Rewriter {
     allow_rank0_rules: bool,
     normalize: bool,
     verify_samples: Option<Vec<crate::value::Value>>,
+    audited: bool,
 }
 
 /// Rules tried at each position, longest window first; within a length,
 /// the more specific (distributivity) variants precede the commutative
 /// ones, and Local rules precede Comcast ones (they eliminate strictly
-/// more communication).
-const PRIORITY: [Rule; 11] = [
+/// more communication). Public so analysis passes (the pipeline linter)
+/// report opportunities in the same order the engine would take them.
+pub const RULE_PRIORITY: [Rule; 11] = [
     Rule::Bsr2Local,
     Rule::BsrLocal,
     Rule::Bss2Comcast,
@@ -203,6 +292,7 @@ impl Rewriter {
             allow_rank0_rules: true,
             normalize: true,
             verify_samples: None,
+            audited: false,
         }
     }
 
@@ -214,6 +304,7 @@ impl Rewriter {
             allow_rank0_rules: true,
             normalize: true,
             verify_samples: None,
+            audited: false,
         }
     }
 
@@ -242,6 +333,22 @@ impl Rewriter {
         self
     }
 
+    /// Like [`Rewriter::verify_properties`], but *loud*: a rule whose
+    /// required law fails on the samples is not silently skipped — the
+    /// refusal is reported in [`OptimizeResult::rejections`] together with
+    /// a shrunk counterexample, and every applied step's certificate
+    /// carries a [`Witness::Checked`] witness. This is the mode the
+    /// soundness analyzer (`collopt-analysis`) builds on.
+    pub fn audited(mut self, samples: Vec<crate::value::Value>) -> Self {
+        assert!(
+            !samples.is_empty(),
+            "auditing needs at least one sample value"
+        );
+        self.verify_samples = Some(samples);
+        self.audited = true;
+        self
+    }
+
     /// Whether to apply the enabling transformations of
     /// [`crate::rules::enabling`] (map fusion, bcast/map commutation)
     /// before and between rule applications. Default `true`; they are
@@ -252,30 +359,75 @@ impl Rewriter {
         self
     }
 
-    fn find_step(&self, prog: &Program) -> Option<(usize, Rule, Vec<Stage>, Option<f64>)> {
+    /// Build the precondition certificate for applying `rule` to the
+    /// window starting at `window` (which must have structurally matched).
+    /// Returns `None` — refusing the application — when a required law
+    /// fails verification on the configured samples, or when no laws can
+    /// be extracted at all; in audited mode the refusal is recorded in
+    /// `rejections` with a shrunk counterexample.
+    fn certify(
+        &self,
+        rule: Rule,
+        window: &[Stage],
+        at: usize,
+        rejections: &mut Vec<RuleRejection>,
+    ) -> Option<Certificate> {
+        let laws = rules::required_laws(rule, window)?;
+        let witness = match &self.verify_samples {
+            None => Witness::Declared,
+            Some(samples) => {
+                for law in &laws {
+                    if let Some(cex) = law.counterexample(samples) {
+                        if self.audited {
+                            rejections.push(RuleRejection {
+                                rule,
+                                at,
+                                law: law.describe(),
+                                counterexample: cex,
+                            });
+                        }
+                        return None;
+                    }
+                }
+                Witness::Checked {
+                    samples: samples.len(),
+                }
+            }
+        };
+        Some(Certificate {
+            rule,
+            laws,
+            witness,
+        })
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn find_step(
+        &self,
+        prog: &Program,
+        rejections: &mut Vec<RuleRejection>,
+    ) -> Option<(usize, Rule, Vec<Stage>, Option<f64>, Certificate)> {
         for at in 0..prog.len() {
-            for rule in PRIORITY {
+            for rule in RULE_PRIORITY {
                 let Some(rw) = rules::try_match(rule, &prog.stages()[at..]) else {
                     continue;
                 };
                 if !self.allow_rank0_rules && rw.rank0_only {
                     continue;
                 }
-                if let Some(samples) = &self.verify_samples {
-                    if !rules::verify_conditions(rule, &prog.stages()[at..], samples) {
-                        continue;
-                    }
-                }
+                let Some(cert) = self.certify(rule, &prog.stages()[at..], at, rejections) else {
+                    continue;
+                };
                 let replacement = rw.stages;
                 match self.strategy {
-                    Strategy::Exhaustive => return Some((at, rule, replacement, None)),
+                    Strategy::Exhaustive => return Some((at, rule, replacement, None, cert)),
                     Strategy::CostGuided { params, block } => {
                         let candidate =
                             prog.splice(at, rules::window_len(rule), replacement.clone());
                         let saving = program_cost(prog, &params, block)
                             - program_cost(&candidate, &params, block);
                         if saving > 0.0 {
-                            return Some((at, rule, replacement, Some(saving)));
+                            return Some((at, rule, replacement, Some(saving), cert));
                         }
                     }
                 }
@@ -310,23 +462,24 @@ impl Rewriter {
         let mut best_prog = start.clone();
         let mut best_cost = program_cost(&start, params, m);
         let mut best_steps: Vec<RewriteStep> = Vec::new();
+        let mut rejections = Vec::new();
         let mut seen = std::collections::HashSet::new();
         seen.insert(start.to_string());
         let mut stack: Vec<(Program, Vec<RewriteStep>)> = vec![(start, Vec::new())];
         while let Some((current, steps)) = stack.pop() {
             for at in 0..current.len() {
-                for rule in PRIORITY {
+                for rule in RULE_PRIORITY {
                     let Some(rw) = rules::try_match(rule, &current.stages()[at..]) else {
                         continue;
                     };
                     if !self.allow_rank0_rules && rw.rank0_only {
                         continue;
                     }
-                    if let Some(samples) = &self.verify_samples {
-                        if !rules::verify_conditions(rule, &current.stages()[at..], samples) {
-                            continue;
-                        }
-                    }
+                    let Some(cert) =
+                        self.certify(rule, &current.stages()[at..], at, &mut rejections)
+                    else {
+                        continue;
+                    };
                     let mut next = current.splice(at, rules::window_len(rule), rw.stages);
                     if self.normalize {
                         next = enabling::normalize(&next).0;
@@ -342,6 +495,7 @@ impl Rewriter {
                             program_cost(&current, params, m) - program_cost(&next, params, m),
                         ),
                         description: format!("{current}  →[{rule}]→  {next}"),
+                        certificate: cert,
                     });
                     let cost = program_cost(&next, params, m);
                     if cost < best_cost {
@@ -357,6 +511,7 @@ impl Rewriter {
             program: best_prog,
             steps: best_steps,
             normalizations: Vec::new(),
+            rejections: dedupe_rejections(rejections),
         }
     }
 
@@ -371,12 +526,15 @@ impl Rewriter {
             prog.clone()
         };
         let mut steps = Vec::new();
+        let mut rejections = Vec::new();
         // Each application removes at least one collective stage, so
         // `collective_count` bounds the iteration; the explicit cap is a
         // belt-and-braces guard.
         let cap = prog.collective_count() + 1;
         for _ in 0..cap {
-            let Some((at, rule, replacement, saving)) = self.find_step(&current) else {
+            let Some((at, rule, replacement, saving, cert)) =
+                self.find_step(&current, &mut rejections)
+            else {
                 break;
             };
             let next = current.splice(at, rules::window_len(rule), replacement);
@@ -385,6 +543,7 @@ impl Rewriter {
                 at,
                 saving,
                 description: format!("{current}  →[{rule}]→  {next}"),
+                certificate: cert,
             });
             current = next;
             if self.normalize {
@@ -397,8 +556,18 @@ impl Rewriter {
             program: current,
             steps,
             normalizations,
+            rejections: dedupe_rejections(rejections),
         }
     }
+}
+
+/// Deduplicate rejections by (rule, failed law): the fixpoint loop and the
+/// optimal search both revisit the same refused window many times.
+fn dedupe_rejections(raw: Vec<RuleRejection>) -> Vec<RuleRejection> {
+    let mut seen = std::collections::HashSet::new();
+    raw.into_iter()
+        .filter(|r| seen.insert(format!("{}|{}", r.rule, r.law)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -610,6 +779,67 @@ mod tests {
         let res = Rewriter::exhaustive().optimize_optimal(&prog, &params, 1e6);
         assert!(res.steps.is_empty());
         assert_eq!(res.program.to_string(), prog.to_string());
+    }
+
+    #[test]
+    fn every_step_carries_a_revalidatable_certificate() {
+        let prog = example_program();
+        let res = Rewriter::exhaustive().optimize(&prog);
+        assert!(!res.steps.is_empty());
+        let samples = ints(&[-3, -1, 0, 1, 2, 5]);
+        for step in &res.steps {
+            assert_eq!(step.certificate.rule, step.rule);
+            assert!(!step.certificate.laws.is_empty());
+            assert_eq!(step.certificate.witness, Witness::Declared);
+            step.certificate
+                .revalidate(&samples)
+                .expect("library operators satisfy their declared laws");
+        }
+    }
+
+    #[test]
+    fn audited_steps_record_checked_witness() {
+        let samples = ints(&[-2, 0, 1, 3]);
+        let prog = Program::new().scan(lib::mul()).reduce(lib::add());
+        let res = Rewriter::exhaustive().audited(samples).optimize(&prog);
+        assert_eq!(res.steps.len(), 1);
+        assert_eq!(
+            res.steps[0].certificate.witness,
+            Witness::Checked { samples: 4 }
+        );
+        assert!(res.rejections.is_empty());
+        assert!(res.steps[0].certificate.describe().contains("checked on 4"));
+    }
+
+    #[test]
+    fn audited_mode_rejects_lying_operator_with_shrunk_counterexample() {
+        // `sub` is not commutative, but we *declare* it so: the audited
+        // engine must refuse SR-Reduction and report why.
+        let lying_sub =
+            crate::op::BinOp::new("sub", |a, b| Value::Int(a.as_int() - b.as_int())).commutative();
+        let prog = Program::new().scan(lying_sub.clone()).reduce(lying_sub);
+        let samples = ints(&[-5, -2, 0, 1, 3, 7]);
+        let res = Rewriter::exhaustive()
+            .audited(samples.clone())
+            .optimize(&prog);
+        assert!(res.steps.is_empty(), "the lying rule must not fire");
+        assert_eq!(res.rejections.len(), 1);
+        let rej = &res.rejections[0];
+        assert_eq!(rej.rule, Rule::SrReduction);
+        assert!(rej.law.contains("of sub"), "law: {}", rej.law);
+        assert!(
+            rej.counterexample.distinct_values() <= 3,
+            "counterexample should be shrunk: {}",
+            rej.counterexample
+        );
+        // verify_properties stays silent (pre-existing behavior).
+        let quiet_sub =
+            crate::op::BinOp::new("sub", |a, b| Value::Int(a.as_int() - b.as_int())).commutative();
+        let quiet = Rewriter::exhaustive()
+            .verify_properties(samples)
+            .optimize(&Program::new().scan(quiet_sub.clone()).reduce(quiet_sub));
+        assert!(quiet.steps.is_empty());
+        assert!(quiet.rejections.is_empty());
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod fused;
 pub use collopt_cost::Rule;
 
 use crate::adjust;
+use crate::op::RequiredLaw;
 use crate::term::{ComcastVariant, Stage};
 
 /// Length of the stage window the rule matches (2 or 3 collectives).
@@ -74,16 +75,19 @@ impl Rewrite {
     }
 }
 
-/// Randomized verification that the algebraic side conditions a rule
-/// *declares* actually hold on the given sample values — the safety net
-/// for user-defined operators whose property declarations might be wrong.
+/// The algebraic side conditions `rule` relies on at the *start* of
+/// `window`: associativity of every collective operator in the matched
+/// window, plus the rule's own condition (commutativity or
+/// distributivity), each bound to the concrete operators. This is the
+/// machine-checkable content of a rewrite certificate — every law can be
+/// re-verified later with [`RequiredLaw::counterexample`].
 ///
-/// Checks associativity of every operator in the window, plus the rule's
-/// own condition (commutativity or distributivity). Returns `true` when
-/// every required law holds on all sample combinations.
-pub fn verify_conditions(rule: Rule, window: &[Stage], samples: &[crate::value::Value]) -> bool {
+/// Returns `None` when the window is too short or carries no operator the
+/// rule could be certified over (such a rewrite must be refused by
+/// auditing engines).
+pub fn required_laws(rule: Rule, window: &[Stage]) -> Option<Vec<RequiredLaw>> {
     if window.len() < window_len(rule) {
-        return false;
+        return None;
     }
     let ops_of = |s: &Stage| match s {
         Stage::Scan(op) | Stage::Reduce(op) | Stage::AllReduce(op) => Some(op.clone()),
@@ -93,23 +97,37 @@ pub fn verify_conditions(rule: Rule, window: &[Stage], samples: &[crate::value::
         .iter()
         .filter_map(ops_of)
         .collect();
-    for op in &ops {
-        if !op.check_associative(samples) {
-            return false;
-        }
-    }
+    let mut laws: Vec<RequiredLaw> = ops.iter().cloned().map(RequiredLaw::Associative).collect();
     match rule {
         // Distributivity rules: first collective operator over the second.
         Rule::Sr2Reduction | Rule::Ss2Scan | Rule::Bss2Comcast | Rule::Bsr2Local => {
-            ops.len() == 2 && ops[0].check_distributes_over(&ops[1], samples)
+            if ops.len() != 2 {
+                return None;
+            }
+            laws.push(RequiredLaw::DistributesOver(ops[0].clone(), ops[1].clone()));
         }
         // Commutativity rules: the (shared) operator must commute.
         Rule::SrReduction | Rule::SsScan | Rule::BssComcast | Rule::BsrLocal => {
-            ops.iter().all(|op| op.check_commutative(samples))
+            laws.extend(ops.iter().cloned().map(RequiredLaw::Commutative));
         }
         // Associativity-only rules.
-        Rule::BsComcast | Rule::BrLocal | Rule::CrAlllocal => !ops.is_empty(),
+        Rule::BsComcast | Rule::BrLocal | Rule::CrAlllocal => {
+            if ops.is_empty() {
+                return None;
+            }
+        }
     }
+    Some(laws)
+}
+
+/// Randomized verification that the algebraic side conditions a rule
+/// *declares* actually hold on the given sample values — the safety net
+/// for user-defined operators whose property declarations might be wrong.
+///
+/// Checks every law from [`required_laws`]. Returns `true` when every
+/// required law holds on all sample combinations.
+pub fn verify_conditions(rule: Rule, window: &[Stage], samples: &[crate::value::Value]) -> bool {
+    required_laws(rule, window).is_some_and(|laws| laws.iter().all(|l| l.holds_on(samples)))
 }
 
 fn map_pair() -> Stage {

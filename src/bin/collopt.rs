@@ -27,7 +27,23 @@
 //!   and show how gracefully they degrade, e.g.
 //!   `--faults "seed=42,straggler=3x2.5,link=0-1x2+50,drop=0.05/3"`
 //! * `--table1`      also print the analytic Table 1 and exit
+//!
+//! Lint mode — static soundness and performance diagnostics:
+//!
+//! ```text
+//! $ collopt lint "map f ; scan(mul) ; reduce(add)" --p 64 --m 32
+//! $ collopt lint --file examples/pipelines/lints/missed_fusion.pipeline --json
+//! ```
+//!
+//! * `--json`            emit byte-stable JSON instead of the human report
+//! * `--deny warnings`   exit nonzero on warnings too (CI gate)
+//! * `--p/--ts/--tw/--m` machine model for the cost judgements (as above)
+//! * `--file PATH`       read the pipeline from a file instead of argv
+//!
+//! Exit codes: 0 clean (notes allowed), 1 errors (or warnings under
+//! `--deny warnings`), 2 usage or parse errors.
 
+use collopt::analysis::{lint_source, LintConfig};
 use collopt::core::parser::parse_pipeline;
 use collopt::core::report::{degradation_section, optimization_report, profile_section};
 use collopt::core::rewrite::{program_cost, Rewriter};
@@ -36,8 +52,97 @@ use collopt::cost::table1::render_table1;
 use collopt::cost::MachineParams;
 use collopt::machine::{ClockParams, FaultPlan};
 
+/// `collopt lint` — parse, analyze, report, and gate.
+fn lint_main(args: Vec<String>) -> ! {
+    let mut pipeline: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut p = 64usize;
+    let mut ts = 200.0f64;
+    let mut tw = 2.0f64;
+    let mut m = 32.0f64;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--p" => p = grab("--p").parse().expect("--p expects an integer"),
+            "--ts" => ts = grab("--ts").parse().expect("--ts expects a number"),
+            "--tw" => tw = grab("--tw").parse().expect("--tw expects a number"),
+            "--m" => m = grab("--m").parse().expect("--m expects a number"),
+            "--json" => json = true,
+            "--file" => file = Some(grab("--file")),
+            "--deny" => {
+                let what = grab("--deny");
+                if what != "warnings" {
+                    eprintln!("--deny only supports 'warnings', got '{what}'");
+                    std::process::exit(2);
+                }
+                deny_warnings = true;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown lint option {other}");
+                std::process::exit(2);
+            }
+            other => {
+                if pipeline.replace(other.to_string()).is_some() {
+                    eprintln!("multiple pipeline arguments");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    let src = match (pipeline, file) {
+        (Some(_), Some(_)) => {
+            eprintln!("give a pipeline argument or --file, not both");
+            std::process::exit(2);
+        }
+        (Some(src), None) => src,
+        (None, Some(path)) => match std::fs::read_to_string(&path) {
+            Ok(text) => text.trim().to_string(),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        },
+        (None, None) => {
+            eprintln!("usage: collopt lint \"<pipeline>\" | --file PATH [--json] [--deny warnings] [--p N] [--ts X] [--tw X] [--m X]");
+            std::process::exit(2);
+        }
+    };
+
+    let cfg = LintConfig {
+        params: MachineParams::new(p, ts, tw),
+        block: m,
+        ..LintConfig::default()
+    };
+    let report = match lint_source(&src, &cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("{}", e.render(&src));
+            std::process::exit(2);
+        }
+    };
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human(Some(&src)));
+    }
+    let gate = report.errors() > 0 || (deny_warnings && report.warnings() > 0);
+    std::process::exit(if gate { 1 } else { 0 });
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "lint") {
+        lint_main(args.split_off(1));
+    }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: collopt \"<pipeline>\" [--p N] [--ts X] [--tw X] [--m X] \
@@ -46,6 +151,7 @@ fn main() {
         );
         eprintln!("  pipeline: e.g. \"map f ; scan(mul) ; reduce(add) ; bcast\"");
         eprintln!("  operators: add mul max min and or fadd fmul maxplus");
+        eprintln!("  lint mode: collopt lint \"<pipeline>\" [--json] [--deny warnings]");
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
     if args.iter().any(|a| a == "--table1") {
@@ -113,9 +219,7 @@ fn main() {
     let prog = match parse_pipeline(&src) {
         Ok(p) => p,
         Err(e) => {
-            eprintln!("{e}");
-            eprintln!("  {src}");
-            eprintln!("  {}^", " ".repeat(e.at));
+            eprintln!("{}", e.render(&src));
             std::process::exit(1);
         }
     };

@@ -16,7 +16,10 @@
 //!   predicates and crossover solvers;
 //! * [`core`] — the formal framework: program terms, operator algebra,
 //!   the eleven fusion rules, the cost-guided rewrite engine, and the
-//!   machine executor.
+//!   machine executor;
+//! * [`analysis`] — the static soundness analyzer: operator-property
+//!   auditing with counterexample shrinking, rewrite-certificate
+//!   validation, and the `collopt lint` pipeline linter.
 //!
 //! See `examples/quickstart.rs` for a guided tour, `DESIGN.md` for the
 //! system inventory, and `EXPERIMENTS.md` for the paper-vs-measured record
@@ -41,6 +44,7 @@
 //!     < program_cost(&program, &params, 1.0));
 //! ```
 
+pub use collopt_analysis as analysis;
 pub use collopt_collectives as collectives;
 pub use collopt_core as core;
 pub use collopt_cost as cost;

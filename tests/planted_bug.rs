@@ -1,0 +1,129 @@
+//! The planted-bug drill: an operator that lies about its algebra must be
+//! caught by every layer of the analyzer.
+//!
+//! The planted operator is subtraction declared `.commutative()` — it is
+//! neither associative nor commutative, so any scan/reduce fusion built on
+//! it computes the wrong answer. Three independent defenses must all fire,
+//! deterministically (the sample pools are seeded):
+//!
+//! 1. the **audited rewriter** refuses the fusion and reports a shrunk
+//!    counterexample;
+//! 2. the **certificate validator** refutes the certificate the trusting
+//!    engine hands out;
+//! 3. the **linter** reports the mis-declaration as a `COL002` error.
+
+use collopt::analysis::{
+    audit_operator, lint_program, samples_for_domain, validate_result, AuditConfig,
+    CertificateIssue, Domain, LintConfig, Severity,
+};
+use collopt::prelude::*;
+
+/// Subtraction, dishonestly declared commutative. Associativity is implied
+/// by `BinOp::new`, so the declaration carries two lies.
+fn lying_sub() -> BinOp {
+    BinOp::new("sub", |a, b| Value::Int(a.as_int() - b.as_int())).commutative()
+}
+
+fn planted_program() -> Program {
+    Program::new().scan(lying_sub()).reduce(lying_sub())
+}
+
+#[test]
+fn trusting_engine_fuses_the_planted_bug() {
+    // Baseline: declaration-trusting rewriting applies SR-Reduction on the
+    // lie. This is the hole the analyzer exists to close.
+    let res = Rewriter::exhaustive().optimize(&planted_program());
+    assert_eq!(res.steps.len(), 1);
+    assert_eq!(res.steps[0].rule, Rule::SrReduction);
+}
+
+#[test]
+fn audited_rewriter_refuses_with_shrunk_counterexample() {
+    let samples = samples_for_domain(Domain::Int, &AuditConfig::default());
+    let res = Rewriter::exhaustive()
+        .audited(samples)
+        .optimize(&planted_program());
+    assert!(
+        res.steps.is_empty(),
+        "audited engine must not fuse: {res:?}"
+    );
+    assert!(!res.rejections.is_empty());
+    let rej = &res.rejections[0];
+    assert_eq!(rej.rule, Rule::SrReduction);
+    assert!(rej.law.contains("of sub"), "law: {}", rej.law);
+    assert!(
+        rej.counterexample.distinct_values() <= 3,
+        "counterexample not shrunk: {}",
+        rej.counterexample
+    );
+    // Refusing the fusion leaves the program semantically intact.
+    assert_eq!(res.program.to_string(), planted_program().to_string());
+}
+
+#[test]
+fn certificate_validator_refutes_the_trusting_engines_certificate() {
+    let res = Rewriter::exhaustive().optimize(&planted_program());
+    let samples = samples_for_domain(Domain::Int, &AuditConfig::default());
+    let issues = validate_result(&res, &samples, &AuditConfig::default());
+    assert!(
+        issues
+            .iter()
+            .any(|i| matches!(i, CertificateIssue::LawViolated { law, .. } if law.contains("sub"))),
+        "{issues:?}"
+    );
+}
+
+#[test]
+fn linter_reports_the_mis_declaration_as_col002() {
+    // `sub` is not a builtin; the fallback domain tells the auditor what
+    // to enumerate.
+    let cfg = LintConfig {
+        fallback_domain: Some(Domain::Int),
+        ..LintConfig::default()
+    };
+    let report = lint_program(&planted_program(), None, &cfg);
+    let col002: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == "COL002")
+        .collect();
+    assert!(!col002.is_empty(), "{:#?}", report.diagnostics);
+    for d in &col002 {
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("sub"), "{}", d.message);
+    }
+    assert!(report.errors() > 0);
+}
+
+#[test]
+fn auditor_witnesses_are_deterministic_across_runs() {
+    let cfg = AuditConfig::default();
+    let a = audit_operator(&lying_sub(), Domain::Int, &[], &cfg);
+    let b = audit_operator(&lying_sub(), Domain::Int, &[], &cfg);
+    assert!(!a.is_sound() && !b.is_sound());
+    let render = |audit: &collopt::analysis::OpAudit| {
+        audit
+            .over_claims
+            .iter()
+            .map(|c| format!("{}: {}", c.law, c.counterexample))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(render(&a), render(&b));
+}
+
+#[test]
+fn honest_pipeline_passes_every_layer() {
+    // Control: the same shape with a sound operator fuses, validates, and
+    // lints without errors.
+    let prog = Program::new().scan(ops::add()).reduce(ops::add());
+    let samples = samples_for_domain(Domain::Int, &AuditConfig::default());
+    let res = Rewriter::exhaustive()
+        .audited(samples.clone())
+        .optimize(&prog);
+    assert_eq!(res.steps.len(), 1);
+    assert!(res.rejections.is_empty());
+    assert!(validate_result(&res, &samples, &AuditConfig::default()).is_empty());
+    let report = lint_program(&prog, None, &LintConfig::default());
+    assert_eq!(report.errors(), 0, "{:#?}", report.diagnostics);
+}
