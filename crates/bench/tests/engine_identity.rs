@@ -1,14 +1,15 @@
-//! Differential identity: the pooled execution engine must be
-//! *observationally indistinguishable* from the legacy spawn-per-run
-//! engine — same outputs, bit-identical makespans, same retry counters,
-//! byte-identical Chrome trace exports — across every Table-1 rule, both
-//! sides of each rewrite, machine sizes 2..=9, with and without fault
-//! plans, and under every collective-lowering variant.
+//! Differential identity: the pooled and discrete-event execution
+//! engines must be *observationally indistinguishable* from the legacy
+//! spawn-per-run engine — same outputs, bit-identical makespans, same
+//! retry counters, byte-identical Chrome trace exports — across every
+//! Table-1 rule, both sides of each rewrite, machine sizes 2..=9, with
+//! and without fault plans, and under every collective-lowering variant.
 //!
-//! This is the license for making [`ExecEngine::Pooled`] the default:
-//! the simulated clock travels with the data, so scheduling differences
-//! between parked pool workers and freshly spawned threads can never
-//! leak into any observable of a run.
+//! This is the license for making [`ExecEngine::Pooled`] the default
+//! and for trusting [`ExecEngine::Des`] at machine sizes where the
+//! thread engines cannot follow: the simulated clock travels with the
+//! data, so neither OS scheduling (threads) nor event ordering (DES)
+//! can leak into any observable of a run.
 
 use collopt_bench::chaos::{random_plan, ChaosKind};
 use collopt_bench::sweep_driver::par_map;
@@ -106,7 +107,10 @@ fn pooled_engine_is_bit_identical_to_legacy_across_rules_sizes_and_plans() {
                     let pooled =
                         run_traced(&prog, &inputs, clock, plan.as_ref(), ExecEngine::Pooled)
                             .unwrap_or_else(|e| panic!("{tag} pooled: {e}"));
+                    let des = run_traced(&prog, &inputs, clock, plan.as_ref(), ExecEngine::Des)
+                        .unwrap_or_else(|e| panic!("{tag} des: {e}"));
                     assert_identical(&tag, &legacy, &pooled);
+                    assert_identical(&format!("{tag} (des)"), &legacy, &des);
                 }
             }
         }
@@ -132,20 +136,27 @@ fn engines_agree_on_crash_plan_errors() {
                     engine_config(ExecEngine::Legacy),
                     &plan,
                 );
-                let pooled = execute_faulted(
-                    &prog,
-                    &inputs,
-                    clock,
-                    engine_config(ExecEngine::Pooled),
-                    &plan,
-                );
-                match (legacy, pooled) {
-                    (Ok(a), Ok(b)) => {
-                        assert_eq!(a.outputs, b.outputs, "{tag}");
-                        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits(), "{tag}");
+                for other in [ExecEngine::Pooled, ExecEngine::Des] {
+                    let outcome =
+                        execute_faulted(&prog, &inputs, clock, engine_config(other), &plan);
+                    match (&legacy, &outcome) {
+                        (Ok(a), Ok(b)) => {
+                            assert_eq!(a.outputs, b.outputs, "{tag} vs {}", other.name());
+                            assert_eq!(
+                                a.makespan.to_bits(),
+                                b.makespan.to_bits(),
+                                "{tag} vs {}",
+                                other.name()
+                            );
+                        }
+                        (Err(a), Err(b)) => {
+                            assert_eq!(a, b, "{tag}: {} errors differ", other.name())
+                        }
+                        (a, b) => panic!(
+                            "{tag}: {} disagrees on success: {a:?} vs {b:?}",
+                            other.name()
+                        ),
                     }
-                    (Err(a), Err(b)) => assert_eq!(a, b, "{tag}: errors differ"),
-                    (a, b) => panic!("{tag}: engines disagree on success: {a:?} vs {b:?}"),
                 }
             }
         }
@@ -177,7 +188,9 @@ fn engines_agree_under_every_collective_lowering_variant() {
                 };
                 let legacy = execute_traced_with(&prog, &inputs, clock, config(ExecEngine::Legacy));
                 let pooled = execute_traced_with(&prog, &inputs, clock, config(ExecEngine::Pooled));
+                let des = execute_traced_with(&prog, &inputs, clock, config(ExecEngine::Des));
                 assert_identical(&tag, &legacy, &pooled);
+                assert_identical(&format!("{tag} (des)"), &legacy, &des);
             }
         }
     }

@@ -19,9 +19,9 @@
 //!   two) apply a solo variant. This is Figure 5.
 
 use collopt_machine::topology::{butterfly_partner, butterfly_rounds, BalancedTree, RankAction};
-use collopt_machine::Ctx;
+use collopt_machine::{drive, Ctx};
 
-use crate::bcast::bcast_binomial;
+use crate::bcast::bcast_binomial_async;
 
 /// Operator descriptor for the balanced reduction: a binary combine for
 /// binary tree nodes, a solo variant for unary nodes, and explicit cost
@@ -64,12 +64,22 @@ pub fn reduce_balanced<Q: Clone + Send + 'static>(
     words: u64,
     op: &BalancedOp<'_, Q>,
 ) -> Option<Q> {
+    drive(reduce_balanced_async(ctx, value, words, op))
+}
+
+/// Engine-agnostic form of [`reduce_balanced`].
+pub async fn reduce_balanced_async<Q: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: Q,
+    words: u64,
+    op: &BalancedOp<'_, Q>,
+) -> Option<Q> {
     let tree = BalancedTree::new(ctx.size());
     let mut acc = value;
     for (_, action) in tree.rank_schedule(ctx.rank()) {
         match action {
             RankAction::RecvCombine { from } => {
-                let got: Q = ctx.recv(from);
+                let got: Q = ctx.recv_async(from).await;
                 acc = (op.combine)(&acc, &got);
                 ctx.charge(words as f64 * op.ops_combine, "reduce_balanced:combine");
             }
@@ -102,12 +112,24 @@ pub fn allreduce_balanced<Q: Clone + Send + 'static>(
     words: u64,
     op: &BalancedOp<'_, Q>,
 ) -> Q {
+    drive(allreduce_balanced_async(ctx, value, words, op))
+}
+
+/// Engine-agnostic form of [`allreduce_balanced`].
+pub async fn allreduce_balanced_async<Q: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: Q,
+    words: u64,
+    op: &BalancedOp<'_, Q>,
+) -> Q {
     let p = ctx.size();
     if p.is_power_of_two() {
         let mut acc = value;
         for round in 0..butterfly_rounds(p) {
             let partner = ctx.rank() ^ (1usize << round);
-            let got: Q = ctx.exchange(partner, acc.clone(), words * op.words_factor);
+            let got: Q = ctx
+                .exchange_async(partner, acc.clone(), words * op.words_factor)
+                .await;
             acc = if partner > ctx.rank() {
                 (op.combine)(&acc, &got)
             } else {
@@ -117,8 +139,8 @@ pub fn allreduce_balanced<Q: Clone + Send + 'static>(
         }
         acc
     } else {
-        let reduced = reduce_balanced(ctx, value, words, op);
-        bcast_binomial(ctx, 0, reduced, words * op.words_factor)
+        let reduced = reduce_balanced_async(ctx, value, words, op).await;
+        bcast_binomial_async(ctx, 0, reduced, words * op.words_factor).await
     }
 }
 
@@ -171,8 +193,29 @@ pub fn scan_balanced<Q: Clone + Send + 'static>(
     scan_balanced_traced(ctx, value, words, op, None::<fn(&Q) -> String>)
 }
 
+/// Engine-agnostic form of [`scan_balanced`].
+pub async fn scan_balanced_async<Q: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: Q,
+    words: u64,
+    op: &PairedOp<'_, Q>,
+) -> Q {
+    scan_balanced_traced_async(ctx, value, words, op, None::<fn(&Q) -> String>).await
+}
+
 /// [`scan_balanced`] with an optional per-phase state formatter for traces.
 pub fn scan_balanced_traced<Q: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: Q,
+    words: u64,
+    op: &PairedOp<'_, Q>,
+    fmt: Option<impl Fn(&Q) -> String>,
+) -> Q {
+    drive(scan_balanced_traced_async(ctx, value, words, op, fmt))
+}
+
+/// Engine-agnostic form of [`scan_balanced_traced`].
+pub async fn scan_balanced_traced_async<Q: Clone + Send + 'static>(
     ctx: &mut Ctx,
     value: Q,
     words: u64,
@@ -187,7 +230,9 @@ pub fn scan_balanced_traced<Q: Clone + Send + 'static>(
     for round in 0..butterfly_rounds(p) {
         match butterfly_partner(ctx.rank(), round, p) {
             Some(partner) => {
-                let got: Q = ctx.exchange(partner, state.clone(), words * op.words_factor);
+                let got: Q = ctx
+                    .exchange_async(partner, state.clone(), words * op.words_factor)
+                    .await;
                 if ctx.rank() < partner {
                     let (lower, _) = (op.combine)(&state, &got);
                     state = lower;

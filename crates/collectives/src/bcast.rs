@@ -10,7 +10,7 @@
 //!   benches.
 
 use collopt_machine::topology::binomial_bcast_rank_plan;
-use collopt_machine::Ctx;
+use collopt_machine::{drive, Ctx};
 
 /// Binomial-tree broadcast. Ranks other than `root` pass `None` for
 /// `value`; every rank returns the root's block.
@@ -23,10 +23,21 @@ pub fn bcast_binomial<T: Clone + Send + 'static>(
     value: Option<T>,
     words: u64,
 ) -> T {
+    drive(bcast_binomial_async(ctx, root, value, words))
+}
+
+/// Engine-agnostic form of [`bcast_binomial`] (runs on any engine,
+/// including DES).
+pub async fn bcast_binomial_async<T: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    root: usize,
+    value: Option<T>,
+    words: u64,
+) -> T {
     let plan = binomial_bcast_rank_plan(ctx.size(), root, ctx.rank());
     let v: T = match (plan.recv, value) {
         (None, Some(v)) => v,
-        (Some((_, src)), None) => ctx.recv(src),
+        (Some((_, src)), None) => ctx.recv_async(src).await,
         (None, None) => panic!("root rank {} must supply the broadcast value", ctx.rank()),
         (Some(_), Some(_)) => {
             panic!(
@@ -48,6 +59,16 @@ pub fn bcast_linear<T: Clone + Send + 'static>(
     value: Option<T>,
     words: u64,
 ) -> T {
+    drive(bcast_linear_async(ctx, root, value, words))
+}
+
+/// Engine-agnostic form of [`bcast_linear`].
+pub async fn bcast_linear_async<T: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    root: usize,
+    value: Option<T>,
+    words: u64,
+) -> T {
     if ctx.rank() == root {
         let v = value.expect("root must supply the broadcast value");
         for dst in 0..ctx.size() {
@@ -61,7 +82,7 @@ pub fn bcast_linear<T: Clone + Send + 'static>(
             value.is_none(),
             "non-root rank must not supply a broadcast value"
         );
-        ctx.recv(root)
+        ctx.recv_async(root).await
     }
 }
 

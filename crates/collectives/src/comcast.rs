@@ -23,9 +23,9 @@
 //! and `π1` adjustment functions).
 
 use collopt_machine::topology::ceil_log2;
-use collopt_machine::Ctx;
+use collopt_machine::{drive, Ctx};
 
-use crate::bcast::bcast_binomial;
+use crate::bcast::bcast_binomial_async;
 
 /// The `e`/`o` step functions of the paper's `repeat` schema (eq. 14),
 /// with their per-word costs.
@@ -80,7 +80,25 @@ pub fn comcast_bcast_repeat<B, S>(
 where
     B: Clone + Send + 'static,
 {
-    let b = bcast_binomial(ctx, root, value, words);
+    drive(comcast_bcast_repeat_async(
+        ctx, root, value, words, inject, project, op,
+    ))
+}
+
+/// Engine-agnostic form of [`comcast_bcast_repeat`].
+pub async fn comcast_bcast_repeat_async<B, S>(
+    ctx: &mut Ctx,
+    root: usize,
+    value: Option<B>,
+    words: u64,
+    inject: &(dyn Fn(&B) -> S + Sync),
+    project: &(dyn Fn(&S) -> B + Sync),
+    op: &RepeatOp<'_, S>,
+) -> B
+where
+    B: Clone + Send + 'static,
+{
+    let b = bcast_binomial_async(ctx, root, value, words).await;
     let k = (ctx.rank() + ctx.size() - root) % ctx.size();
     let rounds = ceil_log2(ctx.size());
     let mut state = inject(&b);
@@ -112,7 +130,27 @@ pub fn comcast_bcast_repeat_traced<B, S>(
 where
     B: Clone + Send + 'static,
 {
-    let b = bcast_binomial(ctx, root, value, words);
+    drive(comcast_bcast_repeat_traced_async(
+        ctx, root, value, words, inject, project, op, fmt,
+    ))
+}
+
+/// Engine-agnostic form of [`comcast_bcast_repeat_traced`].
+#[allow(clippy::too_many_arguments)]
+pub async fn comcast_bcast_repeat_traced_async<B, S>(
+    ctx: &mut Ctx,
+    root: usize,
+    value: Option<B>,
+    words: u64,
+    inject: &(dyn Fn(&B) -> S + Sync),
+    project: &(dyn Fn(&S) -> B + Sync),
+    op: &RepeatOp<'_, S>,
+    fmt: impl Fn(&S) -> String,
+) -> B
+where
+    B: Clone + Send + 'static,
+{
+    let b = bcast_binomial_async(ctx, root, value, words).await;
     let k = (ctx.rank() + ctx.size() - root) % ctx.size();
     let rounds = ceil_log2(ctx.size());
     let mut state = inject(&b);
@@ -155,6 +193,34 @@ where
     B: Clone + Send + 'static,
     S: Clone + Send + 'static,
 {
+    drive(comcast_cost_optimal_async(
+        ctx,
+        root,
+        value,
+        words,
+        inject,
+        project,
+        op,
+        words_factor,
+    ))
+}
+
+/// Engine-agnostic form of [`comcast_cost_optimal`].
+#[allow(clippy::too_many_arguments)]
+pub async fn comcast_cost_optimal_async<B, S>(
+    ctx: &mut Ctx,
+    root: usize,
+    value: Option<B>,
+    words: u64,
+    inject: &(dyn Fn(&B) -> S + Sync),
+    project: &(dyn Fn(&S) -> B + Sync),
+    op: &RepeatOp<'_, S>,
+    words_factor: u64,
+) -> B
+where
+    B: Clone + Send + 'static,
+    S: Clone + Send + 'static,
+{
     let p = ctx.size();
     let v = (ctx.rank() + p - root) % p;
     let rounds = ceil_log2(p);
@@ -183,7 +249,7 @@ where
             None => {
                 if v >= bit && v < 2 * bit {
                     let src = ((v - bit) + root) % p;
-                    state = Some(ctx.recv(src));
+                    state = Some(ctx.recv_async(src).await);
                 }
             }
         }

@@ -8,9 +8,9 @@
 //! `log p` -round algorithms.
 
 use collopt_machine::topology::ceil_log2;
-use collopt_machine::Ctx;
+use collopt_machine::{drive, Ctx};
 
-use crate::bcast::bcast_binomial;
+use crate::bcast::bcast_binomial_async;
 
 /// Gather every rank's block to rank 0, in rank order.
 ///
@@ -19,6 +19,15 @@ use crate::bcast::bcast_binomial;
 /// rank-ordered segments. Returns `Some(blocks)` on rank 0 (index `i` =
 /// rank `i`'s block), `None` elsewhere. `words` is the size of one block.
 pub fn gather_binomial<T: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: T,
+    words: u64,
+) -> Option<Vec<T>> {
+    drive(gather_binomial_async(ctx, value, words))
+}
+
+/// Engine-agnostic form of [`gather_binomial`].
+pub async fn gather_binomial_async<T: Clone + Send + 'static>(
     ctx: &mut Ctx,
     value: T,
     words: u64,
@@ -35,7 +44,7 @@ pub fn gather_binomial<T: Clone + Send + 'static>(
         }
         let src = rank + bit;
         if src < p {
-            let got: Vec<T> = ctx.recv(src);
+            let got: Vec<T> = ctx.recv_async(src).await;
             acc.extend(got);
         }
     }
@@ -47,6 +56,15 @@ pub fn gather_binomial<T: Clone + Send + 'static>(
 /// ranks. The inverse of [`gather_binomial`]: message sizes halve along the
 /// tree. `words` is the size of one block.
 pub fn scatter_binomial<T: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    blocks: Option<Vec<T>>,
+    words: u64,
+) -> T {
+    drive(scatter_binomial_async(ctx, blocks, words))
+}
+
+/// Engine-agnostic form of [`scatter_binomial`].
+pub async fn scatter_binomial_async<T: Clone + Send + 'static>(
     ctx: &mut Ctx,
     blocks: Option<Vec<T>>,
     words: u64,
@@ -66,7 +84,7 @@ pub fn scatter_binomial<T: Clone + Send + 'static>(
     } else {
         assert!(blocks.is_none(), "non-root ranks must not supply blocks");
         let j = rank.trailing_zeros();
-        held = ctx.recv(rank - (1usize << j));
+        held = ctx.recv_async(rank - (1usize << j)).await;
         first_round = rounds - j;
     }
     for round in first_round..rounds {
@@ -84,9 +102,18 @@ pub fn scatter_binomial<T: Clone + Send + 'static>(
 /// Implemented as a binomial gather followed by a binomial broadcast of the
 /// assembled vector (`2 log p` rounds).
 pub fn allgather<T: Clone + Send + 'static>(ctx: &mut Ctx, value: T, words: u64) -> Vec<T> {
+    drive(allgather_async(ctx, value, words))
+}
+
+/// Engine-agnostic form of [`allgather`].
+pub async fn allgather_async<T: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: T,
+    words: u64,
+) -> Vec<T> {
     let p = ctx.size() as u64;
-    let gathered = gather_binomial(ctx, value, words);
-    bcast_binomial(ctx, 0, gathered, words * p)
+    let gathered = gather_binomial_async(ctx, value, words).await;
+    bcast_binomial_async(ctx, 0, gathered, words * p).await
 }
 
 /// MPI_Barrier over the whole machine: a dissemination barrier of empty
@@ -95,6 +122,11 @@ pub fn allgather<T: Clone + Send + 'static>(ctx: &mut Ctx, value: T, words: u64)
 /// one is a pure message-passing construct whose cost is visible in the
 /// makespan, like a real MPI barrier.
 pub fn barrier(ctx: &mut Ctx) {
+    drive(barrier_async(ctx))
+}
+
+/// Engine-agnostic form of [`barrier`].
+pub async fn barrier_async(ctx: &mut Ctx) {
     let p = ctx.size();
     for round in 0..ceil_log2(p) {
         let dist = 1usize << round;
@@ -102,12 +134,12 @@ pub fn barrier(ctx: &mut Ctx) {
         let from = (ctx.rank() + p - dist) % p;
         if to == from {
             if to != ctx.rank() {
-                ctx.exchange(to, (), 0);
+                ctx.exchange_async(to, (), 0).await;
             }
             continue;
         }
         ctx.send(to, (), 0);
-        let () = ctx.recv(from);
+        let () = ctx.recv_async(from).await;
     }
 }
 

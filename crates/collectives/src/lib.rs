@@ -59,24 +59,40 @@ pub mod scan;
 pub mod variants;
 
 pub use alltoall::{alltoall, reduce_scatter};
-pub use balanced::{allreduce_balanced, reduce_balanced, scan_balanced, BalancedOp, PairedOp};
-pub use bcast::{bcast_binomial, bcast_linear};
-pub use comcast::{comcast_bcast_repeat, comcast_cost_optimal, RepeatOp};
+pub use balanced::{
+    allreduce_balanced, allreduce_balanced_async, reduce_balanced, reduce_balanced_async,
+    scan_balanced, scan_balanced_async, BalancedOp, PairedOp,
+};
+pub use bcast::{bcast_binomial, bcast_binomial_async, bcast_linear, bcast_linear_async};
+pub use comcast::{
+    comcast_bcast_repeat, comcast_bcast_repeat_async, comcast_cost_optimal,
+    comcast_cost_optimal_async, RepeatOp,
+};
 pub use comm::Comm;
-pub use gather::{allgather, barrier, gather_binomial, scatter_binomial};
+pub use gather::{
+    allgather, allgather_async, barrier, barrier_async, gather_binomial, gather_binomial_async,
+    scatter_binomial, scatter_binomial_async,
+};
 pub use hierarchical::{
     allreduce_hierarchical, allreduce_two_level, bcast_hierarchical, bcast_two_level,
 };
 pub use op::{Combine, Splittable};
-pub use pipelined::{bcast_pipelined, chain_cost, optimal_segments};
-pub use reduce::{allreduce, allreduce_butterfly, allreduce_commutative, reduce_binomial};
-pub use reduce_scatter::{
-    allgather_doubling, allreduce_balanced_halving, allreduce_rabenseifner, allreduce_ring,
-    reduce_scatter_halving, reduce_scatter_ring,
+pub use pipelined::{bcast_pipelined, bcast_pipelined_async, chain_cost, optimal_segments};
+pub use reduce::{
+    allreduce, allreduce_async, allreduce_butterfly, allreduce_butterfly_async,
+    allreduce_commutative, allreduce_commutative_async, reduce_binomial, reduce_binomial_async,
 };
-pub use scan::{exscan, scan_butterfly};
+pub use reduce_scatter::{
+    allgather_doubling, allgather_doubling_async, allreduce_balanced_halving,
+    allreduce_balanced_halving_async, allreduce_rabenseifner, allreduce_rabenseifner_async,
+    allreduce_ring, allreduce_ring_async, reduce_scatter_halving, reduce_scatter_halving_async,
+    reduce_scatter_ring, reduce_scatter_ring_async,
+};
+pub use scan::{exscan, exscan_async, scan_butterfly, scan_butterfly_async};
 pub use variants::{
-    allgather_ring, allreduce_auto, allreduce_model_cost, balanced_halving_wins, bcast_auto,
-    bcast_scatter_allgather, choose_allreduce, choose_bcast, choose_reduce, reduce_auto,
-    reduce_model_cost, scan_sklansky, AllreduceChoice, BcastChoice, ReduceChoice,
+    allgather_ring, allgather_ring_async, allreduce_auto, allreduce_auto_async,
+    allreduce_model_cost, balanced_halving_wins, bcast_auto, bcast_auto_async,
+    bcast_scatter_allgather, bcast_scatter_allgather_async, choose_allreduce, choose_bcast,
+    choose_reduce, reduce_auto, reduce_auto_async, reduce_model_cost, scan_sklansky,
+    scan_sklansky_async, AllreduceChoice, BcastChoice, ReduceChoice,
 };

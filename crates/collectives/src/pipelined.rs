@@ -22,7 +22,7 @@
 //! machine-dependent implementation choice the paper's cost calculus is
 //! built to arbitrate — here applied one level below the algebraic rules.
 
-use collopt_machine::Ctx;
+use collopt_machine::{drive, Ctx};
 
 use crate::op::Splittable;
 
@@ -73,6 +73,23 @@ pub fn bcast_pipelined<T: Clone + Send + 'static>(
     words_per_elem: u64,
     segments: u64,
 ) -> Vec<T> {
+    drive(bcast_pipelined_async(
+        ctx,
+        root,
+        value,
+        words_per_elem,
+        segments,
+    ))
+}
+
+/// Engine-agnostic form of [`bcast_pipelined`].
+pub async fn bcast_pipelined_async<T: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    root: usize,
+    value: Option<Vec<T>>,
+    words_per_elem: u64,
+    segments: u64,
+) -> Vec<T> {
     let p = ctx.size();
     let v = (ctx.rank() + p - root) % p; // position in the chain
     let segments = segments.max(1) as usize;
@@ -99,7 +116,7 @@ pub fn bcast_pipelined<T: Clone + Send + 'static>(
         let next = (ctx.rank() + 1) % p;
         let mut data = Vec::new();
         for _ in 0..segments {
-            let chunk: Vec<T> = ctx.recv(prev);
+            let chunk: Vec<T> = ctx.recv_async(prev).await;
             if forward {
                 let words = chunk.len() as u64 * words_per_elem;
                 ctx.send(next, chunk.clone(), words);

@@ -13,9 +13,9 @@
 //!   reorder operands, which is unsound for non-commutative operators).
 
 use collopt_machine::topology::{butterfly_rounds, ceil_log2};
-use collopt_machine::Ctx;
+use collopt_machine::{drive, Ctx};
 
-use crate::bcast::bcast_binomial;
+use crate::bcast::bcast_binomial_async;
 use crate::op::Combine;
 
 /// Binomial-tree reduction of each rank's `value` to rank `root`.
@@ -26,6 +26,17 @@ use crate::op::Combine;
 /// the root is the first processor of the group — this is exactly
 /// `x1 ⊕ x2 ⊕ … ⊕ xn`, so any associative operator is safe.
 pub fn reduce_binomial<T: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    root: usize,
+    value: T,
+    words: u64,
+    op: &Combine<'_, T>,
+) -> Option<T> {
+    drive(reduce_binomial_async(ctx, root, value, words, op))
+}
+
+/// Engine-agnostic form of [`reduce_binomial`].
+pub async fn reduce_binomial_async<T: Clone + Send + 'static>(
     ctx: &mut Ctx,
     root: usize,
     value: T,
@@ -47,7 +58,7 @@ pub fn reduce_binomial<T: Clone + Send + 'static>(
         }
         let src_v = v + bit;
         if src_v < p {
-            let got: T = ctx.recv((src_v + root) % p);
+            let got: T = ctx.recv_async((src_v + root) % p).await;
             // `acc` covers lower virtual ranks: it is the left operand.
             acc = op.apply(&acc, &got);
             ctx.charge(words as f64 * op.ops_per_word, "reduce:combine");
@@ -65,6 +76,16 @@ pub fn allreduce_butterfly<T: Clone + Send + 'static>(
     words: u64,
     op: &Combine<'_, T>,
 ) -> T {
+    drive(allreduce_butterfly_async(ctx, value, words, op))
+}
+
+/// Engine-agnostic form of [`allreduce_butterfly`].
+pub async fn allreduce_butterfly_async<T: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: T,
+    words: u64,
+    op: &Combine<'_, T>,
+) -> T {
     let p = ctx.size();
     assert!(
         p.is_power_of_two(),
@@ -73,7 +94,7 @@ pub fn allreduce_butterfly<T: Clone + Send + 'static>(
     let mut acc = value;
     for round in 0..butterfly_rounds(p) {
         let partner = ctx.rank() ^ (1usize << round);
-        let got: T = ctx.exchange(partner, acc.clone(), words);
+        let got: T = ctx.exchange_async(partner, acc.clone(), words).await;
         // Combine in rank order so non-commutative associative operators
         // still see x1 ⊕ … ⊕ xn.
         acc = if partner > ctx.rank() {
@@ -94,11 +115,21 @@ pub fn allreduce<T: Clone + Send + 'static>(
     words: u64,
     op: &Combine<'_, T>,
 ) -> T {
+    drive(allreduce_async(ctx, value, words, op))
+}
+
+/// Engine-agnostic form of [`allreduce`].
+pub async fn allreduce_async<T: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: T,
+    words: u64,
+    op: &Combine<'_, T>,
+) -> T {
     if ctx.size().is_power_of_two() {
-        allreduce_butterfly(ctx, value, words, op)
+        allreduce_butterfly_async(ctx, value, words, op).await
     } else {
-        let reduced = reduce_binomial(ctx, 0, value, words, op);
-        bcast_binomial(ctx, 0, reduced, words)
+        let reduced = reduce_binomial_async(ctx, 0, value, words, op).await;
+        bcast_binomial_async(ctx, 0, reduced, words).await
     }
 }
 
@@ -115,27 +146,37 @@ pub fn allreduce_commutative<T: Clone + Send + 'static>(
     words: u64,
     op: &Combine<'_, T>,
 ) -> T {
+    drive(allreduce_commutative_async(ctx, value, words, op))
+}
+
+/// Engine-agnostic form of [`allreduce_commutative`].
+pub async fn allreduce_commutative_async<T: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: T,
+    words: u64,
+    op: &Combine<'_, T>,
+) -> T {
     let p = ctx.size();
     if p.is_power_of_two() {
-        return allreduce_butterfly(ctx, value, words, op);
+        return allreduce_butterfly_async(ctx, value, words, op).await;
     }
     let k = 1usize << collopt_machine::topology::floor_log2(p);
     let rank = ctx.rank();
     if rank >= k {
         // Excess rank: hand the value down, wait for the result.
         ctx.send(rank - k, value, words);
-        return ctx.recv(rank - k);
+        return ctx.recv_async(rank - k).await;
     }
     let mut acc = value;
     if rank + k < p {
-        let got: T = ctx.recv(rank + k);
+        let got: T = ctx.recv_async(rank + k).await;
         acc = op.apply(&acc, &got);
         ctx.charge(words as f64 * op.ops_per_word, "allreduce_comm:fold");
     }
     // Butterfly among the leading 2^k ranks, in their own sub-world.
     for round in 0..collopt_machine::topology::butterfly_rounds(k) {
         let partner = rank ^ (1usize << round);
-        let got: T = ctx.exchange(partner, acc.clone(), words);
+        let got: T = ctx.exchange_async(partner, acc.clone(), words).await;
         acc = if partner > rank {
             op.apply(&acc, &got)
         } else {

@@ -37,12 +37,12 @@
 //! block length; the tests assert them to machine precision.
 
 use collopt_machine::topology::butterfly_rounds;
-use collopt_machine::Ctx;
+use collopt_machine::{drive, Ctx};
 
 use crate::balanced::BalancedOp;
 use crate::op::{Combine, Splittable};
-use crate::reduce::allreduce;
-use crate::variants::allgather_ring;
+use crate::reduce::allreduce_async;
+use crate::variants::allgather_ring_async;
 
 /// Shared implementation of low-bit-first recursive halving: after round
 /// `j`, rank `r` holds, for every segment index `s` agreeing with `r` on
@@ -50,7 +50,7 @@ use crate::variants::allgather_ring;
 /// `2^(j+1)`-rank group. After `log₂ p` rounds only segment `rank`
 /// remains, fully reduced. `combine(left, right)` is always called with
 /// `left` covering the lower-ranked group.
-fn halving_core<S: Splittable + Clone + Send + 'static>(
+async fn halving_core<S: Splittable + Clone + Send + 'static>(
     ctx: &mut Ctx,
     value: S,
     wire_words_per_unit: u64,
@@ -82,7 +82,7 @@ fn halving_core<S: Splittable + Clone + Send + 'static>(
                 outgoing.push(seg);
             }
         }
-        let got: Vec<S> = ctx.exchange(partner, outgoing, out_words);
+        let got: Vec<S> = ctx.exchange_async(partner, outgoing, out_words).await;
         // Both sides enumerate kept indices in increasing order, so the
         // received partials line up one-to-one with ours.
         let mut received = got.into_iter();
@@ -113,7 +113,7 @@ fn halving_core<S: Splittable + Clone + Send + 'static>(
 /// Recursive-doubling allgather of per-rank segments back into the full
 /// block. `wire_words_per_unit` sizes the cost charge of one segment
 /// unit on the wire.
-fn doubling_core<S: Splittable + Clone + Send + 'static>(
+async fn doubling_core<S: Splittable + Clone + Send + 'static>(
     ctx: &mut Ctx,
     segment: S,
     wire_words_per_unit: u64,
@@ -129,7 +129,7 @@ fn doubling_core<S: Splittable + Clone + Send + 'static>(
         let bit = 1usize << round;
         let partner = rank ^ bit;
         let words = acc.unit_len() as u64 * wire_words_per_unit;
-        let got: S = ctx.exchange(partner, acc.clone(), words);
+        let got: S = ctx.exchange_async(partner, acc.clone(), words).await;
         // Before round `j` both sides hold the contiguous segment run of
         // their aligned 2^j-rank group; the partner's run sits directly
         // below or above ours depending on bit `j`.
@@ -154,6 +154,16 @@ pub fn reduce_scatter_halving<S: Splittable + Clone + Send + 'static>(
     words_per_unit: u64,
     op: &Combine<'_, S>,
 ) -> S {
+    drive(reduce_scatter_halving_async(ctx, value, words_per_unit, op))
+}
+
+/// Engine-agnostic form of [`reduce_scatter_halving`].
+pub async fn reduce_scatter_halving_async<S: Splittable + Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: S,
+    words_per_unit: u64,
+    op: &Combine<'_, S>,
+) -> S {
     halving_core(
         ctx,
         value,
@@ -162,6 +172,7 @@ pub fn reduce_scatter_halving<S: Splittable + Clone + Send + 'static>(
         &|a, b| op.apply(a, b),
         "reduce_scatter:combine",
     )
+    .await
 }
 
 /// Recursive-doubling allgather (power-of-two `p`): the inverse of
@@ -173,7 +184,16 @@ pub fn allgather_doubling<S: Splittable + Clone + Send + 'static>(
     segment: S,
     words_per_unit: u64,
 ) -> S {
-    doubling_core(ctx, segment, words_per_unit)
+    drive(allgather_doubling_async(ctx, segment, words_per_unit))
+}
+
+/// Engine-agnostic form of [`allgather_doubling`].
+pub async fn allgather_doubling_async<S: Splittable + Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    segment: S,
+    words_per_unit: u64,
+) -> S {
+    doubling_core(ctx, segment, words_per_unit).await
 }
 
 /// Ring reduce-scatter for any `p`: `p − 1` steps around the ring, each
@@ -181,6 +201,16 @@ pub fn allgather_doubling<S: Splittable + Clone + Send + 'static>(
 /// in cyclic rank order — a rotation of `0..p` — so the operator must be
 /// declared commutative. Makespan `(p−1)(2(ts + (m/p)tw) + (m/p)c)`.
 pub fn reduce_scatter_ring<S: Splittable + Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: S,
+    words_per_unit: u64,
+    op: &Combine<'_, S>,
+) -> S {
+    drive(reduce_scatter_ring_async(ctx, value, words_per_unit, op))
+}
+
+/// Engine-agnostic form of [`reduce_scatter_ring`].
+pub async fn reduce_scatter_ring_async<S: Splittable + Clone + Send + 'static>(
     ctx: &mut Ctx,
     value: S,
     words_per_unit: u64,
@@ -210,10 +240,10 @@ pub fn reduce_scatter_ring<S: Splittable + Clone + Send + 'static>(
         let words = outgoing.unit_len() as u64 * words_per_unit;
         let got: S = if p == 2 {
             // Two ranks: a single pairwise exchange.
-            ctx.exchange(next, outgoing, words)
+            ctx.exchange_async(next, outgoing, words).await
         } else {
             ctx.send(next, outgoing, words);
-            ctx.recv(prev)
+            ctx.recv_async(prev).await
         };
         let mine = segs[recv_idx]
             .take()
@@ -242,18 +272,28 @@ pub fn allreduce_rabenseifner<S: Splittable + Clone + Send + 'static>(
     words_per_unit: u64,
     op: &Combine<'_, S>,
 ) -> S {
+    drive(allreduce_rabenseifner_async(ctx, value, words_per_unit, op))
+}
+
+/// Engine-agnostic form of [`allreduce_rabenseifner`].
+pub async fn allreduce_rabenseifner_async<S: Splittable + Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: S,
+    words_per_unit: u64,
+    op: &Combine<'_, S>,
+) -> S {
     let p = ctx.size();
     if p == 1 {
         return value;
     }
     if p.is_power_of_two() {
-        let seg = reduce_scatter_halving(ctx, value, words_per_unit, op);
-        allgather_doubling(ctx, seg, words_per_unit)
+        let seg = reduce_scatter_halving_async(ctx, value, words_per_unit, op).await;
+        allgather_doubling_async(ctx, seg, words_per_unit).await
     } else if op.commutative {
-        allreduce_ring(ctx, value, words_per_unit, op)
+        allreduce_ring_async(ctx, value, words_per_unit, op).await
     } else {
         let words = (value.unit_len() as u64 * words_per_unit).max(1);
-        allreduce(ctx, value, words, op)
+        allreduce_async(ctx, value, words, op).await
     }
 }
 
@@ -268,13 +308,23 @@ pub fn allreduce_ring<S: Splittable + Clone + Send + 'static>(
     words_per_unit: u64,
     op: &Combine<'_, S>,
 ) -> S {
+    drive(allreduce_ring_async(ctx, value, words_per_unit, op))
+}
+
+/// Engine-agnostic form of [`allreduce_ring`].
+pub async fn allreduce_ring_async<S: Splittable + Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: S,
+    words_per_unit: u64,
+    op: &Combine<'_, S>,
+) -> S {
     let p = ctx.size();
     if p == 1 {
         return value;
     }
-    let seg = reduce_scatter_ring(ctx, value, words_per_unit, op);
+    let seg = reduce_scatter_ring_async(ctx, value, words_per_unit, op).await;
     let words = seg.unit_len() as u64 * words_per_unit;
-    S::concat(allgather_ring(ctx, seg, words))
+    S::concat(allgather_ring_async(ctx, seg, words).await)
 }
 
 /// The halving/doubling allreduce for the fused balanced operators (rule
@@ -285,6 +335,21 @@ pub fn allreduce_ring<S: Splittable + Clone + Send + 'static>(
 /// the operator's `words_factor` (2 for `op_sr`'s pairs); makespan
 /// `2 log₂ p·ts + m(1−1/p)(2·wf·tw + c)`.
 pub fn allreduce_balanced_halving<S: Splittable + Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: S,
+    words_per_unit: u64,
+    op: &BalancedOp<'_, S>,
+) -> S {
+    drive(allreduce_balanced_halving_async(
+        ctx,
+        value,
+        words_per_unit,
+        op,
+    ))
+}
+
+/// Engine-agnostic form of [`allreduce_balanced_halving`].
+pub async fn allreduce_balanced_halving_async<S: Splittable + Clone + Send + 'static>(
     ctx: &mut Ctx,
     value: S,
     words_per_unit: u64,
@@ -304,8 +369,9 @@ pub fn allreduce_balanced_halving<S: Splittable + Clone + Send + 'static>(
         op.ops_combine / op.words_factor as f64,
         op.combine,
         "allreduce_balanced_halving:combine",
-    );
-    doubling_core(ctx, seg, wire)
+    )
+    .await;
+    doubling_core(ctx, seg, wire).await
 }
 
 #[cfg(test)]

@@ -16,12 +16,22 @@
 //! scan of Figure 5 work on six processors).
 
 use collopt_machine::topology::{butterfly_partner, butterfly_rounds};
-use collopt_machine::Ctx;
+use collopt_machine::{drive, Ctx};
 
 use crate::op::Combine;
 
 /// Inclusive butterfly scan: returns `x1 ⊕ … ⊕ x(rank+1)` on each rank.
 pub fn scan_butterfly<T: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: T,
+    words: u64,
+    op: &Combine<'_, T>,
+) -> T {
+    drive(scan_butterfly_async(ctx, value, words, op))
+}
+
+/// Engine-agnostic form of [`scan_butterfly`].
+pub async fn scan_butterfly_async<T: Clone + Send + 'static>(
     ctx: &mut Ctx,
     value: T,
     words: u64,
@@ -34,7 +44,7 @@ pub fn scan_butterfly<T: Clone + Send + 'static>(
         let Some(partner) = butterfly_partner(ctx.rank(), round, p) else {
             continue;
         };
-        let got: T = ctx.exchange(partner, aggregate.clone(), words);
+        let got: T = ctx.exchange_async(partner, aggregate.clone(), words).await;
         if partner < ctx.rank() {
             // `got` is the aggregate of the complete lower half-block.
             result = op.apply(&got, &result);
@@ -58,14 +68,24 @@ pub fn exscan<T: Clone + Send + 'static>(
     words: u64,
     op: &Combine<'_, T>,
 ) -> Option<T> {
-    let inclusive = scan_butterfly(ctx, value, words, op);
+    drive(exscan_async(ctx, value, words, op))
+}
+
+/// Engine-agnostic form of [`exscan`].
+pub async fn exscan_async<T: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: T,
+    words: u64,
+    op: &Combine<'_, T>,
+) -> Option<T> {
+    let inclusive = scan_butterfly_async(ctx, value, words, op).await;
     let rank = ctx.rank();
     let p = ctx.size();
     if rank + 1 < p {
         ctx.send(rank + 1, inclusive, words);
     }
     if rank > 0 {
-        Some(ctx.recv(rank - 1))
+        Some(ctx.recv_async(rank - 1).await)
     } else {
         None
     }

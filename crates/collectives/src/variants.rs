@@ -37,20 +37,31 @@
 //!   report predicted-vs-measured makespans.
 
 use collopt_machine::topology::{butterfly_rounds, ceil_log2};
-use collopt_machine::{ClockParams, Ctx};
+use collopt_machine::{drive, ClockParams, Ctx};
 
-use crate::bcast::bcast_binomial;
-use crate::gather::{gather_binomial, scatter_binomial};
+use crate::bcast::bcast_binomial_async;
+use crate::gather::{gather_binomial_async, scatter_binomial_async};
 use crate::op::{Combine, Splittable};
-use crate::pipelined::{bcast_pipelined, chain_cost, optimal_segments};
-use crate::reduce::{allreduce, allreduce_butterfly, reduce_binomial};
-use crate::reduce_scatter::{allreduce_rabenseifner, allreduce_ring, reduce_scatter_halving};
+use crate::pipelined::{bcast_pipelined_async, chain_cost, optimal_segments};
+use crate::reduce::{allreduce_async, allreduce_butterfly_async, reduce_binomial_async};
+use crate::reduce_scatter::{
+    allreduce_rabenseifner_async, allreduce_ring_async, reduce_scatter_halving_async,
+};
 
 /// Ring allgather: rank `r` starts with its own block; in step `k` it
 /// sends the block it received in step `k−1` to `r+1` and receives a new
 /// one from `r−1`. After `p−1` steps everyone holds all blocks, in rank
 /// order. `words` is the size of one block.
 pub fn allgather_ring<T: Clone + Send + 'static>(ctx: &mut Ctx, value: T, words: u64) -> Vec<T> {
+    drive(allgather_ring_async(ctx, value, words))
+}
+
+/// Engine-agnostic form of [`allgather_ring`].
+pub async fn allgather_ring_async<T: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: T,
+    words: u64,
+) -> Vec<T> {
     let p = ctx.size();
     let rank = ctx.rank();
     let mut out: Vec<Option<T>> = vec![None; p];
@@ -61,10 +72,10 @@ pub fn allgather_ring<T: Clone + Send + 'static>(ctx: &mut Ctx, value: T, words:
     for step in 0..p.saturating_sub(1) {
         let incoming: T = if next == prev && p == 2 {
             // Two ranks: a single pairwise exchange.
-            ctx.exchange(next, carry.clone(), words)
+            ctx.exchange_async(next, carry.clone(), words).await
         } else {
             ctx.send(next, carry, words);
-            ctx.recv(prev)
+            ctx.recv_async(prev).await
         };
         // The block received in step k originated at rank r - k - 1.
         let origin = (rank + p - step - 1) % p;
@@ -85,6 +96,15 @@ pub fn bcast_scatter_allgather<T: Clone + Send + 'static>(
     value: Option<Vec<T>>,
     words_per_elem: u64,
 ) -> Vec<T> {
+    drive(bcast_scatter_allgather_async(ctx, value, words_per_elem))
+}
+
+/// Engine-agnostic form of [`bcast_scatter_allgather`].
+pub async fn bcast_scatter_allgather_async<T: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: Option<Vec<T>>,
+    words_per_elem: u64,
+) -> Vec<T> {
     let p = ctx.size();
     if p == 1 {
         return value.expect("root must supply the block");
@@ -92,9 +112,9 @@ pub fn bcast_scatter_allgather<T: Clone + Send + 'static>(
     // Split the root's block into p nearly-equal pieces.
     let pieces: Option<Vec<Vec<T>>> = value.map(|data| data.split_into(p));
     let piece_words = |piece: &Vec<T>| piece.len() as u64 * words_per_elem;
-    let mine = scatter_binomial(ctx, pieces, words_per_elem);
+    let mine = scatter_binomial_async(ctx, pieces, words_per_elem).await;
     let w = piece_words(&mine).max(1);
-    let all = allgather_ring(ctx, mine, w);
+    let all = allgather_ring_async(ctx, mine, w).await;
     all.into_iter().flatten().collect()
 }
 
@@ -103,6 +123,16 @@ pub fn bcast_scatter_allgather<T: Clone + Send + 'static>(
 /// and fold it in. `⌈log₂ p⌉` rounds, one combine per receiving rank per
 /// round (the butterfly pays two).
 pub fn scan_sklansky<T: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: T,
+    words: u64,
+    op: &Combine<'_, T>,
+) -> T {
+    drive(scan_sklansky_async(ctx, value, words, op))
+}
+
+/// Engine-agnostic form of [`scan_sklansky`].
+pub async fn scan_sklansky_async<T: Clone + Send + 'static>(
     ctx: &mut Ctx,
     value: T,
     words: u64,
@@ -117,7 +147,7 @@ pub fn scan_sklansky<T: Clone + Send + 'static>(
             // Receive the full prefix of the left half-block from its
             // last member.
             let src = (rank & !(bit * 2 - 1)) | (bit - 1);
-            let got: T = ctx.recv(src);
+            let got: T = ctx.recv_async(src).await;
             acc = op.apply(&got, &acc);
             ctx.charge(words as f64 * op.ops_per_word, "sklansky:combine");
         } else if (rank | (bit - 1)) == rank {
@@ -177,21 +207,34 @@ pub fn bcast_auto<T: Clone + Send + 'static>(
     value: Option<Vec<T>>,
     words_per_elem: u64,
 ) -> Vec<T> {
+    drive(bcast_auto_async(ctx, value, words_per_elem))
+}
+
+/// Engine-agnostic form of [`bcast_auto`].
+pub async fn bcast_auto_async<T: Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: Option<Vec<T>>,
+    words_per_elem: u64,
+) -> Vec<T> {
     let p = ctx.size();
     // All ranks must agree on the choice without communicating: derive it
     // from the machine parameters and the (SPMD-uniform) block size. The
     // root's length is what matters; non-roots must be told. To keep the
     // collective self-contained we use a tiny pre-broadcast of the length
     // (1 word), which is negligible against any real block.
-    let len = bcast_binomial(ctx, 0, value.as_ref().map(|v| v.len() as u64), 1);
+    let len = bcast_binomial_async(ctx, 0, value.as_ref().map(|v| v.len() as u64), 1).await;
     let params = ctx.params();
     match choose_bcast(p, len.max(1) * words_per_elem, &params) {
-        BcastChoice::Binomial => bcast_binomial(ctx, 0, value, len.max(1) * words_per_elem),
+        BcastChoice::Binomial => {
+            bcast_binomial_async(ctx, 0, value, len.max(1) * words_per_elem).await
+        }
         BcastChoice::ChainPipeline => {
             let segments = optimal_segments(p, len * words_per_elem, params.ts, params.tw);
-            bcast_pipelined(ctx, 0, value, words_per_elem, segments)
+            bcast_pipelined_async(ctx, 0, value, words_per_elem, segments).await
         }
-        BcastChoice::ScatterAllgather => bcast_scatter_allgather(ctx, value, words_per_elem),
+        BcastChoice::ScatterAllgather => {
+            bcast_scatter_allgather_async(ctx, value, words_per_elem).await
+        }
     }
 }
 
@@ -305,6 +348,16 @@ pub fn allreduce_auto<S: Splittable + Clone + Send + 'static>(
     words_per_unit: u64,
     op: &Combine<'_, S>,
 ) -> S {
+    drive(allreduce_auto_async(ctx, value, words_per_unit, op))
+}
+
+/// Engine-agnostic form of [`allreduce_auto`].
+pub async fn allreduce_auto_async<S: Splittable + Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: S,
+    words_per_unit: u64,
+    op: &Combine<'_, S>,
+) -> S {
     let p = ctx.size();
     if p == 1 {
         return value;
@@ -312,10 +365,12 @@ pub fn allreduce_auto<S: Splittable + Clone + Send + 'static>(
     let words = (value.unit_len() as u64 * words_per_unit).max(1);
     let params = ctx.params();
     match choose_allreduce(p, words, op.ops_per_word, op.commutative, &params) {
-        AllreduceChoice::Butterfly => allreduce_butterfly(ctx, value, words, op),
-        AllreduceChoice::Rabenseifner => allreduce_rabenseifner(ctx, value, words_per_unit, op),
-        AllreduceChoice::Ring => allreduce_ring(ctx, value, words_per_unit, op),
-        AllreduceChoice::ReduceBcast => allreduce(ctx, value, words, op),
+        AllreduceChoice::Butterfly => allreduce_butterfly_async(ctx, value, words, op).await,
+        AllreduceChoice::Rabenseifner => {
+            allreduce_rabenseifner_async(ctx, value, words_per_unit, op).await
+        }
+        AllreduceChoice::Ring => allreduce_ring_async(ctx, value, words_per_unit, op).await,
+        AllreduceChoice::ReduceBcast => allreduce_async(ctx, value, words, op).await,
     }
 }
 
@@ -384,14 +439,26 @@ pub fn reduce_auto<S: Splittable + Clone + Send + 'static>(
     words_per_unit: u64,
     op: &Combine<'_, S>,
 ) -> Option<S> {
+    drive(reduce_auto_async(ctx, value, words_per_unit, op))
+}
+
+/// Engine-agnostic form of [`reduce_auto`].
+pub async fn reduce_auto_async<S: Splittable + Clone + Send + 'static>(
+    ctx: &mut Ctx,
+    value: S,
+    words_per_unit: u64,
+    op: &Combine<'_, S>,
+) -> Option<S> {
     let p = ctx.size();
     let words = (value.unit_len() as u64 * words_per_unit).max(1);
     match choose_reduce(p, words, op.ops_per_word, &ctx.params()) {
-        ReduceChoice::Binomial => reduce_binomial(ctx, 0, value, words, op),
+        ReduceChoice::Binomial => reduce_binomial_async(ctx, 0, value, words, op).await,
         ReduceChoice::ScatterGather => {
-            let seg = reduce_scatter_halving(ctx, value, words_per_unit, op);
+            let seg = reduce_scatter_halving_async(ctx, value, words_per_unit, op).await;
             let seg_words = (seg.unit_len() as u64 * words_per_unit).max(1);
-            gather_binomial(ctx, seg, seg_words).map(S::concat)
+            gather_binomial_async(ctx, seg, seg_words)
+                .await
+                .map(S::concat)
         }
     }
 }
@@ -423,6 +490,8 @@ pub fn balanced_halving_wins(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bcast::bcast_binomial;
+    use crate::reduce::allreduce_butterfly;
     use crate::reference::ref_scan;
     use crate::scan::scan_butterfly;
     use collopt_machine::Machine;

@@ -13,14 +13,15 @@
 use std::sync::Arc;
 
 use collopt_collectives::{
-    allgather, allreduce, allreduce_auto, allreduce_balanced, allreduce_balanced_halving,
-    balanced_halving_wins, bcast_auto, bcast_binomial, comcast_bcast_repeat, comcast_cost_optimal,
-    gather_binomial, reduce_balanced, reduce_binomial, scan_balanced, scatter_binomial, BalancedOp,
-    Combine, PairedOp, RepeatOp,
+    allgather_async, allreduce_async, allreduce_auto_async, allreduce_balanced_async,
+    allreduce_balanced_halving_async, balanced_halving_wins, bcast_auto_async,
+    bcast_binomial_async, comcast_bcast_repeat_async, comcast_cost_optimal_async,
+    gather_binomial_async, reduce_balanced_async, reduce_binomial_async, scan_balanced_async,
+    scatter_binomial_async, BalancedOp, Combine, PairedOp, RepeatOp,
 };
 use collopt_machine::{
-    critical_path, ClockParams, CriticalPath, Ctx, ExecEngine, FaultPlan, Machine, MachineError,
-    ProfileError, ProfileReport,
+    critical_path, drive, ClockParams, CriticalPath, Ctx, ExecEngine, FaultPlan, Machine,
+    MachineError, ProfileError, ProfileReport,
 };
 
 use crate::adjust::iter_balanced;
@@ -54,11 +55,13 @@ pub struct ExecConfig {
     /// [`collopt_machine::ProfileReport`]. Only meaningful together with
     /// tracing (see [`execute_traced_with`]); silently inert otherwise.
     pub profile: bool,
-    /// Pin the run to a specific execution engine (persistent rank pool
-    /// vs legacy spawn-per-run). `None` uses the session default
-    /// ([`ExecEngine::Pooled`] unless overridden via `COLLOPT_ENGINE`).
-    /// Both engines are observationally identical — this knob exists for
-    /// the differential identity suite and the throughput benchmarks.
+    /// Pin the run to a specific execution engine (persistent rank pool,
+    /// legacy spawn-per-run, or the single-threaded discrete-event
+    /// scheduler). `None` uses the session default ([`ExecEngine::Pooled`]
+    /// unless overridden via `COLLOPT_ENGINE=legacy|pooled|des`). All
+    /// engines are observationally identical — outputs, makespan bits,
+    /// retry counts and traces match — but only [`ExecEngine::Des`] hosts
+    /// rank counts past [`ExecEngine::THREAD_MAX_P`].
     pub engine: Option<ExecEngine>,
 }
 
@@ -246,16 +249,24 @@ fn try_run_program(
         machine = machine.with_engine(engine);
     }
     let inputs: Arc<Vec<Value>> = Arc::new(inputs.to_vec());
-    let run = machine.try_run(|ctx| {
-        let mut v = inputs[ctx.rank()].clone();
-        for (i, stage) in prog.stages().iter().enumerate() {
-            exec_stage(stage, ctx, &mut v, config);
-            if config.profile {
-                ctx.end_stage(i, stage.describe());
-            }
-        }
-        v
-    })?;
+    // One engine-agnostic rank body. On the thread engines its awaits
+    // resolve immediately (the Ctx methods block the rank thread), so
+    // `drive` completes it in a single poll; on the DES engine the same
+    // future genuinely suspends and the event scheduler interleaves ranks.
+    let run = if machine.engine() == ExecEngine::Des {
+        // `try_run_des` requires the rank future to borrow nothing but its
+        // `Ctx`, so each rank owns a (shallow — stage closures are `Arc`s)
+        // clone of the program and the shared input handle.
+        let prog = prog.clone();
+        let inputs = Arc::clone(&inputs);
+        machine.try_run_des(move |ctx| {
+            let prog = prog.clone();
+            let inputs = Arc::clone(&inputs);
+            Box::pin(async move { rank_main(&prog, &inputs, config, ctx).await })
+        })?
+    } else {
+        machine.try_run(|ctx| drive(rank_main(prog, &inputs, config, ctx)))?
+    };
     let total_retries = run.total_retries();
     let total_retry_time = run.total_retry_time();
     Ok((
@@ -271,7 +282,23 @@ fn try_run_program(
     ))
 }
 
-fn exec_stage(stage: &Stage, ctx: &mut Ctx, v: &mut Value, config: ExecConfig) {
+async fn rank_main(
+    prog: &Program,
+    inputs: &Arc<Vec<Value>>,
+    config: ExecConfig,
+    ctx: &mut Ctx,
+) -> Value {
+    let mut v = inputs[ctx.rank()].clone();
+    for (i, stage) in prog.stages().iter().enumerate() {
+        exec_stage(stage, ctx, &mut v, config).await;
+        if config.profile {
+            ctx.end_stage(i, stage.describe());
+        }
+    }
+    v
+}
+
+async fn exec_stage(stage: &Stage, ctx: &mut Ctx, v: &mut Value, config: ExecConfig) {
     let m = v.block_len() as f64;
     match stage {
         Stage::Map { f, ops, label } => {
@@ -287,11 +314,11 @@ fn exec_stage(stage: &Stage, ctx: &mut Ctx, v: &mut Value, config: ExecConfig) {
             // SPMD-uniform for all ranks to take the same branch.
             if config.adaptive_bcast && matches!(v, Value::List(_)) {
                 let value = (ctx.rank() == 0).then(|| v.as_list().to_vec());
-                *v = Value::list(bcast_auto(ctx, value, 1));
+                *v = Value::list(bcast_auto_async(ctx, value, 1).await);
             } else {
                 let words = v.words();
                 let value = (ctx.rank() == 0).then(|| v.clone());
-                *v = bcast_binomial(ctx, 0, value, words);
+                *v = bcast_binomial_async(ctx, 0, value, words).await;
             }
         }
         Stage::Scan(op) => {
@@ -302,7 +329,7 @@ fn exec_stage(stage: &Stage, ctx: &mut Ctx, v: &mut Value, config: ExecConfig) {
             let opc = op.clone();
             let f = move |a: &Value, b: &Value| opc.apply(a, b);
             let combine = Combine::with_cost(&f, ops_per_word);
-            *v = collopt_collectives::scan_butterfly(ctx, v.clone(), words, &combine);
+            *v = collopt_collectives::scan_butterfly_async(ctx, v.clone(), words, &combine).await;
         }
         Stage::Reduce(op) => {
             let words = v.words().max(1);
@@ -310,7 +337,7 @@ fn exec_stage(stage: &Stage, ctx: &mut Ctx, v: &mut Value, config: ExecConfig) {
             let opc = op.clone();
             let f = move |a: &Value, b: &Value| opc.apply(a, b);
             let combine = Combine::with_cost(&f, ops_per_word);
-            if let Some(r) = reduce_binomial(ctx, 0, v.clone(), words, &combine) {
+            if let Some(r) = reduce_binomial_async(ctx, 0, v.clone(), words, &combine).await {
                 *v = r;
             }
             // Non-roots keep their value — the semantics of eq. (5).
@@ -330,9 +357,9 @@ fn exec_stage(stage: &Stage, ctx: &mut Ctx, v: &mut Value, config: ExecConfig) {
             // rank takes the same branch and picks the same algorithm.
             if config.adaptive_reduction && matches!(v, Value::List(_)) {
                 let words_per_unit = (v.words() / v.block_len().max(1) as u64).max(1);
-                *v = allreduce_auto(ctx, v.clone(), words_per_unit, &combine);
+                *v = allreduce_auto_async(ctx, v.clone(), words_per_unit, &combine).await;
             } else {
-                *v = allreduce(ctx, v.clone(), words, &combine);
+                *v = allreduce_async(ctx, v.clone(), words, &combine).await;
             }
         }
         Stage::ReduceBalanced {
@@ -369,11 +396,11 @@ fn exec_stage(stage: &Stage, ctx: &mut Ctx, v: &mut Value, config: ExecConfig) {
                         &ctx.params(),
                     );
                 if use_halving {
-                    *v = allreduce_balanced_halving(ctx, v.clone(), 1, &op);
+                    *v = allreduce_balanced_halving_async(ctx, v.clone(), 1, &op).await;
                 } else {
-                    *v = allreduce_balanced(ctx, v.clone(), words, &op);
+                    *v = allreduce_balanced_async(ctx, v.clone(), words, &op).await;
                 }
-            } else if let Some(r) = reduce_balanced(ctx, v.clone(), words, &op) {
+            } else if let Some(r) = reduce_balanced_async(ctx, v.clone(), words, &op).await {
                 *v = r;
             }
         }
@@ -397,7 +424,7 @@ fn exec_stage(stage: &Stage, ctx: &mut Ctx, v: &mut Value, config: ExecConfig) {
                 words_factor: *words_factor,
             };
             let words = v.block_len() as u64;
-            *v = scan_balanced(ctx, v.clone(), words, &op);
+            *v = scan_balanced_async(ctx, v.clone(), words, &op).await;
         }
         Stage::Comcast {
             e,
@@ -424,16 +451,26 @@ fn exec_stage(stage: &Stage, ctx: &mut Ctx, v: &mut Value, config: ExecConfig) {
             let value = (ctx.rank() == 0).then(|| v.clone());
             *v = match variant {
                 ComcastVariant::BcastRepeat => {
-                    comcast_bcast_repeat(ctx, 0, value, words, &injf, &projf, &op)
+                    comcast_bcast_repeat_async(ctx, 0, value, words, &injf, &projf, &op).await
                 }
                 ComcastVariant::CostOptimal => {
-                    comcast_cost_optimal(ctx, 0, value, words, &injf, &projf, &op, *words_factor)
+                    comcast_cost_optimal_async(
+                        ctx,
+                        0,
+                        value,
+                        words,
+                        &injf,
+                        &projf,
+                        &op,
+                        *words_factor,
+                    )
+                    .await
                 }
             };
         }
         Stage::Gather => {
             let words = v.words().max(1);
-            if let Some(all) = gather_binomial(ctx, v.clone(), words) {
+            if let Some(all) = gather_binomial_async(ctx, v.clone(), words).await {
                 *v = Value::list(all);
             }
         }
@@ -448,11 +485,11 @@ fn exec_stage(stage: &Stage, ctx: &mut Ctx, v: &mut Value, config: ExecConfig) {
                 list.to_vec()
             });
             let words = (v.words() / ctx.size() as u64).max(1);
-            *v = scatter_binomial(ctx, blocks, words);
+            *v = scatter_binomial_async(ctx, blocks, words).await;
         }
         Stage::AllGather => {
             let words = v.words().max(1);
-            *v = Value::list(allgather(ctx, v.clone(), words));
+            *v = Value::list(allgather_async(ctx, v.clone(), words).await);
         }
         Stage::IterLocal {
             combine,
@@ -475,7 +512,7 @@ fn exec_stage(stage: &Stage, ctx: &mut Ctx, v: &mut Value, config: ExecConfig) {
             if *all {
                 let words = v.words();
                 let value = (ctx.rank() == 0).then(|| v.clone());
-                *v = bcast_binomial(ctx, 0, value, words);
+                *v = bcast_binomial_async(ctx, 0, value, words).await;
             }
         }
     }

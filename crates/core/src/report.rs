@@ -9,7 +9,9 @@
 use collopt_cost::MachineParams;
 use collopt_machine::{ClockParams, FaultPlan};
 
-use crate::exec::{execute, execute_faulted, execute_profiled, execute_traced_with, ExecConfig};
+use crate::exec::{
+    execute_faulted, execute_profiled, execute_traced_with, execute_with, ExecConfig,
+};
 use crate::rewrite::{program_cost, stage_cost, OptimizeResult, Rewriter};
 use crate::term::Program;
 use crate::value::Value;
@@ -126,13 +128,25 @@ pub fn measured_stage_table(prog: &Program, inputs: &[Value], params: &MachinePa
 /// critical path — the exact chain of messages and computation steps the
 /// makespan is attributable to.
 pub fn profile_section(prog: &Program, inputs: &[Value], clock: ClockParams) -> String {
+    profile_section_with(prog, inputs, clock, ExecConfig::default())
+}
+
+/// [`profile_section`] with explicit [`ExecConfig`] options — in
+/// particular [`ExecConfig::engine`], which lets the `collopt` CLI pin
+/// the run to a named engine (profiling is always enabled here).
+pub fn profile_section_with(
+    prog: &Program,
+    inputs: &[Value],
+    clock: ClockParams,
+    config: ExecConfig,
+) -> String {
     let run = execute_traced_with(
         prog,
         inputs,
         clock,
         ExecConfig {
             profile: true,
-            ..ExecConfig::default()
+            ..config
         },
     );
     let mut out = String::from("```text\n");
@@ -165,9 +179,23 @@ pub fn degradation_section(
     clock: ClockParams,
     plan: &FaultPlan,
 ) -> String {
-    let clean = execute(prog, inputs, clock);
+    degradation_section_with(prog, inputs, clock, ExecConfig::default(), plan)
+}
+
+/// [`degradation_section`] with explicit [`ExecConfig`] options; both
+/// the clean baseline and the faulted run execute under the same config
+/// (same engine, same adaptive lowerings), so the comparison isolates
+/// the fault plan.
+pub fn degradation_section_with(
+    prog: &Program,
+    inputs: &[Value],
+    clock: ClockParams,
+    config: ExecConfig,
+    plan: &FaultPlan,
+) -> String {
+    let clean = execute_with(prog, inputs, clock, config);
     let mut out = format!("fault plan : {}\n", plan.describe());
-    match execute_faulted(prog, inputs, clock, ExecConfig::default(), plan) {
+    match execute_faulted(prog, inputs, clock, config, plan) {
         Ok(faulted) => {
             let overhead = if clean.makespan > 0.0 {
                 100.0 * (faulted.makespan - clean.makespan) / clean.makespan

@@ -73,6 +73,19 @@ pub enum MachineError {
     },
     /// The machine was constructed with zero processors.
     EmptyMachine,
+    /// The run asked for more ranks than the selected engine can host.
+    /// The thread-per-rank engines cap `p` at
+    /// [`ExecEngine::THREAD_MAX_P`](crate::ExecEngine::THREAD_MAX_P)
+    /// (spawning past the OS thread budget would abort mid-run); the
+    /// discrete-event engine (`des`) has no such cap.
+    CapacityExceeded {
+        /// The rank count the run asked for.
+        requested: usize,
+        /// The engine's rank ceiling.
+        limit: usize,
+        /// Name of the engine that refused (`pooled`, `legacy`).
+        engine: &'static str,
+    },
 }
 
 impl MachineError {
@@ -114,6 +127,15 @@ impl fmt::Display for MachineError {
                 write!(f, "rank {rank} failed (crashed mid-run)")
             }
             MachineError::EmptyMachine => write!(f, "a machine needs at least one processor"),
+            MachineError::CapacityExceeded {
+                requested,
+                limit,
+                engine,
+            } => write!(
+                f,
+                "p={requested} exceeds the {engine} engine's capacity of {limit} ranks \
+                 (use the des engine for larger machines)"
+            ),
         }
     }
 }
@@ -152,6 +174,14 @@ mod tests {
                 vec!["5", "6", "7"],
             ),
             (MachineError::RankFailed { rank: 8 }, vec!["8"]),
+            (
+                MachineError::CapacityExceeded {
+                    requested: 100_000,
+                    limit: 4096,
+                    engine: "pooled",
+                },
+                vec!["100000", "4096", "pooled"],
+            ),
         ];
         for (err, needles) in cases {
             let msg = err.to_string();
@@ -185,6 +215,12 @@ mod tests {
         }
         .is_recoverable());
         assert!(!MachineError::EmptyMachine.is_recoverable());
+        assert!(!MachineError::CapacityExceeded {
+            requested: 10_000,
+            limit: 4096,
+            engine: "legacy"
+        }
+        .is_recoverable());
     }
 
     #[test]

@@ -51,9 +51,11 @@
 //! assert!(run.makespan > 0.0);
 //! ```
 
+pub(crate) mod barrier;
 pub mod channel;
 pub mod chrome;
 pub mod clock;
+pub(crate) mod des;
 pub mod error;
 pub mod fault;
 pub mod machine;
@@ -67,7 +69,7 @@ pub use chrome::{chrome_trace, chrome_trace_json, Json};
 pub use clock::{ClockParams, ClusterParams};
 pub use error::MachineError;
 pub use fault::{FaultInjector, FaultPlan, RetryParams};
-pub use machine::{Ctx, ExecEngine, Machine, RunResult};
+pub use machine::{drive, Ctx, ExecEngine, Machine, RunResult};
 pub use pool::RankPool;
 pub use profile::{
     critical_path, CriticalPath, ProfileError, ProfileReport, RankProfile, StageProfile,

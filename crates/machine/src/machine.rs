@@ -49,128 +49,39 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::task::{Context as TaskContext, Poll, Waker};
 
+use crate::barrier::ClockBarrier;
 use crate::channel::{build_mesh, Mailboxes, Mesh, Packet};
 use crate::clock::{ClockParams, SimClock};
+use crate::des::DesShared;
 use crate::error::MachineError;
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::pool::RankPool;
 use crate::trace::{EventKind, Trace};
 
-/// Clock-aware barrier: all ranks leave with their clocks advanced to the
-/// maximum entry time. The running maximum is monotonic (clocks never move
-/// backward), so it never needs resetting between rounds; the release time
-/// is snapshotted per generation so a fast rank's *next* barrier entry is
-/// never observed early. Unlike `std::sync::Barrier`, this one can be
-/// *aborted*: when a rank dies, every current and future waiter returns
-/// the abort error instead of blocking forever on an arrival that will
-/// never come.
-struct ClockBarrier {
-    p: usize,
-    state: Mutex<BarrierState>,
-    cv: Condvar,
-}
-
-struct BarrierState {
-    arrived: usize,
-    generation: u64,
-    /// Running max over all entry times ever seen (monotonic).
-    max_time: f64,
-    /// The max_time snapshot at the last release.
-    release_time: f64,
-    aborted: Option<MachineError>,
-}
-
-impl ClockBarrier {
-    fn new(p: usize) -> Self {
-        ClockBarrier {
-            p,
-            state: Mutex::new(BarrierState {
-                arrived: 0,
-                generation: 0,
-                max_time: 0.0,
-                release_time: 0.0,
-                aborted: None,
-            }),
-            cv: Condvar::new(),
-        }
-    }
-
-    /// Enter the barrier at local time `t`; returns the global maximum
-    /// entry time, or the abort error if any rank died.
-    fn wait(&self, t: f64) -> Result<f64, MachineError> {
-        let mut s = self.state.lock().expect("barrier lock poisoned");
-        if let Some(e) = &s.aborted {
-            return Err(e.clone());
-        }
-        if t > s.max_time {
-            s.max_time = t;
-        }
-        s.arrived += 1;
-        if s.arrived == self.p {
-            s.arrived = 0;
-            s.generation += 1;
-            s.release_time = s.max_time;
-            let out = s.release_time;
-            drop(s);
-            self.cv.notify_all();
-            return Ok(out);
-        }
-        let gen = s.generation;
-        loop {
-            s = self.cv.wait(s).expect("barrier lock poisoned");
-            if let Some(e) = &s.aborted {
-                return Err(e.clone());
-            }
-            if s.generation != gen {
-                // The next generation cannot complete (and overwrite
-                // release_time) until this rank re-enters, so the
-                // snapshot is still ours.
-                return Ok(s.release_time);
-            }
-        }
-    }
-
-    /// Abort the barrier: the first error wins; every waiter wakes with it.
-    fn abort(&self, err: MachineError) {
-        let mut s = self.state.lock().expect("barrier lock poisoned");
-        if s.aborted.is_none() {
-            s.aborted = Some(err);
-        }
-        drop(s);
-        self.cv.notify_all();
-    }
-
-    /// Restore the freshly constructed state. Only called between runs,
-    /// when no rank can be waiting, so no wakeup is needed.
-    fn reset(&self) {
-        let mut s = self.state.lock().expect("barrier lock poisoned");
-        s.arrived = 0;
-        s.generation = 0;
-        s.max_time = 0.0;
-        s.release_time = 0.0;
-        s.aborted = None;
-    }
-}
-
 /// The panic payload a rank throws to unwind out of the SPMD closure when
-/// a fault fires. Private to the machine: [`Machine::try_run`] catches it
-/// at the thread boundary and turns it into an `Err`, so it is never
-/// visible to callers (and the panic hook stays silent about it).
-struct FaultAbort {
-    error: MachineError,
+/// a fault fires. Crate-private: [`Machine::try_run`] and the DES
+/// scheduler catch it at the rank boundary and turn it into an `Err`, so
+/// it is never visible to callers (and the panic hook stays silent about
+/// it).
+pub(crate) struct FaultAbort {
+    pub(crate) error: MachineError,
     /// True on the rank where the fault originated (crash victim, timed-out
     /// sender); false on ranks aborting in sympathy (disconnect cascades,
     /// barrier aborts).
-    origin: bool,
+    pub(crate) origin: bool,
 }
 
 /// Silence the default panic-hook output for [`FaultAbort`] unwinds —
 /// injected faults are expected control flow, not bugs — while delegating
 /// every other panic to the previously installed hook. Installed at most
 /// once per process, the first time a faulted run starts.
-fn install_quiet_fault_hook() {
+pub(crate) fn install_quiet_fault_hook() {
     static INSTALL: std::sync::Once = std::sync::Once::new();
     INSTALL.call_once(|| {
         let prev = std::panic::take_hook();
@@ -182,26 +93,104 @@ fn install_quiet_fault_hook() {
     });
 }
 
+/// Communication backend behind a [`Ctx`]: real mailboxes plus a blocking
+/// barrier for the thread-per-rank engines, or a handle into the shared
+/// single-threaded event state for the discrete-event engine. All cost,
+/// fault and trace accounting lives *above* this enum — the operation
+/// sequences are shared verbatim — so the engines are bit-identical by
+/// construction.
+pub(crate) enum Comm {
+    Thread {
+        mailboxes: Mailboxes,
+        barrier: Arc<ClockBarrier>,
+    },
+    Des {
+        rank: usize,
+        size: usize,
+        shared: Rc<DesShared>,
+    },
+}
+
 /// Per-rank execution context handed to the SPMD closure.
 pub struct Ctx {
-    mailboxes: Mailboxes,
+    comm: Comm,
     clock: SimClock,
     trace: Trace,
-    barrier: Arc<ClockBarrier>,
     injector: Option<FaultInjector>,
 }
 
 impl Ctx {
+    /// Build a context for one DES-scheduled rank (no mailboxes, no
+    /// blocking barrier — all communication goes through `shared`).
+    pub(crate) fn new_des(
+        rank: usize,
+        p: usize,
+        shared: Rc<DesShared>,
+        params: ClockParams,
+        tracing: bool,
+        plan: Option<&Arc<FaultPlan>>,
+    ) -> Ctx {
+        Ctx {
+            comm: Comm::Des {
+                rank,
+                size: p,
+                shared,
+            },
+            clock: SimClock::new_for_rank(params, rank),
+            trace: if tracing {
+                Trace::enabled()
+            } else {
+                Trace::disabled()
+            },
+            injector: plan.map(|pl| FaultInjector::new(pl.clone(), rank, p)),
+        }
+    }
+
     /// This rank's id, `0..size`.
     #[inline]
     pub fn rank(&self) -> usize {
-        self.mailboxes.rank()
+        match &self.comm {
+            Comm::Thread { mailboxes, .. } => mailboxes.rank(),
+            Comm::Des { rank, .. } => *rank,
+        }
     }
 
     /// Number of processors in the machine.
     #[inline]
     pub fn size(&self) -> usize {
-        self.mailboxes.size()
+        match &self.comm {
+            Comm::Thread { mailboxes, .. } => mailboxes.size(),
+            Comm::Des { size, .. } => *size,
+        }
+    }
+
+    /// Enqueue a packet for rank `to` on whichever backend is active.
+    fn push_packet(&self, to: usize, packet: Packet) -> Result<(), MachineError> {
+        match &self.comm {
+            Comm::Thread { mailboxes, .. } => mailboxes.push(to, packet),
+            Comm::Des { rank, shared, .. } => shared.push(*rank, to, packet),
+        }
+    }
+
+    /// Dequeue the next packet from rank `from`: blocks the thread on the
+    /// thread backends, suspends the rank future on the DES backend.
+    async fn pop_packet(&self, from: usize) -> Result<Packet, MachineError> {
+        match &self.comm {
+            Comm::Thread { mailboxes, .. } => mailboxes.pop(from),
+            Comm::Des { rank, shared, .. } => {
+                crate::des::DesPop::new(Rc::clone(shared), *rank, from, self.clock.now()).await
+            }
+        }
+    }
+
+    /// Dequeue the next packet from *any* source (rotating fair scan).
+    async fn pop_any_packet(&self) -> Result<(usize, Packet), MachineError> {
+        match &self.comm {
+            Comm::Thread { mailboxes, .. } => mailboxes.pop_any(),
+            Comm::Des { rank, shared, .. } => {
+                crate::des::DesPopAny::new(Rc::clone(shared), *rank, self.clock.now()).await
+            }
+        }
     }
 
     /// Current simulated time on this rank.
@@ -225,14 +214,16 @@ impl Ctx {
     /// crashes this rank at this ordinal.
     #[inline]
     fn fault_tick(&mut self) {
-        if let Some(inj) = &mut self.injector {
-            if inj.tick() {
-                let rank = self.mailboxes.rank();
-                std::panic::panic_any(FaultAbort {
-                    error: MachineError::RankFailed { rank },
-                    origin: true,
-                });
-            }
+        let crashed = match &mut self.injector {
+            Some(inj) => inj.tick(),
+            None => false,
+        };
+        if crashed {
+            let rank = self.rank();
+            std::panic::panic_any(FaultAbort {
+                error: MachineError::RankFailed { rank },
+                origin: true,
+            });
         }
     }
 
@@ -264,7 +255,7 @@ impl Ctx {
             return;
         }
         let retry = inj.retry();
-        let from = self.mailboxes.rank();
+        let from = self.rank();
         if drops >= retry.max_attempts {
             std::panic::panic_any(FaultAbort {
                 error: MachineError::Timeout {
@@ -369,7 +360,7 @@ impl Ctx {
         let cost = self.link_cost(self.rank(), to, words);
         self.simulate_drops(to, words, cost);
         let send_time = self.clock.now();
-        if let Err(e) = self.mailboxes.push(
+        if let Err(e) = self.push_packet(
             to,
             Packet {
                 payload: Box::new(value),
@@ -395,8 +386,15 @@ impl Ctx {
     /// Panics if the payload is not a `T` — a type mismatch is a bug in the
     /// SPMD program, not a runtime condition.
     pub fn recv<T: Send + 'static>(&mut self, from: usize) -> T {
+        drive(self.recv_async(from))
+    }
+
+    /// Engine-agnostic form of [`recv`](Self::recv): suspends the rank
+    /// future on the DES engine, resolves immediately (the mailbox blocks
+    /// the thread internally) on the thread engines.
+    pub async fn recv_async<T: Send + 'static>(&mut self, from: usize) -> T {
         self.fault_tick();
-        let packet = match self.mailboxes.pop(from) {
+        let packet = match self.pop_packet(from).await {
             Ok(p) => p,
             Err(e) => self.channel_failure("recv", e),
         };
@@ -438,8 +436,13 @@ impl Ctx {
     /// # Panics
     /// Panics if the payload is not a `T`.
     pub fn recv_any<T: Send + 'static>(&mut self) -> (usize, T) {
+        drive(self.recv_any_async())
+    }
+
+    /// Engine-agnostic form of [`recv_any`](Self::recv_any).
+    pub async fn recv_any_async<T: Send + 'static>(&mut self) -> (usize, T) {
         self.fault_tick();
-        let (from, packet) = match self.mailboxes.pop_any() {
+        let (from, packet) = match self.pop_any_packet().await {
             Ok(r) => r,
             Err(e) => self.channel_failure("recv_any", e),
         };
@@ -483,11 +486,21 @@ impl Ctx {
     /// retry delays push the meeting point out without breaking its
     /// symmetry.
     pub fn exchange<T: Send + 'static>(&mut self, partner: usize, value: T, words: u64) -> T {
+        drive(self.exchange_async(partner, value, words))
+    }
+
+    /// Engine-agnostic form of [`exchange`](Self::exchange).
+    pub async fn exchange_async<T: Send + 'static>(
+        &mut self,
+        partner: usize,
+        value: T,
+        words: u64,
+    ) -> T {
         self.fault_tick();
         let out_cost = self.link_cost(self.rank(), partner, words);
         self.simulate_drops(partner, words, out_cost);
         let my_time = self.clock.now();
-        if let Err(e) = self.mailboxes.push(
+        if let Err(e) = self.push_packet(
             partner,
             Packet {
                 payload: Box::new(value),
@@ -497,7 +510,7 @@ impl Ctx {
         ) {
             self.channel_failure("exchange push", e);
         }
-        let packet = match self.mailboxes.pop(partner) {
+        let packet = match self.pop_packet(partner).await {
             Ok(p) => p,
             Err(e) => self.channel_failure("exchange pop", e),
         };
@@ -536,9 +549,20 @@ impl Ctx {
     /// Barrier across all ranks; clocks leave at the global maximum. If a
     /// rank dies mid-run the barrier aborts instead of blocking forever.
     pub fn barrier(&mut self) {
+        drive(self.barrier_async())
+    }
+
+    /// Engine-agnostic form of [`barrier`](Self::barrier).
+    pub async fn barrier_async(&mut self) {
         self.fault_tick();
         let entry = self.clock.now();
-        let t = match self.barrier.wait(entry) {
+        let waited = match &self.comm {
+            Comm::Thread { barrier, .. } => barrier.wait(entry),
+            Comm::Des { rank, shared, .. } => {
+                crate::des::DesBarrier::new(Rc::clone(shared), *rank, entry).await
+            }
+        };
+        let t = match waited {
             Ok(t) => t,
             Err(e) => {
                 if self.injector.is_some() {
@@ -557,8 +581,26 @@ impl Ctx {
         }
     }
 
-    fn into_parts(self) -> (SimClock, Trace) {
+    pub(crate) fn into_parts(self) -> (SimClock, Trace) {
         (self.clock, self.trace)
+    }
+}
+
+/// Run a `Ctx` future to completion on the calling thread with a no-op
+/// waker. On the thread engines every `*_async` operation resolves on its
+/// first poll (blocking happens inside the mailboxes/barrier), so a single
+/// poll suffices and the sync wrappers cost nothing. `Poll::Pending` means
+/// a DES-backed context reached a sync entry point — only the DES
+/// scheduler may suspend a rank — so that is a hard error.
+pub fn drive<F: Future>(fut: F) -> F::Output {
+    let mut fut = std::pin::pin!(fut);
+    let mut cx = TaskContext::from_waker(Waker::noop());
+    match fut.as_mut().poll(&mut cx) {
+        Poll::Ready(out) => out,
+        Poll::Pending => panic!(
+            "sync collective entry point suspended: blocking Ctx methods cannot run on the \
+             DES engine — use the *_async variants via Machine::try_run_des"
+        ),
     }
 }
 
@@ -598,8 +640,8 @@ impl<T> RunResult<T> {
     }
 }
 
-/// What one rank's thread produced.
-enum RankOutcome<T> {
+/// What one rank's thread (or DES future) produced.
+pub(crate) enum RankOutcome<T> {
     /// Clean completion.
     Done(T, SimClock, Trace),
     /// An injected fault unwound the rank.
@@ -625,15 +667,72 @@ pub enum ExecEngine {
     Pooled,
     /// Spawn `p` fresh scoped threads per run (the historical engine).
     Legacy,
+    /// Single-threaded discrete-event scheduler: each rank is a resumable
+    /// future driven off a binary-heap event queue, so `p` is bounded by
+    /// memory rather than OS threads. Requires async rank bodies
+    /// ([`Machine::try_run_des`]); `core::exec` dispatches automatically.
+    Des,
+}
+
+impl ExecEngine {
+    /// Largest `p` the thread-per-rank engines accept before reporting
+    /// [`MachineError::CapacityExceeded`] instead of exhausting the host's
+    /// thread budget mid-spawn.
+    pub const THREAD_MAX_P: usize = 4096;
+
+    /// The engine's rank-count ceiling; `None` means memory-bound (DES).
+    pub fn max_p(self) -> Option<usize> {
+        match self {
+            ExecEngine::Pooled | ExecEngine::Legacy => Some(Self::THREAD_MAX_P),
+            ExecEngine::Des => None,
+        }
+    }
+
+    /// Stable lowercase name, matching the `COLLOPT_ENGINE` values.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecEngine::Pooled => "pooled",
+            ExecEngine::Legacy => "legacy",
+            ExecEngine::Des => "des",
+        }
+    }
+
+    /// The process-wide default engine: `Pooled`, unless overridden via
+    /// the `COLLOPT_ENGINE` environment variable (read once). This is
+    /// what a [`Machine`] uses when no engine is pinned with
+    /// [`Machine::with_engine`].
+    pub fn process_default() -> ExecEngine {
+        default_engine()
+    }
+}
+
+impl std::str::FromStr for ExecEngine {
+    type Err = String;
+
+    /// Parse an engine by its [`name`](ExecEngine::name); the inverse of
+    /// `name()`, shared by the `COLLOPT_ENGINE` variable and the
+    /// `collopt --engine` flag.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "pooled" => Ok(ExecEngine::Pooled),
+            "legacy" => Ok(ExecEngine::Legacy),
+            "des" => Ok(ExecEngine::Des),
+            other => Err(format!(
+                "unknown engine '{other}' (expected legacy, pooled or des)"
+            )),
+        }
+    }
 }
 
 /// Process-wide default engine: `Pooled`, unless overridden once via the
-/// `COLLOPT_ENGINE` environment variable (`legacy` or `pooled`).
+/// `COLLOPT_ENGINE` environment variable (`legacy`, `pooled` or `des`).
 fn default_engine() -> ExecEngine {
     static DEFAULT: OnceLock<ExecEngine> = OnceLock::new();
-    *DEFAULT.get_or_init(|| match std::env::var("COLLOPT_ENGINE").as_deref() {
-        Ok("legacy") => ExecEngine::Legacy,
-        _ => ExecEngine::Pooled,
+    *DEFAULT.get_or_init(|| {
+        std::env::var("COLLOPT_ENGINE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(ExecEngine::Pooled)
     })
 }
 
@@ -746,14 +845,69 @@ impl Machine {
         T: Send,
         F: Fn(&mut Ctx) -> T + Sync,
     {
+        self.check_capacity()?;
         if self.faults.is_some() {
             install_quiet_fault_hook();
         }
         let outcomes = match self.engine() {
             ExecEngine::Pooled => self.run_ranks_pooled(&f),
             ExecEngine::Legacy => self.run_ranks_spawned(&f),
+            ExecEngine::Des => panic!(
+                "ExecEngine::Des cannot drive a blocking rank body: use \
+                 Machine::try_run_des with an async body (core::exec dispatches automatically)"
+            ),
         };
         collect_outcomes(self.p, outcomes)
+    }
+
+    /// Reject runs whose `p` exceeds the selected engine's rank capacity,
+    /// *before* any thread is spawned (a clean error instead of a panic
+    /// mid-spawn when the host's thread budget runs out).
+    fn check_capacity(&self) -> Result<(), MachineError> {
+        let engine = self.engine();
+        if let Some(limit) = engine.max_p() {
+            if self.p > limit {
+                return Err(MachineError::CapacityExceeded {
+                    requested: self.p,
+                    limit,
+                    engine: engine.name(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Run one SPMD program on the discrete-event engine: `f` is called
+    /// once per rank to build that rank's body as a future borrowing its
+    /// [`Ctx`]. All ranks advance cooperatively on the calling thread, so
+    /// `p` is bounded by memory, not threads — the observable results
+    /// (outputs, makespan bits, retries, traces) are bit-identical to the
+    /// thread engines.
+    ///
+    /// Injected faults surface as `Err` exactly as in
+    /// [`try_run`](Self::try_run); genuine panics propagate.
+    pub fn try_run_des<T, F>(&self, f: F) -> Result<RunResult<T>, MachineError>
+    where
+        T: Send,
+        F: for<'a> Fn(&'a mut Ctx) -> Pin<Box<dyn Future<Output = T> + 'a>>,
+    {
+        if self.faults.is_some() {
+            install_quiet_fault_hook();
+        }
+        let outcomes =
+            crate::des::run_ranks_des(self.p, self.params, self.tracing, self.faults.as_ref(), &f);
+        collect_outcomes(self.p, outcomes)
+    }
+
+    /// Panicking wrapper around [`try_run_des`](Self::try_run_des), the
+    /// DES counterpart of [`run`](Self::run).
+    pub fn run_des<T, F>(&self, f: F) -> RunResult<T>
+    where
+        T: Send,
+        F: for<'a> Fn(&'a mut Ctx) -> Pin<Box<dyn Future<Output = T> + 'a>>,
+    {
+        self.try_run_des(f)
+            .unwrap_or_else(|e| panic!("machine run failed: {e}"))
     }
 
     /// Historical engine: `p` fresh scoped threads per run. Immutable run
@@ -860,14 +1014,16 @@ where
 {
     let rank = mailboxes.rank();
     let mut ctx = Ctx {
-        mailboxes,
+        comm: Comm::Thread {
+            mailboxes,
+            barrier: barrier.clone(),
+        },
         clock: SimClock::new_for_rank(params, rank),
         trace: if tracing {
             Trace::enabled()
         } else {
             Trace::disabled()
         },
-        barrier: barrier.clone(),
         injector: plan.map(|pl| FaultInjector::new(pl.clone(), rank, p)),
     };
     let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
@@ -966,6 +1122,14 @@ fn collect_outcomes<T>(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn engine_names_round_trip() {
+        for engine in [ExecEngine::Pooled, ExecEngine::Legacy, ExecEngine::Des] {
+            assert_eq!(engine.name().parse::<ExecEngine>(), Ok(engine));
+        }
+        assert!("threads".parse::<ExecEngine>().is_err());
+    }
 
     #[test]
     fn ring_pass_accumulates() {

@@ -26,6 +26,10 @@
 //! * `--faults SPEC` run both pipelines under a deterministic fault plan
 //!   and show how gracefully they degrade, e.g.
 //!   `--faults "seed=42,straggler=3x2.5,link=0-1x2+50,drop=0.05/3"`
+//! * `--engine E`    simulation engine for `--profile`/`--faults`:
+//!   `legacy` and `pooled` run one OS thread per rank (p ≤ 4096), `des`
+//!   is the single-threaded discrete-event scheduler whose `p` is bounded
+//!   by memory only. Default: `pooled`, or the `COLLOPT_ENGINE` variable.
 //! * `--table1`      also print the analytic Table 1 and exit
 //!
 //! Lint mode — static soundness and performance diagnostics:
@@ -44,13 +48,14 @@
 //! `--deny warnings`), 2 usage or parse errors.
 
 use collopt::analysis::{lint_source, LintConfig};
+use collopt::core::exec::ExecConfig;
 use collopt::core::parser::parse_pipeline;
-use collopt::core::report::{degradation_section, optimization_report, profile_section};
+use collopt::core::report::{degradation_section_with, optimization_report, profile_section_with};
 use collopt::core::rewrite::{program_cost, Rewriter};
 use collopt::core::value::Value;
 use collopt::cost::table1::render_table1;
 use collopt::cost::MachineParams;
-use collopt::machine::{ClockParams, FaultPlan};
+use collopt::machine::{ClockParams, ExecEngine, FaultPlan};
 
 /// `collopt lint` — parse, analyze, report, and gate.
 fn lint_main(args: Vec<String>) -> ! {
@@ -147,10 +152,15 @@ fn main() {
         eprintln!(
             "usage: collopt \"<pipeline>\" [--p N] [--ts X] [--tw X] [--m X] \
              [--exhaustive] [--all-ranks] [--report] [--profile] \
-             [--faults SPEC] [--table1]"
+             [--faults SPEC] [--engine legacy|pooled|des] [--table1]"
         );
         eprintln!("  pipeline: e.g. \"map f ; scan(mul) ; reduce(add) ; bcast\"");
         eprintln!("  operators: add mul max min and or fadd fmul maxplus");
+        eprintln!(
+            "  engines : legacy/pooled run p<={} rank threads; des is the \
+             single-threaded\n            discrete-event scheduler (p bounded by memory)",
+            ExecEngine::THREAD_MAX_P
+        );
         eprintln!("  lint mode: collopt lint \"<pipeline>\" [--json] [--deny warnings]");
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
@@ -170,6 +180,7 @@ fn main() {
     let mut optimal = false;
     let mut profile = false;
     let mut faults: Option<FaultPlan> = None;
+    let mut engine: Option<ExecEngine> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -199,6 +210,13 @@ fn main() {
                     }
                 }
             }
+            "--engine" => match grab("--engine").parse() {
+                Ok(e) => engine = Some(e),
+                Err(e) => {
+                    eprintln!("bad --engine: {e}");
+                    std::process::exit(2);
+                }
+            },
             other if other.starts_with("--") => {
                 eprintln!("unknown option {other}");
                 std::process::exit(2);
@@ -232,6 +250,32 @@ fn main() {
     }
     .allow_rank0_rules(!all_ranks);
 
+    // Simulation engine for --profile/--faults: the flag wins, then the
+    // process-wide default (`COLLOPT_ENGINE`, else pooled). The thread
+    // engines have a hard rank ceiling — refuse oversized machines up
+    // front with a pointer at the DES engine rather than failing
+    // mid-spawn.
+    let engine = engine.unwrap_or_else(ExecEngine::process_default);
+    let engine_desc = match engine.max_p() {
+        Some(cap) => format!("{} (p <= {cap})", engine.name()),
+        None => format!("{} (p memory-bound)", engine.name()),
+    };
+    let simulating = profile || faults.is_some();
+    if simulating {
+        if let Some(cap) = engine.max_p().filter(|&cap| p > cap) {
+            eprintln!(
+                "p={p} exceeds the {} engine's {cap}-rank thread ceiling; \
+                 rerun with --engine des (p bounded by memory only)",
+                engine.name()
+            );
+            std::process::exit(2);
+        }
+    }
+    let exec_config = ExecConfig {
+        engine: Some(engine),
+        ..ExecConfig::default()
+    };
+
     // Deterministic synthetic input: `m` words per rank, small positive
     // ints (safe for every parser operator; floats coerce from ints).
     let profile_inputs = |p: usize, m: f64| -> Vec<Value> {
@@ -247,20 +291,31 @@ fn main() {
         if profile {
             let inputs = profile_inputs(p, m);
             let clock = ClockParams::new(ts, tw);
-            println!("\n## Where the time goes\n\n### Original\n");
-            print!("{}", profile_section(&prog, &inputs, clock));
+            println!("\n## Where the time goes\n");
+            println!("Simulated on the `{engine_desc}` engine.\n\n### Original\n");
+            print!(
+                "{}",
+                profile_section_with(&prog, &inputs, clock, exec_config)
+            );
             println!("\n### Optimized\n");
-            print!("{}", profile_section(&result.program, &inputs, clock));
+            print!(
+                "{}",
+                profile_section_with(&result.program, &inputs, clock, exec_config)
+            );
         }
         if let Some(plan) = &faults {
             let inputs = profile_inputs(p, m);
             let clock = ClockParams::new(ts, tw);
-            println!("\n## Degradation under faults\n\n### Original\n\n```text");
-            print!("{}", degradation_section(&prog, &inputs, clock, plan));
+            println!("\n## Degradation under faults\n");
+            println!("Simulated on the `{engine_desc}` engine.\n\n### Original\n\n```text");
+            print!(
+                "{}",
+                degradation_section_with(&prog, &inputs, clock, exec_config, plan)
+            );
             println!("```\n\n### Optimized\n\n```text");
             print!(
                 "{}",
-                degradation_section(&result.program, &inputs, clock, plan)
+                degradation_section_with(&result.program, &inputs, clock, exec_config, plan)
             );
             println!("```");
         }
@@ -268,6 +323,9 @@ fn main() {
     }
 
     println!("machine  : p={p}, ts={ts}, tw={tw}, block m={m}");
+    if simulating {
+        println!("engine   : {engine_desc}");
+    }
     println!("original : {prog}");
     let before = program_cost(&prog, &params, m);
     let result = if optimal {
@@ -302,19 +360,28 @@ fn main() {
         let inputs = profile_inputs(p, m);
         let clock = ClockParams::new(ts, tw);
         println!("\n-- original: where the time goes --");
-        print!("{}", profile_section(&prog, &inputs, clock));
+        print!(
+            "{}",
+            profile_section_with(&prog, &inputs, clock, exec_config)
+        );
         println!("\n-- optimized: where the time goes --");
-        print!("{}", profile_section(&result.program, &inputs, clock));
+        print!(
+            "{}",
+            profile_section_with(&result.program, &inputs, clock, exec_config)
+        );
     }
     if let Some(plan) = &faults {
         let inputs = profile_inputs(p, m);
         let clock = ClockParams::new(ts, tw);
         println!("\n-- original: degradation under faults --");
-        print!("{}", degradation_section(&prog, &inputs, clock, plan));
+        print!(
+            "{}",
+            degradation_section_with(&prog, &inputs, clock, exec_config, plan)
+        );
         println!("\n-- optimized: degradation under faults --");
         print!(
             "{}",
-            degradation_section(&result.program, &inputs, clock, plan)
+            degradation_section_with(&result.program, &inputs, clock, exec_config, plan)
         );
     }
 }
