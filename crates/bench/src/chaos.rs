@@ -169,7 +169,7 @@ fn eps(bound: f64) -> f64 {
 /// Worst-case multiplicative factor and additive delay any single event
 /// can suffer under `plan` on a `p`-rank machine. Probes the injector's
 /// compounded per-rank compute factor and per-link linear map directly.
-/// Depends only on `(plan, p)` — [`sweep_seed`] computes it once per
+/// Depends only on `(plan, p)` — `sweep_seed` computes it once per
 /// seed and shares it across the whole rule battery.
 pub fn worst_inflation(plan: &FaultPlan, p: usize) -> (f64, f64) {
     let arc = std::sync::Arc::new(plan.clone());

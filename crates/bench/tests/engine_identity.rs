@@ -164,6 +164,67 @@ fn engines_agree_on_crash_plan_errors() {
 }
 
 #[test]
+fn generated_pipeline_batch_is_bit_identical_across_engines() {
+    // A fixed-seed batch of 64 fuzz-generated pipelines — arbitrary stage
+    // compositions, table operators, machine sizes, fault plans, and
+    // pre-fused forms — through the same three-engine identity gate the
+    // hand-enumerated rule batteries use above. Failures print the
+    // case's spec string, replayable via `collopt fuzz --replay`.
+    use collopt_fuzz::{generate_case, GenConfig};
+
+    const BASE_SEED: u64 = 0xBA7C_4000;
+    par_map((0..64u64).collect(), |i| {
+        let case = generate_case(BASE_SEED + i, &GenConfig::default());
+        let tag = format!("batch case {} [spec: {}]", BASE_SEED + i, case.render());
+        let clock = ClockParams::new(100.0, 2.0);
+        let prog = case.program();
+        let inputs = case.inputs();
+        let plan = case.plan.as_ref();
+        if plan.is_none_or(FaultPlan::is_recoverable) {
+            let legacy = run_traced(&prog, &inputs, clock, plan, ExecEngine::Legacy)
+                .unwrap_or_else(|e| panic!("{tag} legacy: {e}"));
+            let pooled = run_traced(&prog, &inputs, clock, plan, ExecEngine::Pooled)
+                .unwrap_or_else(|e| panic!("{tag} pooled: {e}"));
+            let des = run_traced(&prog, &inputs, clock, plan, ExecEngine::Des)
+                .unwrap_or_else(|e| panic!("{tag} des: {e}"));
+            assert_identical(&tag, &legacy, &pooled);
+            assert_identical(&format!("{tag} (des)"), &legacy, &des);
+        } else {
+            // Crash plans: runs may abort, so compare Result-level outcomes.
+            let plan = plan.unwrap();
+            let legacy = execute_faulted(
+                &prog,
+                &inputs,
+                clock,
+                engine_config(ExecEngine::Legacy),
+                plan,
+            );
+            for other in [ExecEngine::Pooled, ExecEngine::Des] {
+                let outcome = execute_faulted(&prog, &inputs, clock, engine_config(other), plan);
+                match (&legacy, &outcome) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.outputs, b.outputs, "{tag} vs {}", other.name());
+                        assert_eq!(
+                            a.makespan.to_bits(),
+                            b.makespan.to_bits(),
+                            "{tag} vs {}",
+                            other.name()
+                        );
+                    }
+                    (Err(a), Err(b)) => {
+                        assert_eq!(a, b, "{tag}: {} errors differ", other.name())
+                    }
+                    (a, b) => panic!(
+                        "{tag}: {} disagrees on success: {a:?} vs {b:?}",
+                        other.name()
+                    ),
+                }
+            }
+        }
+    });
+}
+
+#[test]
 fn engines_agree_under_every_collective_lowering_variant() {
     // The adaptive lowering paths (cost-model-selected broadcast and
     // reduction algorithms) route through different collectives — the

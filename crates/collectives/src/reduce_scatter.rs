@@ -265,7 +265,7 @@ pub async fn reduce_scatter_ring_async<S: Splittable + Clone + Send + 'static>(
 /// * other `p`, commutative operator: ring reduce-scatter + ring
 ///   allgather (see [`allreduce_ring`]);
 /// * other `p`, non-commutative: the order-safe binomial
-///   reduce + broadcast fallback of [`allreduce`].
+///   reduce + broadcast fallback of [`allreduce`](crate::allreduce).
 pub fn allreduce_rabenseifner<S: Splittable + Clone + Send + 'static>(
     ctx: &mut Ctx,
     value: S,

@@ -231,6 +231,11 @@ pub struct RewriteStep {
     pub description: String,
     /// The precondition certificate justifying this application.
     pub certificate: Certificate,
+    /// Whether this application only preserves the first processor's
+    /// value (the Local rules; see [`crate::rules::Rewrite::rank0_only`]).
+    /// Differential checkers use this to decide which ranks an
+    /// optimized/unoptimized comparison may inspect.
+    pub rank0_only: bool,
 }
 
 /// Result of an optimization run.
@@ -406,7 +411,7 @@ impl Rewriter {
         &self,
         prog: &Program,
         rejections: &mut Vec<RuleRejection>,
-    ) -> Option<(usize, Rule, Vec<Stage>, Option<f64>, Certificate)> {
+    ) -> Option<(usize, Rule, Vec<Stage>, Option<f64>, Certificate, bool)> {
         for at in 0..prog.len() {
             for rule in RULE_PRIORITY {
                 let Some(rw) = rules::try_match(rule, &prog.stages()[at..]) else {
@@ -418,16 +423,19 @@ impl Rewriter {
                 let Some(cert) = self.certify(rule, &prog.stages()[at..], at, rejections) else {
                     continue;
                 };
+                let rank0_only = rw.rank0_only;
                 let replacement = rw.stages;
                 match self.strategy {
-                    Strategy::Exhaustive => return Some((at, rule, replacement, None, cert)),
+                    Strategy::Exhaustive => {
+                        return Some((at, rule, replacement, None, cert, rank0_only))
+                    }
                     Strategy::CostGuided { params, block } => {
                         let candidate =
                             prog.splice(at, rules::window_len(rule), replacement.clone());
                         let saving = program_cost(prog, &params, block)
                             - program_cost(&candidate, &params, block);
                         if saving > 0.0 {
-                            return Some((at, rule, replacement, Some(saving), cert));
+                            return Some((at, rule, replacement, Some(saving), cert, rank0_only));
                         }
                     }
                 }
@@ -480,6 +488,7 @@ impl Rewriter {
                     else {
                         continue;
                     };
+                    let rank0_only = rw.rank0_only;
                     let mut next = current.splice(at, rules::window_len(rule), rw.stages);
                     if self.normalize {
                         next = enabling::normalize(&next).0;
@@ -496,6 +505,7 @@ impl Rewriter {
                         ),
                         description: format!("{current}  →[{rule}]→  {next}"),
                         certificate: cert,
+                        rank0_only,
                     });
                     let cost = program_cost(&next, params, m);
                     if cost < best_cost {
@@ -532,7 +542,7 @@ impl Rewriter {
         // belt-and-braces guard.
         let cap = prog.collective_count() + 1;
         for _ in 0..cap {
-            let Some((at, rule, replacement, saving, cert)) =
+            let Some((at, rule, replacement, saving, cert, rank0_only)) =
                 self.find_step(&current, &mut rejections)
             else {
                 break;
@@ -544,6 +554,7 @@ impl Rewriter {
                 saving,
                 description: format!("{current}  →[{rule}]→  {next}"),
                 certificate: cert,
+                rank0_only,
             });
             current = next;
             if self.normalize {

@@ -1,0 +1,148 @@
+//! Differential fuzz campaign driver.
+//!
+//! Environment knobs:
+//!   FUZZ_ITERS    cases to run              (default 500)
+//!   FUZZ_SEED     base seed                 (default 0xC0110)
+//!   FUZZ_PMAX     largest machine size      (default 9)
+//!   FUZZ_M        largest words per block   (default 4)
+//!   FUZZ_PIN      0 disables corpus pinning (default 1)
+//!   SWEEP_WORKERS worker threads            (default: all cores)
+//!
+//! Always writes the coverage summary to `results/BENCH_fuzz.json`. On
+//! oracle violations: prints a reproducing `seed=.. [oracle] .. [spec: ..]`
+//! line per failure (exactly like `gen_chaos`), shrinks each to a local
+//! minimum, pins the shrunk cases into `tests/corpus/`, writes
+//! `results/fuzz_failures.json`, and exits 1. A campaign in which any of
+//! the 11 Table-1 rules never fired also exits 1.
+
+use std::fs;
+use std::time::Instant;
+
+use collopt_bench::sweep_driver::default_workers;
+use collopt_fuzz::{pin, run_campaign, shrink_failures, CampaignConfig, GenConfig};
+
+fn env_or(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Cap on how many failures get the (expensive) shrink treatment.
+const SHRINK_CAP: usize = 10;
+
+fn main() {
+    let iters = env_or("FUZZ_ITERS", 500);
+    let seed = env_or("FUZZ_SEED", 0xC0110);
+    let pmax = env_or("FUZZ_PMAX", 9).clamp(2, 64) as usize;
+    let mmax = env_or("FUZZ_M", 4).clamp(1, 64) as usize;
+    let pin_enabled = env_or("FUZZ_PIN", 1) != 0;
+    let workers = default_workers();
+
+    let cfg = CampaignConfig {
+        seed,
+        iters,
+        gen: GenConfig { pmax, mmax },
+        workers: None,
+    };
+
+    println!("# collopt differential fuzz campaign");
+    println!("# iters={iters} seed={seed} pmax={pmax} mmax={mmax} workers={workers}");
+    let start = Instant::now();
+    let result = run_campaign(&cfg);
+    let wall_ms = start.elapsed().as_millis();
+    println!("{}", result.ledger.summary());
+    println!("# wall-clock: {wall_ms} ms");
+
+    fs::create_dir_all("results").expect("create results/");
+    let missing = result.ledger.missing_rules();
+    let bench_json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"fuzz\",\n",
+            "  \"seed\": {},\n",
+            "  \"iters\": {},\n",
+            "  \"workers\": {},\n",
+            "  \"wall_ms\": {},\n",
+            "  \"failures\": {},\n",
+            "  \"missing_rules\": [{}],\n",
+            "  \"passed\": {},\n",
+            "  \"coverage\": {}\n",
+            "}}\n"
+        ),
+        seed,
+        iters,
+        workers,
+        wall_ms,
+        result.failures.len(),
+        missing
+            .iter()
+            .map(|r| format!("\"{r}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        result.passed(),
+        result.ledger.to_json(),
+    );
+    fs::write("results/BENCH_fuzz.json", bench_json).expect("write results/BENCH_fuzz.json");
+    println!("# coverage summary written to results/BENCH_fuzz.json");
+
+    if !result.failures.is_empty() {
+        eprintln!("FUZZ FAILURES ({}):", result.failures.len());
+        for f in &result.failures {
+            eprintln!("  [{}] {f}", f.oracle.label());
+        }
+
+        eprintln!("# shrinking up to {SHRINK_CAP} failing cases...");
+        let shrunk = shrink_failures(&result.failures, SHRINK_CAP);
+        let mut failures_json = String::from("[\n");
+        for (i, (failure, small)) in shrunk.iter().enumerate() {
+            let small_spec = small.render();
+            eprintln!("  shrunk seed={}: {small_spec}", failure.seed);
+            if pin_enabled {
+                let notes = vec![
+                    format!("oracle: {}", failure.oracle.label()),
+                    format!("what: {}", failure.what),
+                    format!("original: {}", failure.spec),
+                ];
+                match pin(std::path::Path::new("tests/corpus"), small, &notes) {
+                    Ok(path) => eprintln!("  pinned to {}", path.display()),
+                    Err(e) => eprintln!("  pin failed: {e}"),
+                }
+            }
+            failures_json.push_str(&format!(
+                concat!(
+                    "  {{\"seed\": {}, \"oracle\": \"{}\", \"what\": \"{}\", ",
+                    "\"spec\": \"{}\", \"shrunk\": \"{}\"}}{}\n"
+                ),
+                failure.seed,
+                failure.oracle.label(),
+                json_escape(&failure.what),
+                json_escape(&failure.spec),
+                json_escape(&small_spec),
+                if i + 1 < shrunk.len() { "," } else { "" },
+            ));
+        }
+        failures_json.push_str("]\n");
+        fs::write("results/fuzz_failures.json", failures_json)
+            .expect("write results/fuzz_failures.json");
+        eprintln!("# failing specs written to results/fuzz_failures.json");
+        std::process::exit(1);
+    }
+
+    if !missing.is_empty() {
+        eprintln!("COVERAGE GAP: rules never fired: {missing:?}");
+        std::process::exit(1);
+    }
+    println!(
+        "# OK: {} cases, {}/11 rules, {} planted lies all caught",
+        result.ledger.cases,
+        result.ledger.rules_fired(),
+        result.ledger.lies_caught
+    );
+}

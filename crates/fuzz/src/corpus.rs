@@ -1,0 +1,144 @@
+//! The pinned-regression corpus.
+//!
+//! Every failing case the fuzzer shrinks is written to `tests/corpus/`
+//! as a `.case` file: `#`-prefixed comment lines (what failed, when, from
+//! which seed) followed by a single [`CaseSpec`] spec-string line. A
+//! loader test replays every corpus file through the full oracle battery
+//! forever — a regression pinned once never silently un-pins.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::gen::CaseSpec;
+
+/// One corpus entry: its path, leading comments, and the parsed case.
+#[derive(Debug, Clone)]
+pub struct CorpusCase {
+    /// File the case was loaded from.
+    pub path: PathBuf,
+    /// Comment lines (without the `#`), e.g. the original failure line.
+    pub notes: Vec<String>,
+    /// The pinned case.
+    pub case: CaseSpec,
+}
+
+/// Parse one `.case` file body.
+pub fn parse_case_file(text: &str) -> Result<(Vec<String>, CaseSpec), String> {
+    let mut notes = Vec::new();
+    let mut spec = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            notes.push(rest.trim().to_string());
+        } else if spec.is_none() {
+            spec = Some(line.to_string());
+        } else {
+            return Err("multiple spec lines in one case file".to_string());
+        }
+    }
+    let spec = spec.ok_or("no spec line in case file")?;
+    Ok((notes, CaseSpec::parse(&spec)?))
+}
+
+/// Load every `*.case` file under `dir`, sorted by file name so replay
+/// order is stable. A corpus directory that does not exist yet is an
+/// empty corpus, not an error.
+pub fn load_corpus(dir: &Path) -> Result<Vec<CorpusCase>, String> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("reading {}: {e}", dir.display())),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "case"))
+        .collect();
+    paths.sort();
+    let mut cases = Vec::new();
+    for path in paths {
+        let text = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let (notes, case) =
+            parse_case_file(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        cases.push(CorpusCase { path, notes, case });
+    }
+    Ok(cases)
+}
+
+/// Stable file name for a case: FNV-1a of its spec string, so pinning the
+/// same shrunk case twice overwrites rather than duplicates.
+pub fn corpus_file_name(case: &CaseSpec) -> String {
+    format!("pinned_{:016x}.case", fnv1a(case.render().as_bytes()))
+}
+
+/// Write (or overwrite) `case` into `dir`, creating the directory if
+/// needed. Returns the file path.
+pub fn pin(dir: &Path, case: &CaseSpec, notes: &[String]) -> Result<PathBuf, String> {
+    fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let path = dir.join(corpus_file_name(case));
+    let mut body = String::new();
+    for note in notes {
+        body.push_str("# ");
+        body.push_str(note);
+        body.push('\n');
+    }
+    body.push_str(&case.render());
+    body.push('\n');
+    fs::write(&path, body).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(path)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_case, GenConfig};
+
+    #[test]
+    fn case_files_round_trip_through_pin_and_load() {
+        let dir = std::env::temp_dir().join(format!("collopt-fuzz-corpus-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cfg = GenConfig::default();
+        for seed in [1u64, 9, 16] {
+            let case = generate_case(seed, &cfg);
+            pin(&dir, &case, &[format!("seed {seed} test pin")]).expect("pin");
+        }
+        let loaded = load_corpus(&dir).expect("load");
+        assert_eq!(loaded.len(), 3);
+        for entry in &loaded {
+            assert!(!entry.notes.is_empty());
+            assert!(entry.case.validate().is_ok());
+        }
+        // Pinning the same case again does not grow the corpus.
+        pin(&dir, &loaded[0].case, &["again".to_string()]).expect("re-pin");
+        assert_eq!(load_corpus(&dir).expect("reload").len(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_corpus() {
+        let dir = Path::new("/nonexistent/collopt-fuzz-nowhere");
+        assert!(load_corpus(dir).expect("empty").is_empty());
+    }
+
+    #[test]
+    fn malformed_case_files_are_rejected() {
+        assert!(parse_case_file("# only comments\n").is_err());
+        assert!(parse_case_file("not a spec\n").is_err());
+        let cfg = GenConfig::default();
+        let spec = generate_case(5, &cfg).render();
+        let two = format!("{spec}\n{spec}\n");
+        assert!(parse_case_file(&two).is_err());
+    }
+}

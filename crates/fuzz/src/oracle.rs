@@ -1,0 +1,678 @@
+//! The three differential oracles.
+//!
+//! 1. **Rewrite** — a property-verified optimization of the generated
+//!    pipeline must leave the mathematical semantics and the simulated
+//!    execution outputs bit-identical on every rank (rank 0 only for the
+//!    paper's Local rules, and only on pipelines where that comparison
+//!    is sound).
+//! 2. **Engines** — the Legacy, Pooled and Des execution engines must
+//!    produce identical outputs, makespan bits, message/retry counters
+//!    and Chrome trace exports for the same program, inputs and fault
+//!    plan (identical [`MachineError`]s for unrecoverable plans).
+//! 3. **Defense** — the operator auditor, the audited rewriter, the
+//!    certificate validator and the linter must be *unanimous* about
+//!    planted law lies: a lie caught by one must be caught by all, and an
+//!    honest table must pass all four. Under-claims (true-but-undeclared
+//!    laws) must likewise surface in both the auditor and the linter.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use collopt_analysis::audit::{audit_operator, AuditConfig, Domain};
+use collopt_analysis::certify::{validate_result, CertificateIssue};
+use collopt_analysis::lint::{lint_program, LintConfig};
+use collopt_core::exec::{
+    execute_faulted, execute_faulted_traced, execute_traced_with, execute_with, ExecConfig,
+    TracedExecOutcome,
+};
+use collopt_core::op::value_close_with;
+use collopt_core::rewrite::Rewriter;
+use collopt_core::semantics::eval_program;
+use collopt_core::term::Program;
+use collopt_core::value::Value;
+use collopt_machine::{chrome_trace_json, ClockParams, ExecEngine, MachineError};
+
+use crate::gen::{CaseDomain, CaseSpec, N};
+use crate::ledger::CoverageLedger;
+
+/// Float tolerance for output comparison; generated float inputs are
+/// dyadic so runs are exact in practice — the tolerance only guards
+/// against pathological future operators.
+const OUT_RTOL: f64 = 1e-9;
+
+/// Which oracle a failure came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleKind {
+    /// Optimized vs. unoptimized divergence.
+    Rewrite,
+    /// Cross-engine divergence.
+    Engines,
+    /// Defense-layer (auditor/rewriter/certifier/linter) disagreement.
+    Defense,
+}
+
+impl OracleKind {
+    /// Short tag used in failure lines and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OracleKind::Rewrite => "rewrite",
+            OracleKind::Engines => "engines",
+            OracleKind::Defense => "defense",
+        }
+    }
+}
+
+/// One oracle violation, self-contained: the spec string reproduces the
+/// case without any other state.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// Seed of the generated case.
+    pub seed: u64,
+    /// Which oracle tripped.
+    pub oracle: OracleKind,
+    /// `CaseSpec::render()` of the failing case.
+    pub spec: String,
+    /// What diverged.
+    pub what: String,
+}
+
+impl fmt::Display for FuzzFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={} [{}] {} [spec: {}]",
+            self.seed,
+            self.oracle.label(),
+            self.what,
+            self.spec
+        )
+    }
+}
+
+/// The shared clock every oracle executes under.
+pub fn oracle_clock() -> ClockParams {
+    ClockParams::new(100.0, 2.0)
+}
+
+/// Run all applicable oracles on one case, recording coverage.
+pub fn run_case(case: &CaseSpec, ledger: &mut CoverageLedger) -> Vec<FuzzFailure> {
+    let mut failures = Vec::new();
+    ledger.cases += 1;
+    *ledger.domains.entry(case.domain.label()).or_insert(0) += 1;
+    *ledger.engines.entry(engine_name(case.engine)).or_insert(0) += 1;
+    *ledger.faults.entry(fault_kind(case)).or_insert(0) += 1;
+    for stage in case.program().stages() {
+        ledger.record_stage(stage_kind(&stage.describe()));
+    }
+    let over = case.over_claims();
+    let under = case.under_claims();
+    if over.is_empty() {
+        ledger.honest += 1;
+    } else {
+        ledger.over_claim_cases += 1;
+    }
+    if !under.is_empty() {
+        ledger.under_claim_cases += 1;
+    }
+
+    check_rewrite(case, ledger, &mut failures);
+    check_engines(case, &mut failures);
+    if case.domain == CaseDomain::Table {
+        let before = failures.len();
+        check_defenses(case, &mut failures);
+        if !over.is_empty() && failures.len() == before {
+            ledger.lies_caught += 1;
+        }
+    }
+    failures
+}
+
+fn engine_name(e: ExecEngine) -> &'static str {
+    match e {
+        ExecEngine::Legacy => "legacy",
+        ExecEngine::Pooled => "pooled",
+        ExecEngine::Des => "des",
+    }
+}
+
+/// Fault-kind bucket for the coverage ledger.
+fn fault_kind(case: &CaseSpec) -> &'static str {
+    match &case.plan {
+        None => "none",
+        Some(p) if p.crash.is_some() => "crash",
+        Some(p) if p.is_lossy() => "lossy",
+        Some(_) => "delay",
+    }
+}
+
+/// Stage-kind bucket: the leading token of [`Stage::describe`]
+/// (`"scan(t0)"` → `"scan"`, `"map id"` → `"map"`).
+fn stage_kind(describe: &str) -> String {
+    describe
+        .split([' ', '('])
+        .next()
+        .unwrap_or(describe)
+        .to_string()
+}
+
+/// Sample values for property verification: the *entire* table domain for
+/// table cases (verification becomes exact), the analyzer's audit pool
+/// otherwise.
+fn verification_samples(case: &CaseSpec) -> Vec<Value> {
+    let cfg = AuditConfig::default();
+    match case.domain {
+        CaseDomain::Table => (0..N).map(Value::Int).collect(),
+        CaseDomain::Int => collopt_analysis::audit::samples_for_domain(Domain::Int, &cfg),
+        CaseDomain::Bool => collopt_analysis::audit::samples_for_domain(Domain::Bool, &cfg),
+        CaseDomain::Float => collopt_analysis::audit::samples_for_domain(Domain::Float, &cfg),
+    }
+}
+
+fn values_eq(domain: CaseDomain, a: &Value, b: &Value) -> bool {
+    match domain {
+        CaseDomain::Float => value_close_with(a, b, OUT_RTOL),
+        _ => a == b,
+    }
+}
+
+fn push(failures: &mut Vec<FuzzFailure>, case: &CaseSpec, oracle: OracleKind, what: String) {
+    failures.push(FuzzFailure {
+        seed: case.seed,
+        oracle,
+        spec: case.render(),
+        what,
+    });
+}
+
+// ---------------------------------------------------------------------
+// Oracle 1: optimized == unoptimized
+// ---------------------------------------------------------------------
+
+fn check_rewrite(case: &CaseSpec, ledger: &mut CoverageLedger, failures: &mut Vec<FuzzFailure>) {
+    // The *base* (unfused) pipeline: fused stages carry tuple-typed
+    // internal operators that scalar verification samples cannot probe;
+    // pre-fused forms are exercised by the engine oracle instead.
+    let prog = case.base_program();
+    let inputs = case.inputs();
+    let samples = verification_samples(case);
+    let config = ExecConfig {
+        engine: Some(case.engine),
+        ..ExecConfig::default()
+    };
+
+    // Pass (a): full-rank-preserving rules only — every rank comparable.
+    let full = Rewriter::exhaustive()
+        .verify_properties(samples.clone())
+        .allow_rank0_rules(false)
+        .optimize(&prog);
+    for step in &full.steps {
+        ledger.record_rule(step.rule);
+    }
+    compare_programs(case, &prog, &full.program, &inputs, config, None, failures);
+
+    // Pass (b): with the Local (rank0-only) rules. Sound to compare only
+    // when non-root ranks cannot feed back into rank 0 afterwards.
+    let local = Rewriter::exhaustive()
+        .verify_properties(samples)
+        .optimize(&prog);
+    let applied_rank0 = local.steps.iter().any(|s| s.rank0_only);
+    for step in &local.steps {
+        ledger.record_rule(step.rule);
+    }
+    if applied_rank0 {
+        if case.rank0_comparison_safe() {
+            compare_programs(
+                case,
+                &prog,
+                &local.program,
+                &inputs,
+                config,
+                Some(0),
+                failures,
+            );
+        }
+    } else if local.program.to_string() != full.program.to_string() {
+        push(
+            failures,
+            case,
+            OracleKind::Rewrite,
+            format!(
+                "rank0 pass applied no rank0-only step yet diverged: `{}` vs `{}`",
+                local.program, full.program
+            ),
+        );
+    }
+}
+
+/// Compare reference semantics and machine outputs of two programs;
+/// `only_rank` restricts the comparison (rank0-only rewrites).
+#[allow(clippy::too_many_arguments)]
+fn compare_programs(
+    case: &CaseSpec,
+    original: &Program,
+    optimized: &Program,
+    inputs: &[Value],
+    config: ExecConfig,
+    only_rank: Option<usize>,
+    failures: &mut Vec<FuzzFailure>,
+) {
+    let ranks: Vec<usize> = match only_rank {
+        Some(r) => vec![r],
+        None => (0..case.p).collect(),
+    };
+
+    let sem_a = eval_program(original, inputs);
+    let sem_b = eval_program(optimized, inputs);
+    for &r in &ranks {
+        if !values_eq(case.domain, &sem_a[r], &sem_b[r]) {
+            push(
+                failures,
+                case,
+                OracleKind::Rewrite,
+                format!(
+                    "semantics diverge at rank {r}: {:?} vs {:?} (optimized: `{optimized}`)",
+                    sem_a[r], sem_b[r]
+                ),
+            );
+            return;
+        }
+    }
+
+    let clock = oracle_clock();
+    let run_a = execute_with(original, inputs, clock, config);
+    let run_b = execute_with(optimized, inputs, clock, config);
+    for &r in &ranks {
+        if !values_eq(case.domain, &run_a.outputs[r], &run_b.outputs[r]) {
+            push(
+                failures,
+                case,
+                OracleKind::Rewrite,
+                format!(
+                    "machine outputs diverge at rank {r}: {:?} vs {:?} (optimized: `{optimized}`)",
+                    run_a.outputs[r], run_b.outputs[r]
+                ),
+            );
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Oracle 2: Legacy == Pooled == Des
+// ---------------------------------------------------------------------
+
+fn check_engines(case: &CaseSpec, failures: &mut Vec<FuzzFailure>) {
+    let prog = case.program();
+    let inputs = case.inputs();
+    let clock = oracle_clock();
+    let config = |engine| ExecConfig {
+        engine: Some(engine),
+        profile: true,
+        ..ExecConfig::default()
+    };
+    let engines = [ExecEngine::Legacy, ExecEngine::Pooled, ExecEngine::Des];
+
+    let recoverable = case
+        .plan
+        .as_ref()
+        .is_none_or(collopt_machine::FaultPlan::is_recoverable);
+    if recoverable {
+        // Completed traced runs: compare every observable bit-for-bit.
+        let mut runs: Vec<(ExecEngine, TracedExecOutcome)> = Vec::new();
+        for engine in engines {
+            let run = match &case.plan {
+                None => Ok(execute_traced_with(&prog, &inputs, clock, config(engine))),
+                Some(plan) => execute_faulted_traced(&prog, &inputs, clock, config(engine), plan),
+            };
+            match run {
+                Ok(run) => runs.push((engine, run)),
+                Err(e) => {
+                    push(
+                        failures,
+                        case,
+                        OracleKind::Engines,
+                        format!("{} failed a recoverable plan: {e}", engine_name(engine)),
+                    );
+                    return;
+                }
+            }
+        }
+        let (base_engine, base) = &runs[0];
+        for (engine, run) in &runs[1..] {
+            let tag = format!("{} vs {}", engine_name(*base_engine), engine_name(*engine));
+            let a = &base.outcome;
+            let b = &run.outcome;
+            let mut diverge = |what: &str| {
+                push(
+                    failures,
+                    case,
+                    OracleKind::Engines,
+                    format!("{tag}: {what} differ"),
+                );
+            };
+            if a.outputs != b.outputs {
+                diverge("outputs");
+            } else if a.makespan.to_bits() != b.makespan.to_bits() {
+                diverge("makespan bits");
+            } else if a.total_compute.to_bits() != b.total_compute.to_bits() {
+                diverge("compute-time bits");
+            } else if a.total_messages != b.total_messages {
+                diverge("message counts");
+            } else if a.total_retries != b.total_retries {
+                diverge("retry counts");
+            } else if a.total_retry_time.to_bits() != b.total_retry_time.to_bits() {
+                diverge("retry-time bits");
+            } else if chrome_trace_json(&[("fuzz", &base.trace)])
+                != chrome_trace_json(&[("fuzz", &run.trace)])
+            {
+                diverge("Chrome trace exports");
+            }
+        }
+    } else {
+        // Unrecoverable plan: engines must agree on the error too.
+        let plan = case.plan.as_ref().expect("unrecoverable implies a plan");
+        let results: Vec<(ExecEngine, Result<_, MachineError>)> = engines
+            .map(|e| (e, execute_faulted(&prog, &inputs, clock, config(e), plan)))
+            .into_iter()
+            .collect();
+        let (base_engine, base) = &results[0];
+        for (engine, outcome) in &results[1..] {
+            let tag = format!("{} vs {}", engine_name(*base_engine), engine_name(*engine));
+            match (base, outcome) {
+                (Ok(a), Ok(b)) => {
+                    if a.outputs != b.outputs {
+                        push(
+                            failures,
+                            case,
+                            OracleKind::Engines,
+                            format!("{tag}: outputs differ"),
+                        );
+                    } else if a.makespan.to_bits() != b.makespan.to_bits() {
+                        push(
+                            failures,
+                            case,
+                            OracleKind::Engines,
+                            format!("{tag}: makespan bits differ"),
+                        );
+                    }
+                }
+                (Err(a), Err(b)) => {
+                    if a != b {
+                        push(
+                            failures,
+                            case,
+                            OracleKind::Engines,
+                            format!("{tag}: errors differ ({a} vs {b})"),
+                        );
+                    }
+                }
+                (a, b) => push(
+                    failures,
+                    case,
+                    OracleKind::Engines,
+                    format!(
+                        "{tag}: disagree on success ({} vs {})",
+                        if a.is_ok() { "ok" } else { "err" },
+                        if b.is_ok() { "ok" } else { "err" }
+                    ),
+                ),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Oracle 3: defense-layer unanimity
+// ---------------------------------------------------------------------
+
+fn check_defenses(case: &CaseSpec, failures: &mut Vec<FuzzFailure>) {
+    // Analyzed on the *base* (unfused) pipeline: fused stages hide their
+    // operators behind closures, which would blind the linter to tables
+    // the brute-force expectation still counts.
+    let prog = case.base_program();
+    let cfg = AuditConfig::default();
+    let full_domain: Vec<Value> = (0..N).map(Value::Int).collect();
+
+    let expected_over: BTreeSet<String> = case.over_claims().into_iter().map(|c| c.law).collect();
+    let expected_under: BTreeSet<String> = case.under_claims().into_iter().map(|c| c.law).collect();
+
+    // Leg 1: the standalone auditor must find exactly the planted claim
+    // gaps — set equality in both directions, no sampling slack (the
+    // audit pool covers every residue class of the wrapped tables).
+    let binops: Vec<_> = case
+        .tables
+        .iter()
+        .enumerate()
+        .map(|(i, t)| t.binop(i))
+        .collect();
+    let mut audit_over = BTreeSet::new();
+    let mut audit_under = BTreeSet::new();
+    for op in &binops {
+        let audit = audit_operator(op, Domain::Int, &binops, &cfg);
+        audit_over.extend(audit.over_claims.into_iter().map(|c| c.law));
+        audit_under.extend(audit.under_claims.into_iter().map(|c| c.law));
+    }
+    if audit_over != expected_over {
+        push(
+            failures,
+            case,
+            OracleKind::Defense,
+            format!("auditor over-claims {audit_over:?} != planted {expected_over:?}"),
+        );
+    }
+    if audit_under != expected_under {
+        push(
+            failures,
+            case,
+            OracleKind::Defense,
+            format!("auditor under-claims {audit_under:?} != planted {expected_under:?}"),
+        );
+    }
+
+    // Leg 2: trusting vs audited rewriter + certificate validator.
+    let trusting = Rewriter::exhaustive().optimize(&prog);
+    let audited = Rewriter::exhaustive()
+        .audited(full_domain.clone())
+        .optimize(&prog);
+    let trusting_issues = validate_result(&trusting, &full_domain, &cfg);
+    let audited_issues = validate_result(&audited, &full_domain, &cfg);
+
+    if !audited_issues.is_empty() {
+        push(
+            failures,
+            case,
+            OracleKind::Defense,
+            format!(
+                "audited rewriter produced a refutable certificate: {:?}",
+                audited_issues.first()
+            ),
+        );
+    }
+    let rejected_laws: BTreeSet<String> =
+        audited.rejections.iter().map(|r| r.law.clone()).collect();
+    if let Some(bogus) = rejected_laws.difference(&expected_over).next() {
+        push(
+            failures,
+            case,
+            OracleKind::Defense,
+            format!("audited rewriter rejected a *true* law: {bogus:?}"),
+        );
+    }
+
+    if expected_over.is_empty() {
+        // Honest table: nobody may cry wolf, and auditing must not cost
+        // any rewrite the trusting engine found.
+        if !audited.rejections.is_empty() {
+            push(
+                failures,
+                case,
+                OracleKind::Defense,
+                format!(
+                    "honest case, yet audited rewriter rejected: {}",
+                    audited.rejections[0]
+                ),
+            );
+        }
+        if !trusting_issues.is_empty() {
+            push(
+                failures,
+                case,
+                OracleKind::Defense,
+                format!(
+                    "honest case, yet certifier flagged: {:?}",
+                    trusting_issues[0]
+                ),
+            );
+        }
+        if audited.steps.len() != trusting.steps.len() {
+            push(
+                failures,
+                case,
+                OracleKind::Defense,
+                format!(
+                    "honest case, yet auditing changed the plan: {} vs {} steps",
+                    audited.steps.len(),
+                    trusting.steps.len()
+                ),
+            );
+        }
+    } else {
+        // Planted lie: the generator guarantees the highest-priority
+        // match needs the lying law, so the trusting engine fused on it —
+        // the audited engine must reject it and the validator must refute
+        // the trusting result, both naming a planted law.
+        if trusting.steps.is_empty() {
+            push(
+                failures,
+                case,
+                OracleKind::Defense,
+                "planted lie was not load-bearing: trusting engine applied nothing".to_string(),
+            );
+        }
+        if !audited
+            .rejections
+            .iter()
+            .any(|r| expected_over.contains(&r.law))
+        {
+            push(
+                failures,
+                case,
+                OracleKind::Defense,
+                format!(
+                    "audited rewriter missed the lie: rejections {:?}, planted {expected_over:?}",
+                    audited.rejections
+                ),
+            );
+        }
+        let validator_laws: Vec<&String> = trusting_issues
+            .iter()
+            .filter_map(|i| match i {
+                CertificateIssue::LawViolated { law, .. } => Some(law),
+                _ => None,
+            })
+            .collect();
+        if !validator_laws.iter().any(|l| expected_over.contains(*l)) {
+            push(
+                failures,
+                case,
+                OracleKind::Defense,
+                format!(
+                    "certificate validator missed the lie: flagged {validator_laws:?}, planted {expected_over:?}"
+                ),
+            );
+        }
+    }
+
+    // Leg 3: the linter. COL002 (unsound declaration) iff an over-claim
+    // was planted; COL005 (under-declared property) iff one exists.
+    let lint_cfg = LintConfig {
+        fallback_domain: Some(Domain::Int),
+        ..LintConfig::default()
+    };
+    let report = lint_program(&prog, None, &lint_cfg);
+    let has = |code: &str| report.diagnostics.iter().any(|d| d.code == code);
+    if has("COL002") == expected_over.is_empty() {
+        push(
+            failures,
+            case,
+            OracleKind::Defense,
+            format!(
+                "linter COL002 {} but planted over-claims are {expected_over:?}",
+                if has("COL002") { "fired" } else { "silent" }
+            ),
+        );
+    }
+    if has("COL005") == expected_under.is_empty() {
+        push(
+            failures,
+            case,
+            OracleKind::Defense,
+            format!(
+                "linter COL005 {} but under-claims are {expected_under:?}",
+                if has("COL005") { "fired" } else { "silent" }
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{case_mode, generate_case, CaseMode, GenConfig};
+
+    #[test]
+    fn smoke_campaign_over_first_seeds_is_clean() {
+        let cfg = GenConfig::default();
+        let mut ledger = CoverageLedger::new();
+        let mut failures = Vec::new();
+        for seed in 0..60 {
+            let case = generate_case(seed, &cfg);
+            failures.extend(run_case(&case, &mut ledger));
+        }
+        assert!(
+            failures.is_empty(),
+            "oracle violations:\n{}",
+            failures
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert_eq!(ledger.cases, 60);
+    }
+
+    #[test]
+    fn every_planted_lie_in_a_seed_window_is_caught() {
+        let cfg = GenConfig::default();
+        let mut ledger = CoverageLedger::new();
+        let mut lies = 0;
+        for seed in 0..120 {
+            if matches!(case_mode(seed), CaseMode::OverClaim(_)) {
+                let case = generate_case(seed, &cfg);
+                let failures = run_case(&case, &mut ledger);
+                assert!(failures.is_empty(), "seed {seed}: {}", failures[0]);
+                lies += 1;
+            }
+        }
+        assert!(lies >= 20);
+        assert_eq!(
+            ledger.lies_caught, lies,
+            "a lie slipped past a defense layer"
+        );
+    }
+
+    #[test]
+    fn rule_coverage_saturates_within_110_consecutive_honest_seeds() {
+        let cfg = GenConfig::default();
+        let mut ledger = CoverageLedger::new();
+        for seed in 0..220 {
+            let case = generate_case(seed, &cfg);
+            run_case(&case, &mut ledger);
+        }
+        assert!(
+            ledger.missing_rules().is_empty(),
+            "rules never fired: {:?}",
+            ledger.missing_rules()
+        );
+    }
+}

@@ -90,9 +90,9 @@ pub enum MachineError {
 
 impl MachineError {
     /// Is this a recoverable runtime fault (vs a programming error)?
-    /// Recoverable faults are the ones [`Machine::try_run`]
-    /// (crate::Machine::try_run) returns as `Err`; programming errors
-    /// still panic.
+    /// Recoverable faults are the ones
+    /// [`Machine::try_run`](crate::Machine::try_run) returns as `Err`;
+    /// programming errors still panic.
     pub fn is_recoverable(&self) -> bool {
         matches!(
             self,

@@ -234,6 +234,24 @@ impl FaultPlan {
         self.drop.is_some() || !self.drop_exact.is_empty()
     }
 
+    /// Is every injected fault survivable by the retry protocol — i.e.
+    /// is a run under this plan guaranteed to complete (bit-identically
+    /// to a clean run)? True when no rank crashes and every drop source
+    /// is bounded strictly below the retry budget, so each message is
+    /// eventually delivered. Differential harnesses use this to decide
+    /// whether to compare completed outcomes or surfaced errors.
+    pub fn is_recoverable(&self) -> bool {
+        self.crash.is_none()
+            && self
+                .drop
+                .as_ref()
+                .is_none_or(|d| d.max_consecutive < self.retry.max_attempts)
+            && self
+                .drop_exact
+                .iter()
+                .all(|d| d.count < self.retry.max_attempts)
+    }
+
     /// The largest compute slowdown factor anywhere in the plan (`>= 1`).
     /// Together with [`max_link_factor`](Self::max_link_factor) and
     /// [`max_link_add`](Self::max_link_add) this bounds a delay-only run:
@@ -525,6 +543,32 @@ mod tests {
             assert!(!inj.tick());
         }
         assert_eq!(inj.outgoing_drops(1), 0);
+    }
+
+    #[test]
+    fn recoverability_classification() {
+        // Empty and delay-only plans always recover.
+        assert!(FaultPlan::new(1).is_recoverable());
+        assert!(FaultPlan::new(1)
+            .with_straggler(0, 2.0)
+            .with_slow_link(0, 1, 2.0, 10.0)
+            .is_recoverable());
+        // Drops recover iff the worst burst stays below the retry budget.
+        assert!(FaultPlan::new(1).with_drops(0.2, 2).is_recoverable());
+        assert!(!FaultPlan::new(1).with_drops(0.2, 4).is_recoverable());
+        assert!(FaultPlan::new(1)
+            .with_drop_exact(0, 1, 3, 2)
+            .is_recoverable());
+        assert!(!FaultPlan::new(1)
+            .with_drop_exact(0, 1, 3, 4)
+            .is_recoverable());
+        // Raising the retry budget can make a lossy plan recoverable.
+        assert!(FaultPlan::new(1)
+            .with_drops(0.2, 4)
+            .with_retry(6, 500.0)
+            .is_recoverable());
+        // Crashes never recover.
+        assert!(!FaultPlan::new(1).with_crash(2, 7).is_recoverable());
     }
 
     #[test]

@@ -44,6 +44,18 @@
 //! * `--p/--ts/--tw/--m` machine model for the cost judgements (as above)
 //! * `--file PATH`       read the pipeline from a file instead of argv
 //!
+//! Fuzz mode — differential fuzzing of the whole stack:
+//!
+//! ```text
+//! $ collopt fuzz --iters 500 --seed 42
+//! $ collopt fuzz --replay "v1|seed=7|p=2|m=1|engine=legacy|domain=table|..."
+//! ```
+//!
+//! * `--iters N`        cases to generate and check (default 500)
+//! * `--seed N`         base seed (default 0xC0110)
+//! * `--pmax N, --m N`  generator shape limits (defaults 9, 4)
+//! * `--replay "SPEC"`  re-run one pinned case from its spec string
+//!
 //! Exit codes: 0 clean (notes allowed), 1 errors (or warnings under
 //! `--deny warnings`), 2 usage or parse errors.
 
@@ -55,6 +67,7 @@ use collopt::core::rewrite::{program_cost, Rewriter};
 use collopt::core::value::Value;
 use collopt::cost::table1::render_table1;
 use collopt::cost::MachineParams;
+use collopt::fuzz::{run_campaign, run_case, CampaignConfig, CaseSpec, CoverageLedger, GenConfig};
 use collopt::machine::{ClockParams, ExecEngine, FaultPlan};
 
 /// `collopt lint` — parse, analyze, report, and gate.
@@ -143,10 +156,84 @@ fn lint_main(args: Vec<String>) -> ! {
     std::process::exit(if gate { 1 } else { 0 });
 }
 
+/// `collopt fuzz` — run a differential fuzz campaign or replay one case.
+fn fuzz_main(args: Vec<String>) -> ! {
+    let mut iters = 500u64;
+    let mut seed = 0xC0110u64;
+    let mut pmax = 9usize;
+    let mut mmax = 4usize;
+    let mut replay: Option<String> = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--iters" => iters = grab("--iters").parse().expect("--iters expects an integer"),
+            "--seed" => seed = grab("--seed").parse().expect("--seed expects an integer"),
+            "--pmax" => pmax = grab("--pmax").parse().expect("--pmax expects an integer"),
+            "--m" => mmax = grab("--m").parse().expect("--m expects an integer"),
+            "--replay" => replay = Some(grab("--replay")),
+            other => {
+                eprintln!("unknown fuzz option {other}");
+                eprintln!(
+                    "usage: collopt fuzz [--iters N] [--seed N] [--pmax N] [--m N] \
+                     [--replay \"<spec>\"]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(spec) = replay {
+        let case = match CaseSpec::parse(&spec) {
+            Ok(case) => case,
+            Err(e) => {
+                eprintln!("bad case spec: {e}");
+                std::process::exit(2);
+            }
+        };
+        println!("replaying: {}", case.render());
+        let mut ledger = CoverageLedger::new();
+        let failures = run_case(&case, &mut ledger);
+        if failures.is_empty() {
+            println!("OK: all oracles clean");
+            std::process::exit(0);
+        }
+        for f in &failures {
+            eprintln!("  [{}] {f}", f.oracle.label());
+        }
+        std::process::exit(1);
+    }
+
+    let result = run_campaign(&CampaignConfig {
+        seed,
+        iters,
+        gen: GenConfig { pmax, mmax },
+        workers: None,
+    });
+    println!("{}", result.ledger.summary());
+    for f in &result.failures {
+        eprintln!("  [{}] {f}", f.oracle.label());
+    }
+    let missing = result.ledger.missing_rules();
+    if !missing.is_empty() {
+        eprintln!("rules never fired: {missing:?}");
+    }
+    std::process::exit(if result.passed() { 0 } else { 1 });
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "lint") {
         lint_main(args.split_off(1));
+    }
+    if args.first().is_some_and(|a| a == "fuzz") {
+        fuzz_main(args.split_off(1));
     }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
@@ -162,6 +249,10 @@ fn main() {
             ExecEngine::THREAD_MAX_P
         );
         eprintln!("  lint mode: collopt lint \"<pipeline>\" [--json] [--deny warnings]");
+        eprintln!(
+            "  fuzz mode: collopt fuzz [--iters N] [--seed N] [--pmax N] [--m N] \
+             [--replay \"<spec>\"]"
+        );
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
     if args.iter().any(|a| a == "--table1") {

@@ -19,7 +19,11 @@
 //!   machine executor;
 //! * [`analysis`] — the static soundness analyzer: operator-property
 //!   auditing with counterexample shrinking, rewrite-certificate
-//!   validation, and the `collopt lint` pipeline linter.
+//!   validation, and the `collopt lint` pipeline linter;
+//! * [`fuzz`] — coverage-guided differential fuzzing of all of the above:
+//!   a seeded pipeline generator, three oracles (rewrite soundness,
+//!   cross-engine identity, defense-layer unanimity on planted law lies),
+//!   a greedy shrinker and the pinned-regression corpus.
 //!
 //! See `examples/quickstart.rs` for a guided tour, `DESIGN.md` for the
 //! system inventory, and `EXPERIMENTS.md` for the paper-vs-measured record
@@ -48,6 +52,7 @@ pub use collopt_analysis as analysis;
 pub use collopt_collectives as collectives;
 pub use collopt_core as core;
 pub use collopt_cost as cost;
+pub use collopt_fuzz as fuzz;
 pub use collopt_machine as machine;
 
 /// One-stop imports for examples and downstream users.

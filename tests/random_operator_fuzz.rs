@@ -1,11 +1,10 @@
 //! Operator-table fuzzing: the rules' side conditions are *sufficient*
 //! for **every** operator, not just the friendly ones in the library.
 //!
-//! Strategy: draw random binary operations on the 4-element domain
-//! `{0,1,2,3}` as raw 4×4 lookup tables (from a seeded [`Rng`], so runs
-//! are reproducible), brute-force their algebraic properties
-//! (associativity, commutativity, distributivity — domains this small
-//! make the checks exhaustive, not sampled), and then:
+//! Built on the [`collopt::fuzz`] generator: random binary operations on
+//! the 4-element domain `{0,1,2,3}` come from [`TableSpec`] /
+//! [`gen::random_table`] (seeded, reproducible), their algebraic
+//! properties are brute-forced exhaustively, and then:
 //!
 //! * if a random table is associative + commutative, the commutative
 //!   rules (SR, SS) must preserve semantics for it;
@@ -13,109 +12,26 @@
 //!   distributes over `⊕`, the distributivity rules (SR2, SS2) must
 //!   preserve semantics;
 //! * the library's randomized property checkers must agree with the
-//!   brute-force ground truth on full-domain samples.
+//!   brute-force ground truth on full-domain samples;
+//! * whole *generated pipelines* — honest and lying — must satisfy all
+//!   three differential oracles on a seed window disjoint from the fuzz
+//!   crate's own tests.
 //!
 //! Any counterexample here would be a soundness bug in a fused-operator
 //! construction — the strongest class of test in the suite.
 
 use collopt::core::rules::{try_match, window_len, Rule};
 use collopt::core::semantics::eval_program;
+use collopt::fuzz::gen::{random_table, N};
+use collopt::fuzz::{
+    case_mode, generate_case, run_campaign, run_case, CampaignConfig, CaseMode, CoverageLedger,
+    GenConfig,
+};
 use collopt::machine::Rng;
 use collopt::prelude::*;
 
-const N: i64 = 4;
-
-/// A binary operation on {0..3} as a 16-entry lookup table.
-#[derive(Debug, Clone)]
-struct Table([i64; 16]);
-
-impl Table {
-    fn apply(&self, a: i64, b: i64) -> i64 {
-        self.0[(a * N + b) as usize]
-    }
-
-    fn is_associative(&self) -> bool {
-        for a in 0..N {
-            for b in 0..N {
-                for c in 0..N {
-                    if self.apply(self.apply(a, b), c) != self.apply(a, self.apply(b, c)) {
-                        return false;
-                    }
-                }
-            }
-        }
-        true
-    }
-
-    fn is_commutative(&self) -> bool {
-        for a in 0..N {
-            for b in 0..N {
-                if self.apply(a, b) != self.apply(b, a) {
-                    return false;
-                }
-            }
-        }
-        true
-    }
-
-    fn distributes_over(&self, other: &Table) -> bool {
-        for a in 0..N {
-            for b in 0..N {
-                for c in 0..N {
-                    let l = self.apply(a, other.apply(b, c));
-                    let r = other.apply(self.apply(a, b), self.apply(a, c));
-                    let l2 = self.apply(other.apply(b, c), a);
-                    let r2 = other.apply(self.apply(b, a), self.apply(c, a));
-                    if l != r || l2 != r2 {
-                        return false;
-                    }
-                }
-            }
-        }
-        true
-    }
-
-    fn binop(&self, name: &str) -> BinOp {
-        let t = self.0;
-        BinOp::new(name, move |a, b| {
-            Value::Int(t[(a.as_int() * N + b.as_int()) as usize])
-        })
-    }
-}
-
 fn full_domain() -> Vec<Value> {
     (0..N).map(Value::Int).collect()
-}
-
-/// Tables biased toward structure: random mixes of known associative
-/// operations and random perturbations, so the interesting (associative)
-/// cases actually occur.
-fn random_table(rng: &mut Rng) -> Table {
-    if rng.chance(0.5) {
-        // Pure random tables (mostly non-associative — exercise rejection).
-        let mut t = [0i64; 16];
-        for cell in t.iter_mut() {
-            *cell = rng.range_i64(0, N);
-        }
-        Table(t)
-    } else {
-        // Structured seeds: min, max, modular add, projections, constants.
-        let k = rng.range_usize(0, 6);
-        let mut t = [0i64; 16];
-        for a in 0..N {
-            for b in 0..N {
-                t[(a * N + b) as usize] = match k {
-                    0 => a.min(b),
-                    1 => a.max(b),
-                    2 => (a + b) % N,
-                    3 => (a * b) % N,
-                    4 => a, // left projection (associative, non-comm.)
-                    _ => 1, // constant (associative)
-                };
-            }
-        }
-        Table(t)
-    }
 }
 
 fn random_domain_vec(rng: &mut Rng, min_len: usize, max_len: usize) -> Vec<Value> {
@@ -149,9 +65,10 @@ fn library_checkers_agree_with_brute_force() {
         let t = random_table(&mut rng);
         let u = random_table(&mut rng);
         let samples = full_domain();
-        let a = t.binop("t");
-        let b = u.binop("u");
-        // On the full domain the sampled checkers ARE exhaustive.
+        let a = t.binop(0);
+        let b = u.binop(1);
+        // On the full domain the sampled checkers ARE exhaustive (the
+        // table ops wrap via rem_euclid, so laws on ℤ ⟺ laws on {0..3}).
         assert_eq!(a.check_associative(&samples), t.is_associative());
         assert_eq!(a.check_commutative(&samples), t.is_commutative());
         assert_eq!(
@@ -166,13 +83,14 @@ fn commutative_rules_sound_for_arbitrary_tables() {
     let mut rng = Rng::new(0xF023);
     let mut hits = 0;
     for _ in 0..96 {
-        let t = random_table(&mut rng);
+        let mut t = random_table(&mut rng);
         let inputs = random_domain_vec(&mut rng, 1, 10);
         if !(t.is_associative() && t.is_commutative()) {
             continue;
         }
         hits += 1;
-        let op = t.binop("fuzz").commutative();
+        t.declare_commutative = true;
+        let op = t.binop(0);
         check_rule(
             Rule::SrReduction,
             &Program::new().scan(op.clone()).allreduce(op.clone()),
@@ -205,15 +123,16 @@ fn distributive_rules_sound_for_arbitrary_table_pairs() {
     let mut rng = Rng::new(0xF024);
     let mut hits = 0;
     for _ in 0..96 {
-        let t = random_table(&mut rng);
+        let mut t = random_table(&mut rng);
         let u = random_table(&mut rng);
         let inputs = random_domain_vec(&mut rng, 1, 10);
         if !(t.is_associative() && u.is_associative() && t.distributes_over(&u)) {
             continue;
         }
         hits += 1;
-        let ot = t.binop("fuzz_t").distributes_over_op("fuzz_u");
-        let op = u.binop("fuzz_u");
+        t.declare_distributes_over = Some(1);
+        let ot = t.binop(0);
+        let op = u.binop(1);
         check_rule(
             Rule::Sr2Reduction,
             &Program::new().scan(ot.clone()).allreduce(op.clone()),
@@ -250,7 +169,7 @@ fn associativity_only_rules_sound_for_arbitrary_tables() {
             continue;
         }
         hits += 1;
-        let op = t.binop("fuzz");
+        let op = t.binop(0);
         let mut inputs = vec![Value::Int(0); p];
         inputs[0] = Value::Int(b);
         check_rule(
@@ -276,10 +195,11 @@ fn associativity_only_rules_sound_for_arbitrary_tables() {
 fn verified_rewriter_accepts_iff_brute_force_condition_holds() {
     let mut rng = Rng::new(0xF026);
     for _ in 0..96 {
-        let t = random_table(&mut rng);
+        let mut t = random_table(&mut rng);
         // Declare commutativity unconditionally (possibly a lie) and let
         // the verifying rewriter decide on the full domain.
-        let op = t.binop("maybe").commutative();
+        t.declare_commutative = true;
+        let op = t.binop(0);
         let prog = Program::new().scan(op.clone()).allreduce(op.clone());
         let res = Rewriter::exhaustive()
             .verify_properties(full_domain())
@@ -287,4 +207,50 @@ fn verified_rewriter_accepts_iff_brute_force_condition_holds() {
         let truly_ok = t.is_associative() && t.is_commutative();
         assert_eq!(!res.steps.is_empty(), truly_ok);
     }
+}
+
+#[test]
+fn generated_campaign_passes_on_a_fresh_seed_window() {
+    // Whole-pipeline differential fuzzing on a seed window disjoint from
+    // the fuzz crate's own tests: 220 consecutive seeds are guaranteed to
+    // target every Table-1 rule at least ten times (see gen::case_mode).
+    let cfg = CampaignConfig {
+        seed: 0xF022_0000,
+        iters: 220,
+        gen: GenConfig::default(),
+        workers: None,
+    };
+    let result = run_campaign(&cfg);
+    assert!(
+        result.failures.is_empty(),
+        "oracle violations: {}",
+        result.failures[0]
+    );
+    assert!(
+        result.ledger.missing_rules().is_empty(),
+        "rules never fired: {:?}",
+        result.ledger.missing_rules()
+    );
+    for (rule, count) in &result.ledger.rules {
+        assert!(*count >= 10, "{rule} fired only {count} times in 220 cases");
+    }
+}
+
+#[test]
+fn generated_lies_are_always_caught() {
+    // Every over-claiming case in the window must be flagged by the full
+    // defense stack (auditor + audited rewriter + certifier + linter).
+    let mut lies = 0;
+    for seed in 0xF023_0000u64..0xF023_0000 + 150 {
+        let case = generate_case(seed, &GenConfig::default());
+        if !matches!(case_mode(seed), CaseMode::OverClaim(_)) {
+            continue;
+        }
+        lies += 1;
+        let mut ledger = CoverageLedger::new();
+        let failures = run_case(&case, &mut ledger);
+        assert!(failures.is_empty(), "seed {seed}: {}", failures[0]);
+        assert_eq!(ledger.lies_caught, 1, "seed {seed}: lie not caught");
+    }
+    assert!(lies >= 30, "too few lying cases in the window: {lies}");
 }
