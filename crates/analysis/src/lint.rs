@@ -18,10 +18,14 @@
 //! byte-stable hand-rolled JSON ([`LintReport::render_json`]), sorted by
 //! `(stage, code, message)` in both forms.
 
+use std::sync::Arc;
+
+use collopt_core::egraph::{saturate_program, LawGate, SaturateConfig};
 use collopt_core::op::BinOp;
 use collopt_core::parser::{parse_pipeline_spanned, ParseError, Span};
 use collopt_core::rewrite::{program_cost, RULE_PRIORITY};
 use collopt_core::rules;
+use collopt_core::rules::enabling::{self, Normalization};
 use collopt_core::term::{Program, Stage};
 use collopt_cost::MachineParams;
 use collopt_machine::Json;
@@ -271,12 +275,26 @@ pub fn lint_program(prog: &Program, spans: Option<&[Span]>, cfg: &LintConfig) ->
 /// domains are known. Returns `Some(true)` = verified, `Some(false)` = a
 /// law fails (the declaration lies — the matching rule must not be
 /// suggested), `None` = no domain available, trust the declarations.
-fn window_laws_hold(rule: rules::Rule, window: &[Stage], cfg: &LintConfig) -> Option<bool> {
+///
+/// `source_ops` names the operators declared by the pipeline under
+/// analysis: `cfg.fallback_domain` applies only to those. Operators a
+/// rewrite *derived* (the fused `op_sr2[..]`/`op_ss[..]` families, which
+/// the exact pass encounters on second-generation windows) work over
+/// tuples — probing them with scalar fallback-domain samples would be
+/// ill-typed, and their laws hold by construction when the sources' do,
+/// so they are trusted here and re-checked by the certificate validator.
+fn window_laws_hold(
+    rule: rules::Rule,
+    window: &[Stage],
+    cfg: &LintConfig,
+    source_ops: &std::collections::BTreeSet<String>,
+) -> Option<bool> {
     let laws = rules::required_laws(rule, window)?;
     let mut domain = None;
     for law in &laws {
         for name in law.op_names() {
-            let d = domain_of_builtin(name).or(cfg.fallback_domain)?;
+            let fallback = cfg.fallback_domain.filter(|_| source_ops.contains(name));
+            let d = domain_of_builtin(name).or(fallback)?;
             match domain {
                 None => domain = Some(d),
                 Some(prev) if prev == d => {}
@@ -296,16 +314,108 @@ fn window_laws_hold(rule: rules::Rule, window: &[Stage], cfg: &LintConfig) -> Op
     )
 }
 
-/// COL001 / COL003: walk the pipeline reporting, at each position, the
-/// highest-priority applicable rule (mirroring the engine's matching
-/// order), then skip past the window — one finding per fusible region.
+/// Replay an [`enabling::normalize`] log onto the per-stage origin map
+/// (`origins[i]` = half-open range of *original* stage indices the
+/// current stage `i` descends from), so findings on the normalized
+/// program anchor — and caret — on the source text.
+fn apply_norm_log(origins: &mut Vec<(usize, usize)>, log: &[Normalization]) {
+    for n in log {
+        match n {
+            Normalization::MapFuse { at, .. } => {
+                let (a, b) = (origins[*at], origins[*at + 1]);
+                origins[*at] = (a.0.min(b.0), a.1.max(b.1));
+                origins.remove(*at + 1);
+            }
+            Normalization::GatherScatterElim { at } => {
+                origins.drain(*at..*at + 2);
+            }
+            Normalization::BcastMapCommute { at, .. } => {
+                origins.swap(*at, *at + 1);
+            }
+        }
+    }
+}
+
+/// COL001 / COL003, exact: equality saturation ([`saturate_program`])
+/// finds the cost-optimal program under this machine model, and every
+/// step of the replayed optimal plan becomes one COL001 anchored on the
+/// original stages it rewrites. Windows the plan leaves alone are then
+/// swept in the engine's priority order: a matching rule there can only
+/// regress cost (else extraction would have used it), yielding COL003.
 fn fusion_pass(
     prog: &Program,
     spans: Option<&[Span]>,
     cfg: &LintConfig,
     diags: &mut Vec<Diagnostic>,
 ) {
+    if prog.is_empty() {
+        return;
+    }
+    // A window whose declared condition fails verification is not a
+    // fusion opportunity; the operator pass reports the lie.
+    let source_ops: std::collections::BTreeSet<String> = prog
+        .stages()
+        .iter()
+        .filter_map(stage_op)
+        .map(|op| op.name().to_string())
+        .collect();
+    let gate_cfg = cfg.clone();
+    let gate_ops = source_ops.clone();
+    let gate: LawGate = Arc::new(move |rule, window: &[Stage]| {
+        window_laws_hold(rule, window, &gate_cfg, &gate_ops) != Some(false)
+    });
+    let sat = SaturateConfig::new(cfg.params, cfg.block).law_gate(gate);
+    let plan = saturate_program(prog, &sat).result;
+
+    // Replay the plan over the original program, tracking which original
+    // stages each current stage descends from.
+    let mut covered: Vec<(usize, usize)> = Vec::new();
+    let mut origins: Vec<(usize, usize)> = (0..prog.len()).map(|i| (i, i + 1)).collect();
+    let (mut current, log) = enabling::normalize(prog);
+    apply_norm_log(&mut origins, &log);
+    for step in &plan.steps {
+        let at = step.at;
+        let len = rules::window_len(step.rule);
+        let stages = current.stages();
+        let Some(rw) = rules::try_match(step.rule, &stages[at..]) else {
+            break; // replay diverged (saturation fell back): keep the sweep below
+        };
+        let window_str: Vec<String> = stages[at..at + len].iter().map(|s| s.describe()).collect();
+        let window_str = window_str.join(" ; ");
+        let candidate = current.splice(at, len, rw.stages.clone());
+        let saving = program_cost(&current, &cfg.params, cfg.block)
+            - program_cost(&candidate, &cfg.params, cfg.block);
+        let (o_start, o_end) = origins[at..at + len]
+            .iter()
+            .fold((usize::MAX, 0), |(s, e), &(os, oe)| (s.min(os), e.max(oe)));
+        origins.splice(
+            at..at + len,
+            std::iter::repeat_n((o_start, o_end), rw.stages.len()),
+        );
+        let (normed, log) = enabling::normalize(&candidate);
+        apply_norm_log(&mut origins, &log);
+        current = normed;
+        let o_len = (o_end - o_start).max(1);
+        diags.push(Diagnostic {
+            code: "COL001",
+            severity: Severity::Warning,
+            message: format!(
+                "missed fusion: `{window_str}` matches {}, fusing saves {saving:.1} time units",
+                step.rule
+            ),
+            stage: o_start,
+            len: o_len,
+            span: window_span(spans, o_start, o_len),
+            suggestion: Some(current.to_string()),
+        });
+        covered.push((o_start, o_end));
+    }
+
+    // Sweep the windows the plan did not touch, in the engine's matching
+    // order. With the plan empty, a match here is *proof* of a regression:
+    // saturation explored every ordering and still kept the original.
     let stages = prog.stages();
+    let exhaustive = plan.steps.is_empty();
     let mut at = 0;
     while at < prog.len() {
         let mut advanced = false;
@@ -313,12 +423,15 @@ fn fusion_pass(
             let Some(rw) = rules::try_match(rule, &stages[at..]) else {
                 continue;
             };
-            // A window whose declared condition fails verification is not
-            // a fusion opportunity; the operator pass reports the lie.
-            if window_laws_hold(rule, &stages[at..], cfg) == Some(false) {
+            if window_laws_hold(rule, &stages[at..], cfg, &source_ops) == Some(false) {
                 continue;
             }
             let len = rules::window_len(rule);
+            if covered.iter().any(|&(s, e)| at < e && at + len > s) {
+                at += len;
+                advanced = true;
+                break;
+            }
             let candidate = prog.splice(at, len, rw.stages.clone());
             let saving = program_cost(prog, &cfg.params, cfg.block)
                 - program_cost(&candidate, &cfg.params, cfg.block);
@@ -326,6 +439,8 @@ fn fusion_pass(
                 stages[at..at + len].iter().map(|s| s.describe()).collect();
             let window_str = window_str.join(" ; ");
             if saving > 0.0 {
+                // Unreachable unless saturation hit its node budget and
+                // fell back — keep the windowed report so nothing is lost.
                 diags.push(Diagnostic {
                     code: "COL001",
                     severity: Severity::Warning,
@@ -338,11 +453,16 @@ fn fusion_pass(
                     suggestion: Some(candidate.to_string()),
                 });
             } else {
+                let verdict = if exhaustive {
+                    "exhaustive search confirms no rule ordering improves this pipeline"
+                } else {
+                    "apply rules cost-guided, not exhaustively"
+                };
                 diags.push(Diagnostic {
                     code: "COL003",
                     severity: Severity::Warning,
                     message: format!(
-                        "cost regression: `{window_str}` matches {rule} but fusing costs {:.1} extra time units on this machine — apply rules cost-guided, not exhaustively",
+                        "cost regression: `{window_str}` matches {rule} but fusing costs {:.1} extra time units on this machine — {verdict}",
                         -saving
                     ),
                     stage: at,
@@ -513,6 +633,56 @@ mod tests {
         let d = &report.diagnostics[0];
         assert_eq!(d.code, "COL003");
         assert!(d.message.contains("cost regression"), "{}", d.message);
+        // With an empty optimal plan the verdict is exact, not windowed.
+        assert!(
+            d.message.contains("exhaustive search confirms"),
+            "{}",
+            d.message
+        );
+    }
+
+    #[test]
+    fn exact_analysis_reports_the_optimal_plan_not_the_greedy_window() {
+        // The greedy window walk would fuse scan;scan first (SS-Scan at
+        // stage 0); the exact pass reports the globally optimal plan,
+        // which keeps the first scan and fuses scan;reduce instead.
+        let src = "scan(add) ; scan(add) ; reduce(add)";
+        let mut c = cfg();
+        c.params = MachineParams::new(64, 100.0, 2.0);
+        c.block = 8.0;
+        let report = lint_source(src, &c).unwrap();
+        let fusions: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "COL001")
+            .collect();
+        assert_eq!(fusions.len(), 1, "{:#?}", report.diagnostics);
+        let d = fusions[0];
+        assert!(d.message.contains("SR-Reduction"), "{}", d.message);
+        assert_eq!((d.stage, d.len), (1, 2));
+        assert_eq!(d.span.unwrap().slice(src), "scan(add) ; reduce(add)");
+        // The plan-covered region is not double-reported by the sweep.
+        assert!(report.diagnostics.iter().all(|d| d.code != "COL003"));
+    }
+
+    #[test]
+    fn plan_anchors_survive_normalization() {
+        // bcast ; map f ; scan — the plan fires after bcast/map commute;
+        // the COL001 must still anchor on the original bcast..scan text.
+        let src = "bcast ; map f ; scan(add)";
+        let mut c = cfg();
+        c.params = MachineParams::new(64, 1000.0, 2.0);
+        c.block = 4.0;
+        let report = lint_source(src, &c).unwrap();
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "COL001")
+            .expect("bcast;scan fuses via BS-Comcast after commuting");
+        assert!(d.message.contains("BS-Comcast"), "{}", d.message);
+        assert_eq!(d.stage, 0);
+        assert!(d.stage + d.len >= 3, "{:#?}", d);
+        assert_eq!(d.span.unwrap().slice(src), src);
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Equality-saturation scaling benchmark: extraction throughput and
+//! e-graph growth on pipeline chains of increasing depth.
+//!
+//! Two chain families per depth `d` (2..=EGRAPH_DEPTH):
+//!
+//! * `scan-chain` — `d-1` scans of `add` followed by a `reduce(add)`:
+//!   the worst case for ordering, every adjacent pair fuses and the
+//!   search must pick which fusions to forgo;
+//! * `mixed-chain` — a scan/map/bcast round-robin ending in
+//!   `reduce(add)`: exercises the enabling normalizations and the
+//!   broadcast rules alongside fusion.
+//!
+//! Every point saturates under an explicit node budget and the run
+//! **gates** on two properties: the e-graph never exceeds its budget,
+//! and the extracted program never costs more than the input. A
+//! violation writes the failing pipeline specs to
+//! `results/egraph_failures.json` and exits non-zero (CI uploads that
+//! file as an artifact). Otherwise writes `results/BENCH_egraph.json`
+//! with per-depth wall time, e-graph sizes, and saturations/second.
+//!
+//! Environment:
+//!
+//! * `EGRAPH_DEPTH` — deepest chain (default 12; nightly CI uses 12,
+//!   the PR smoke job 8).
+//! * `EGRAPH_BUDGET` — node budget per saturation (default 10000, the
+//!   engine default).
+//! * `EGRAPH_REPS` — timed repetitions per point (default 5).
+
+use std::time::Instant;
+
+use collopt_core::egraph::{saturate_program, SaturateConfig, DEFAULT_NODE_BUDGET};
+use collopt_core::op::lib as ops;
+use collopt_core::rewrite::{program_cost, Rewriter};
+use collopt_core::term::Program;
+use collopt_core::value::Value;
+use collopt_cost::MachineParams;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn scan_chain(depth: usize) -> Program {
+    let mut prog = Program::new();
+    for _ in 0..depth - 1 {
+        prog = prog.scan(ops::add());
+    }
+    prog.reduce(ops::add())
+}
+
+fn mixed_chain(depth: usize) -> Program {
+    let mut prog = Program::new();
+    for i in 0..depth - 1 {
+        prog = match i % 3 {
+            0 => prog.scan(ops::add()),
+            1 => prog.map(format!("f{i}"), 1.0, |v| Value::Int(v.as_int() + 1)),
+            _ => prog.bcast(),
+        };
+    }
+    prog.reduce(ops::add())
+}
+
+struct Point {
+    family: &'static str,
+    depth: usize,
+    wall_s: f64,
+    saturations_per_sec: f64,
+    nodes: usize,
+    classes: usize,
+    rule_applications: usize,
+    budget_exhausted: bool,
+    greedy_cost: f64,
+    optimal_cost: f64,
+}
+
+struct Failure {
+    family: &'static str,
+    depth: usize,
+    program: String,
+    reason: String,
+}
+
+fn main() {
+    std::fs::create_dir_all("results").expect("create results/");
+    let max_depth = env_usize("EGRAPH_DEPTH", 12);
+    let budget = env_usize("EGRAPH_BUDGET", DEFAULT_NODE_BUDGET);
+    let reps = env_usize("EGRAPH_REPS", 5).max(1);
+
+    let params = MachineParams::new(64, 100.0, 2.0);
+    let m = 8.0;
+    let cfg = SaturateConfig::new(params, m).node_budget(budget);
+
+    let mut points = Vec::new();
+    let mut failures = Vec::new();
+
+    println!("# e-graph saturation ladder (p=64, ts=100, tw=2, m={m}, budget={budget})");
+    for depth in 2..=max_depth {
+        for (family, prog) in [
+            ("scan-chain", scan_chain(depth)),
+            ("mixed-chain", mixed_chain(depth)),
+        ] {
+            // Warm-up run supplies the stats and the gated properties.
+            let outcome = saturate_program(&prog, &cfg);
+            let before = program_cost(&prog, &params, m);
+            let after = program_cost(&outcome.result.program, &params, m);
+            if outcome.stats.nodes > budget {
+                failures.push(Failure {
+                    family,
+                    depth,
+                    program: prog.to_string(),
+                    reason: format!("{} nodes exceeds budget {budget}", outcome.stats.nodes),
+                });
+            }
+            if after > before + 1e-9 {
+                failures.push(Failure {
+                    family,
+                    depth,
+                    program: prog.to_string(),
+                    reason: format!("extraction worsened cost {before} -> {after}"),
+                });
+            }
+
+            let greedy = Rewriter::cost_guided(params, m).optimize(&prog);
+            let greedy_cost = program_cost(&greedy.program, &params, m);
+
+            let start = Instant::now();
+            for _ in 0..reps {
+                let again = saturate_program(&prog, &cfg);
+                assert_eq!(
+                    again.result.program.to_string(),
+                    outcome.result.program.to_string(),
+                    "{family} depth {depth}: nondeterministic extraction"
+                );
+            }
+            let wall_s = start.elapsed().as_secs_f64();
+            let rate = reps as f64 / wall_s;
+            println!(
+                "  {family:>11} d={depth:>2}: {:>6} nodes {:>5} classes {:>6} firings \
+                 {:>9.1} sat/s  greedy {greedy_cost:>8.0} optimal {after:>8.0}{}",
+                outcome.stats.nodes,
+                outcome.stats.classes,
+                outcome.stats.rule_applications,
+                rate,
+                if outcome.stats.budget_exhausted {
+                    "  (budget hit)"
+                } else {
+                    ""
+                }
+            );
+            points.push(Point {
+                family,
+                depth,
+                wall_s,
+                saturations_per_sec: rate,
+                nodes: outcome.stats.nodes,
+                classes: outcome.stats.classes,
+                rule_applications: outcome.stats.rule_applications,
+                budget_exhausted: outcome.stats.budget_exhausted,
+                greedy_cost,
+                optimal_cost: after,
+            });
+        }
+    }
+
+    if !failures.is_empty() {
+        let body: Vec<String> = failures
+            .iter()
+            .map(|f| {
+                format!(
+                    r#"    {{
+      "family": "{}",
+      "depth": {},
+      "program": "{}",
+      "reason": "{}"
+    }}"#,
+                    f.family,
+                    f.depth,
+                    f.program.replace('"', "\\\""),
+                    f.reason.replace('"', "\\\"")
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"bench\": \"egraph\",\n  \"failures\": [\n{}\n  ]\n}}\n",
+            body.join(",\n")
+        );
+        std::fs::write("results/egraph_failures.json", json)
+            .expect("write results/egraph_failures.json");
+        for f in &failures {
+            eprintln!("FAIL: {} depth {}: {}", f.family, f.depth, f.reason);
+        }
+        eprintln!("# wrote results/egraph_failures.json");
+        std::process::exit(1);
+    }
+
+    let body: Vec<String> = points
+        .iter()
+        .map(|pt| {
+            format!(
+                r#"    {{
+      "family": "{}",
+      "depth": {},
+      "wall_s": {:.6},
+      "saturations_per_sec": {:.1},
+      "nodes": {},
+      "classes": {},
+      "rule_applications": {},
+      "budget_exhausted": {},
+      "greedy_cost": {:.1},
+      "optimal_cost": {:.1}
+    }}"#,
+                pt.family,
+                pt.depth,
+                pt.wall_s,
+                pt.saturations_per_sec,
+                pt.nodes,
+                pt.classes,
+                pt.rule_applications,
+                pt.budget_exhausted,
+                pt.greedy_cost,
+                pt.optimal_cost
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"egraph\",\n  \"p\": 64,\n  \"ts\": 100.0,\n  \"tw\": 2.0,\n  \
+         \"m\": {m:.1},\n  \"node_budget\": {budget},\n  \"reps\": {reps},\n  \
+         \"points\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    std::fs::write("results/BENCH_egraph.json", json).expect("write results/BENCH_egraph.json");
+    println!("# wrote results/BENCH_egraph.json");
+}

@@ -29,6 +29,8 @@
 //! * [`rules`] — the eleven rules with their fused operators
 //!   (`op_sr2`, `op_sr`, `op_ss`, the comcast `e`/`o` pairs, `op_br`, …);
 //! * [`rewrite`] — the exhaustive and cost-guided rewrite engine;
+//! * [`egraph`] — equality saturation with cost-model extraction, the
+//!   exact search behind `Rewriter::optimize_optimal`;
 //! * [`exec`] — lowering onto the simulated message-passing machine of
 //!   [`collopt_machine`] via the collective algorithms of
 //!   [`collopt_collectives`].
@@ -56,6 +58,7 @@
 //! ```
 
 pub mod adjust;
+pub mod egraph;
 pub mod exec;
 pub mod op;
 pub mod parser;
@@ -67,6 +70,10 @@ pub mod term;
 pub mod tutorial;
 pub mod value;
 
+pub use egraph::{
+    saturate_program, LawGate, SaturateConfig, SaturationOutcome, SaturationStats,
+    DEFAULT_NODE_BUDGET,
+};
 pub use exec::{
     execute, execute_profiled, execute_traced, execute_traced_with, execute_with, ExecConfig,
     ExecOutcome, TracedExecOutcome,

@@ -309,6 +309,14 @@ impl RequiredLaw {
         }
     }
 
+    /// The operator(s) the law constrains.
+    pub fn ops(&self) -> Vec<&BinOp> {
+        match self {
+            RequiredLaw::Associative(op) | RequiredLaw::Commutative(op) => vec![op],
+            RequiredLaw::DistributesOver(ot, op) => vec![ot, op],
+        }
+    }
+
     /// Check the law at one concrete assignment. Returns the first failing
     /// equation instance as `(equation, left, right)`, or `None` when the
     /// law holds there (within `rtol` on floats).

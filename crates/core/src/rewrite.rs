@@ -444,37 +444,87 @@ impl Rewriter {
         None
     }
 
-    /// Globally optimal rewriting: explore *every* order of rule
-    /// applications (the rewrite relation is finitely branching and
-    /// terminating, so the reachable set is finite) and return the
-    /// reachable program with the least predicted cost for `(params, m)`.
+    /// Globally optimal rewriting: the reachable program with the least
+    /// predicted cost for `(params, m)`, found by equality saturation
+    /// with cost-model extraction ([`crate::egraph`]).
     ///
     /// Greedy first-match rewriting is not always optimal: on
     /// `scan(⊕); scan(⊕); reduce(⊕)` it fuses the two scans first
     /// (SS-Scan), blocking the cheaper plan that leaves the first scan
     /// alone and fuses `scan; reduce` (SR-Reduction) — per-phase
-    /// `2ts + 3m·tw + 6m` versus the greedy `2ts + 4m·tw + 9m`. The
-    /// search is exponential in the number of fusible windows, which for
-    /// realistic pipelines (a handful of collectives) is trivially small.
+    /// `2ts + 3m·tw + 6m` versus the greedy `2ts + 4m·tw + 9m`.
+    ///
+    /// Ties are broken deterministically "RHS never worse": at equal cost
+    /// the extraction prefers fewer collectives, then fewer stages, then
+    /// the lexicographically least normalized rendering. The returned
+    /// steps replay the extracted program as a concrete certificate-
+    /// carrying derivation; in audited mode refused laws appear in
+    /// `rejections` with shrunk witnesses, deduped exactly like
+    /// [`Rewriter::optimize`]. The historical brute-force enumeration is
+    /// kept as [`Rewriter::optimize_brute_force`] — a test oracle this
+    /// search is checked against on every fuzz-generated pipeline.
     pub fn optimize_optimal(
         &self,
         prog: &Program,
         params: &MachineParams,
         m: f64,
     ) -> OptimizeResult {
-        let start = if self.normalize {
-            enabling::normalize(prog).0
+        self.saturate(prog, params, m).result
+    }
+
+    /// [`Rewriter::optimize_optimal`] with the e-graph's effort counters —
+    /// node/class/application counts, budget exhaustion — for callers that
+    /// surface search statistics (the `collopt saturate` CLI, benches).
+    pub fn saturate(
+        &self,
+        prog: &Program,
+        params: &MachineParams,
+        m: f64,
+    ) -> crate::egraph::SaturationOutcome {
+        let mut cfg = crate::egraph::SaturateConfig::new(*params, m)
+            .allow_rank0_rules(self.allow_rank0_rules)
+            .with_normalization(self.normalize);
+        if let Some(samples) = &self.verify_samples {
+            cfg = if self.audited {
+                cfg.audited(samples.clone())
+            } else {
+                cfg.verify_properties(samples.clone())
+            };
+        }
+        crate::egraph::saturate_program(prog, &cfg)
+    }
+
+    /// The pre-saturation exhaustive search: explore *every* order of rule
+    /// applications (the rewrite relation is finitely branching and
+    /// terminating, so the reachable set is finite) and return the
+    /// reachable program minimizing the same deterministic key as the
+    /// e-graph extraction — `(cost, collectives, stages, rendering)`.
+    ///
+    /// Exponential in the number of fusible windows; kept as the
+    /// *optimality oracle* the saturation search is differentially tested
+    /// against (`crates/fuzz`'s fourth oracle requires bit-identical
+    /// programs and costs on every generated pipeline of ≤ 6 stages).
+    pub fn optimize_brute_force(
+        &self,
+        prog: &Program,
+        params: &MachineParams,
+        m: f64,
+    ) -> OptimizeResult {
+        let (start, start_norms) = if self.normalize {
+            enabling::normalize(prog)
         } else {
-            prog.clone()
+            (prog.clone(), Vec::new())
         };
         let mut best_prog = start.clone();
-        let mut best_cost = program_cost(&start, params, m);
+        let mut best_key = brute_key(&start, params, m);
         let mut best_steps: Vec<RewriteStep> = Vec::new();
+        let mut best_norms: Vec<Normalization> = Vec::new();
         let mut rejections = Vec::new();
         let mut seen = std::collections::HashSet::new();
         seen.insert(start.to_string());
-        let mut stack: Vec<(Program, Vec<RewriteStep>)> = vec![(start, Vec::new())];
-        while let Some((current, steps)) = stack.pop() {
+        type State = (Program, Vec<RewriteStep>, Vec<Normalization>);
+        let mut stack: Vec<State> = vec![(start, Vec::new(), Vec::new())];
+        while let Some((current, steps, norms)) = stack.pop() {
             for at in 0..current.len() {
                 for rule in RULE_PRIORITY {
                     let Some(rw) = rules::try_match(rule, &current.stages()[at..]) else {
@@ -490,8 +540,11 @@ impl Rewriter {
                     };
                     let rank0_only = rw.rank0_only;
                     let mut next = current.splice(at, rules::window_len(rule), rw.stages);
+                    let mut next_norms = norms.clone();
                     if self.normalize {
-                        next = enabling::normalize(&next).0;
+                        let (p, log) = enabling::normalize(&next);
+                        next = p;
+                        next_norms.extend(log);
                     }
                     if !seen.insert(next.to_string()) {
                         continue;
@@ -507,20 +560,23 @@ impl Rewriter {
                         certificate: cert,
                         rank0_only,
                     });
-                    let cost = program_cost(&next, params, m);
-                    if cost < best_cost {
-                        best_cost = cost;
+                    let key = brute_key(&next, params, m);
+                    if key < best_key {
+                        best_key = key;
                         best_prog = next.clone();
                         best_steps = next_steps.clone();
+                        best_norms = next_norms.clone();
                     }
-                    stack.push((next, next_steps));
+                    stack.push((next, next_steps, next_norms));
                 }
             }
         }
+        let mut normalizations = start_norms;
+        normalizations.extend(best_norms);
         OptimizeResult {
             program: best_prog,
             steps: best_steps,
-            normalizations: Vec::new(),
+            normalizations,
             rejections: dedupe_rejections(rejections),
         }
     }
@@ -572,9 +628,28 @@ impl Rewriter {
     }
 }
 
+/// The deterministic comparison key shared by the brute-force oracle and
+/// the e-graph extraction: cost (summed tail-first, exactly as the
+/// extraction fixpoint accumulates it, so float ties agree bit-for-bit),
+/// then collective count, then stage count, then the rendering. Costs are
+/// non-negative finite, so the bit pattern preserves their order.
+fn brute_key(prog: &Program, params: &MachineParams, m: f64) -> (u64, usize, usize, String) {
+    let cost = prog
+        .stages()
+        .iter()
+        .rev()
+        .fold(0.0, |acc: f64, s| acc + stage_cost(s, params, m));
+    (
+        cost.to_bits(),
+        prog.collective_count(),
+        prog.len(),
+        prog.to_string(),
+    )
+}
+
 /// Deduplicate rejections by (rule, failed law): the fixpoint loop and the
 /// optimal search both revisit the same refused window many times.
-fn dedupe_rejections(raw: Vec<RuleRejection>) -> Vec<RuleRejection> {
+pub(crate) fn dedupe_rejections(raw: Vec<RuleRejection>) -> Vec<RuleRejection> {
     let mut seen = std::collections::HashSet::new();
     raw.into_iter()
         .filter(|r| seen.insert(format!("{}|{}", r.rule, r.law)))
@@ -851,6 +926,81 @@ mod tests {
             .optimize(&Program::new().scan(quiet_sub.clone()).reduce(quiet_sub));
         assert!(quiet.steps.is_empty());
         assert!(quiet.rejections.is_empty());
+    }
+
+    #[test]
+    fn optimal_reports_normalizations_for_normalizable_inputs() {
+        // Regression: `optimize_optimal` used to hard-code
+        // `normalizations: Vec::new()`. Both the saturation path and the
+        // brute-force oracle must report the bcast/map commutation this
+        // input needs before any rule can fire.
+        let params = MachineParams::new(64, 200.0, 2.0);
+        let prog = Program::new()
+            .bcast()
+            .map("f", 1.0, |v| Value::Int(v.as_int() + 1))
+            .scan(lib::add());
+        for res in [
+            Rewriter::exhaustive().optimize_optimal(&prog, &params, 4.0),
+            Rewriter::exhaustive().optimize_brute_force(&prog, &params, 4.0),
+        ] {
+            assert!(
+                res.normalizations
+                    .iter()
+                    .any(|n| matches!(n, Normalization::BcastMapCommute { .. })),
+                "normalizations must be reported: {:?}",
+                res.normalizations
+            );
+        }
+    }
+
+    #[test]
+    fn saturation_agrees_with_the_brute_force_oracle() {
+        let params = MachineParams::new(64, 100.0, 2.0);
+        let programs = [
+            Program::new()
+                .scan(lib::add())
+                .scan(lib::add())
+                .reduce(lib::add()),
+            Program::new()
+                .bcast()
+                .scan(lib::mul())
+                .scan(lib::add())
+                .reduce(lib::add()),
+            Program::new().gather().scatter().reduce(lib::add()),
+            example_program(),
+        ];
+        for m in [1.0, 8.0, 1e4] {
+            for prog in &programs {
+                let sat = Rewriter::exhaustive().optimize_optimal(prog, &params, m);
+                let brute = Rewriter::exhaustive().optimize_brute_force(prog, &params, m);
+                assert_eq!(
+                    sat.program.to_string(),
+                    brute.program.to_string(),
+                    "m={m} on {prog}"
+                );
+                assert_eq!(
+                    program_cost(&sat.program, &params, m).to_bits(),
+                    program_cost(&brute.program, &params, m).to_bits(),
+                    "m={m} on {prog}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_audited_mode_rejects_like_the_greedy_path() {
+        let lying_sub =
+            crate::op::BinOp::new("sub", |a, b| Value::Int(a.as_int() - b.as_int())).commutative();
+        let prog = Program::new().scan(lying_sub.clone()).reduce(lying_sub);
+        let params = MachineParams::new(64, 100.0, 2.0);
+        let samples = ints(&[-5, -2, 0, 1, 3, 7]);
+        let res = Rewriter::exhaustive()
+            .audited(samples)
+            .optimize_optimal(&prog, &params, 8.0);
+        assert!(res.steps.is_empty(), "the lying rule must not fire");
+        assert_eq!(res.rejections.len(), 1, "rejections must be deduped");
+        assert_eq!(res.rejections[0].rule, Rule::SrReduction);
+        assert!(res.rejections[0].counterexample.distinct_values() <= 3);
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub struct CoverageLedger {
     pub under_claim_cases: u64,
     /// Planted over-claim cases where all defense layers caught the lie.
     pub lies_caught: u64,
+    /// Cases short enough (≤ 6 stages) for the saturation-vs-brute-force
+    /// optimality oracle to run.
+    pub saturation_cases: u64,
     /// Rewrite-rule applications observed, by rule name. Initialized with
     /// every Table-1 rule at zero so absences are visible.
     pub rules: BTreeMap<&'static str, u64>,
@@ -65,6 +68,7 @@ impl CoverageLedger {
         self.over_claim_cases += other.over_claim_cases;
         self.under_claim_cases += other.under_claim_cases;
         self.lies_caught += other.lies_caught;
+        self.saturation_cases += other.saturation_cases;
         for (k, v) in &other.rules {
             *self.rules.entry(k).or_insert(0) += v;
         }
@@ -111,6 +115,7 @@ impl CoverageLedger {
                 "  \"over_claim_cases\": {},\n",
                 "  \"under_claim_cases\": {},\n",
                 "  \"lies_caught\": {},\n",
+                "  \"saturation_cases\": {},\n",
                 "  \"rules_fired\": {},\n",
                 "  \"rules\": {},\n",
                 "  \"stages\": {},\n",
@@ -124,6 +129,7 @@ impl CoverageLedger {
             self.over_claim_cases,
             self.under_claim_cases,
             self.lies_caught,
+            self.saturation_cases,
             self.rules_fired(),
             map_json(&self.rules),
             map_json(&self.stages),
@@ -137,12 +143,13 @@ impl CoverageLedger {
     pub fn summary(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "cases={} honest={} over_claims={} under_claims={} lies_caught={}\n",
+            "cases={} honest={} over_claims={} under_claims={} lies_caught={} saturation_checked={}\n",
             self.cases,
             self.honest,
             self.over_claim_cases,
             self.under_claim_cases,
-            self.lies_caught
+            self.lies_caught,
+            self.saturation_cases
         ));
         out.push_str(&format!("rules fired: {}/11", self.rules_fired()));
         for (name, count) in &self.rules {

@@ -5,13 +5,16 @@
 //! here on *generated* pipelines rather than hand-written ones. A seeded
 //! [`generator`](gen) draws arbitrary compositions over the full grammar
 //! (bcast/scan/reduce/fused forms/PolyEval) with random lookup-table
-//! operators whose declared laws may be *deliberately false*; three
+//! operators whose declared laws may be *deliberately false*; four
 //! differential [`oracles`](oracle) then cross-examine the stack:
 //!
 //! 1. optimized vs. unoptimized execution (bit-equal outputs),
-//! 2. Legacy vs. Pooled vs. Des engines (bit-equal everything), and
+//! 2. Legacy vs. Pooled vs. Des engines (bit-equal everything),
 //! 3. auditor / audited rewriter / certifier / linter unanimity on
-//!    planted lies and withheld laws.
+//!    planted lies and withheld laws, and
+//! 4. equality-saturation extraction vs. the brute-force optimality
+//!    oracle (bit-equal program and cost, never above greedy) on every
+//!    pipeline of ≤ 6 stages.
 //!
 //! Failures are [`shrunk`](mod@shrink) to a local minimum and
 //! [`pinned`](corpus) into `tests/corpus/` as self-contained spec
@@ -147,5 +150,9 @@ mod tests {
         assert_eq!(result.ledger.cases, 40);
         assert!(result.ledger.over_claim_cases > 0);
         assert_eq!(result.ledger.lies_caught, result.ledger.over_claim_cases);
+        assert!(
+            result.ledger.saturation_cases > 0,
+            "the optimality oracle never ran"
+        );
     }
 }

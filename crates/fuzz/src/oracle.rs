@@ -1,4 +1,4 @@
-//! The three differential oracles.
+//! The four differential oracles.
 //!
 //! 1. **Rewrite** — a property-verified optimization of the generated
 //!    pipeline must leave the mathematical semantics and the simulated
@@ -14,6 +14,11 @@
 //!    planted law lies: a lie caught by one must be caught by all, and an
 //!    honest table must pass all four. Under-claims (true-but-undeclared
 //!    laws) must likewise surface in both the auditor and the linter.
+//! 4. **Saturation** — on every pipeline short enough for the
+//!    exponential search (≤ 6 stages), the equality-saturation extraction
+//!    behind `optimize_optimal` must bit-match the brute-force optimum's
+//!    program and cost, never exceed the greedy cost, and (on honest
+//!    tables) carry certificates that revalidate.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -26,10 +31,11 @@ use collopt_core::exec::{
     TracedExecOutcome,
 };
 use collopt_core::op::value_close_with;
-use collopt_core::rewrite::Rewriter;
+use collopt_core::rewrite::{program_cost, Rewriter};
 use collopt_core::semantics::eval_program;
 use collopt_core::term::Program;
 use collopt_core::value::Value;
+use collopt_cost::MachineParams;
 use collopt_machine::{chrome_trace_json, ClockParams, ExecEngine, MachineError};
 
 use crate::gen::{CaseDomain, CaseSpec, N};
@@ -49,6 +55,9 @@ pub enum OracleKind {
     Engines,
     /// Defense-layer (auditor/rewriter/certifier/linter) disagreement.
     Defense,
+    /// Equality-saturation extraction vs. the brute-force optimality
+    /// oracle (or vs. the greedy cost floor).
+    Saturation,
 }
 
 impl OracleKind {
@@ -58,6 +67,7 @@ impl OracleKind {
             OracleKind::Rewrite => "rewrite",
             OracleKind::Engines => "engines",
             OracleKind::Defense => "defense",
+            OracleKind::Saturation => "saturation",
         }
     }
 }
@@ -124,6 +134,7 @@ pub fn run_case(case: &CaseSpec, ledger: &mut CoverageLedger) -> Vec<FuzzFailure
             ledger.lies_caught += 1;
         }
     }
+    check_saturation(case, ledger, &mut failures);
     failures
 }
 
@@ -612,6 +623,83 @@ fn check_defenses(case: &CaseSpec, failures: &mut Vec<FuzzFailure>) {
                 if has("COL005") { "fired" } else { "silent" }
             ),
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Oracle 4: saturation == brute-force optimum, ≤ greedy
+// ---------------------------------------------------------------------
+
+/// Stage-count ceiling for the brute-force oracle; above it the
+/// exponential enumeration dominates the campaign's wall-clock.
+const BRUTE_FORCE_MAX_STAGES: usize = 6;
+
+/// Absolute slack for the greedy comparison. All costs come from the
+/// same left-fold [`program_cost`], so agreements are bit-exact in
+/// practice; the epsilon only guards hypothetical float-fold drift.
+const COST_EPS: f64 = 1e-6;
+
+fn check_saturation(case: &CaseSpec, ledger: &mut CoverageLedger, failures: &mut Vec<FuzzFailure>) {
+    // The base (unfused) pipeline, like oracle 1: pre-fused stages are
+    // reachable from it anyway when they pay off.
+    let prog = case.base_program();
+    if prog.len() > BRUTE_FORCE_MAX_STAGES {
+        return;
+    }
+    ledger.saturation_cases += 1;
+    let params = MachineParams::new(case.p, 100.0, 2.0); // = oracle_clock()
+    let m = case.m as f64;
+    let rewriter = Rewriter::exhaustive();
+    let sat = rewriter.optimize_optimal(&prog, &params, m);
+    let brute = rewriter.optimize_brute_force(&prog, &params, m);
+    let greedy = Rewriter::cost_guided(params, m).optimize(&prog);
+
+    let sat_cost = program_cost(&sat.program, &params, m);
+    let brute_cost = program_cost(&brute.program, &params, m);
+    if sat.program.to_string() != brute.program.to_string() {
+        push(
+            failures,
+            case,
+            OracleKind::Saturation,
+            format!(
+                "saturation extracted `{}` (cost {sat_cost}) but the brute-force optimum is `{}` (cost {brute_cost})",
+                sat.program, brute.program
+            ),
+        );
+    } else if sat_cost.to_bits() != brute_cost.to_bits() {
+        push(
+            failures,
+            case,
+            OracleKind::Saturation,
+            format!("same extracted program, different cost bits: {sat_cost} vs {brute_cost}"),
+        );
+    }
+    let greedy_cost = program_cost(&greedy.program, &params, m);
+    if sat_cost > greedy_cost + COST_EPS {
+        push(
+            failures,
+            case,
+            OracleKind::Saturation,
+            format!(
+                "saturation cost {sat_cost} exceeds greedy cost {greedy_cost} (`{}` vs `{}`)",
+                sat.program, greedy.program
+            ),
+        );
+    }
+    // Every step of the extracted plan carries a certificate; on honest
+    // tables (where the declared laws genuinely hold on the full domain)
+    // each one must revalidate.
+    if case.domain == CaseDomain::Table && case.over_claims().is_empty() {
+        let full_domain: Vec<Value> = (0..N).map(Value::Int).collect();
+        let issues = validate_result(&sat, &full_domain, &AuditConfig::default());
+        if let Some(issue) = issues.first() {
+            push(
+                failures,
+                case,
+                OracleKind::Saturation,
+                format!("extracted plan's certificate failed revalidation: {issue:?}"),
+            );
+        }
     }
 }
 

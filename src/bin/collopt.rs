@@ -18,7 +18,8 @@
 //! * `--tw X`   per-word transfer time (default 2)
 //! * `--m X`    block size in words (default 32)
 //! * `--exhaustive`  ignore the cost model, fuse everything fusible
-//! * `--optimal`     exhaustive search over rule orders for the cheapest plan
+//! * `--optimal`     equality saturation over all rule orders: provably
+//!   the cheapest reachable plan under the cost model (see `saturate`)
 //! * `--all-ranks`   only apply rules preserving every processor's value
 //! * `--report`      emit a full Markdown report instead of the summary
 //! * `--profile`     run both pipelines on the simulated machine and show
@@ -44,6 +45,21 @@
 //! * `--p/--ts/--tw/--m` machine model for the cost judgements (as above)
 //! * `--file PATH`       read the pipeline from a file instead of argv
 //!
+//! Saturate mode — equality-saturation search with the cost deltas:
+//!
+//! ```text
+//! $ collopt saturate "scan(add) ; scan(add) ; reduce(add)" --p 64 --ts 100 --tw 2 --m 8
+//! ```
+//!
+//! Builds the e-graph of every program reachable by the 11 rules plus
+//! the enabling normalizations, extracts the cost-optimal one, and
+//! prints it next to the greedy (priority-window) result with both cost
+//! deltas and the e-graph statistics.
+//!
+//! * `--p/--ts/--tw/--m` machine model (as above)
+//! * `--budget N`        e-graph node budget (default 10000)
+//! * `--all-ranks`       only apply rules preserving every processor's value
+//!
 //! Fuzz mode — differential fuzzing of the whole stack:
 //!
 //! ```text
@@ -60,6 +76,7 @@
 //! `--deny warnings`), 2 usage or parse errors.
 
 use collopt::analysis::{lint_source, LintConfig};
+use collopt::core::egraph::{saturate_program, SaturateConfig};
 use collopt::core::exec::ExecConfig;
 use collopt::core::parser::parse_pipeline;
 use collopt::core::report::{degradation_section_with, optimization_report, profile_section_with};
@@ -156,6 +173,127 @@ fn lint_main(args: Vec<String>) -> ! {
     std::process::exit(if gate { 1 } else { 0 });
 }
 
+/// `collopt saturate` — equality-saturation search, greedy comparison,
+/// and e-graph statistics for one pipeline.
+fn saturate_main(args: Vec<String>) -> ! {
+    let mut pipeline: Option<String> = None;
+    let mut p = 64usize;
+    let mut ts = 200.0f64;
+    let mut tw = 2.0f64;
+    let mut m = 32.0f64;
+    let mut budget: Option<usize> = None;
+    let mut all_ranks = false;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--p" => p = grab("--p").parse().expect("--p expects an integer"),
+            "--ts" => ts = grab("--ts").parse().expect("--ts expects a number"),
+            "--tw" => tw = grab("--tw").parse().expect("--tw expects a number"),
+            "--m" => m = grab("--m").parse().expect("--m expects a number"),
+            "--budget" => {
+                budget = Some(
+                    grab("--budget")
+                        .parse()
+                        .expect("--budget expects an integer"),
+                )
+            }
+            "--all-ranks" => all_ranks = true,
+            other if other.starts_with("--") => {
+                eprintln!("unknown saturate option {other}");
+                std::process::exit(2);
+            }
+            other => {
+                if pipeline.replace(other.to_string()).is_some() {
+                    eprintln!("multiple pipeline arguments");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    let Some(src) = pipeline else {
+        eprintln!(
+            "usage: collopt saturate \"<pipeline>\" [--p N] [--ts X] [--tw X] [--m X] \
+             [--budget N] [--all-ranks]"
+        );
+        std::process::exit(2);
+    };
+    let prog = match parse_pipeline(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{}", e.render(&src));
+            std::process::exit(2);
+        }
+    };
+
+    let params = MachineParams::new(p, ts, tw);
+    let mut cfg = SaturateConfig::new(params, m).allow_rank0_rules(!all_ranks);
+    if let Some(b) = budget {
+        cfg = cfg.node_budget(b);
+    }
+    let outcome = saturate_program(&prog, &cfg);
+    let greedy = Rewriter::cost_guided(params, m)
+        .allow_rank0_rules(!all_ranks)
+        .optimize(&prog);
+
+    let before = program_cost(&prog, &params, m);
+    let greedy_cost = program_cost(&greedy.program, &params, m);
+    let optimal_cost = program_cost(&outcome.result.program, &params, m);
+    println!("machine  : p={p}, ts={ts}, tw={tw}, block m={m}");
+    println!("original : {prog}");
+    println!(
+        "greedy   : {}  (cost {before:.0} -> {greedy_cost:.0}, {} step(s))",
+        greedy.program,
+        greedy.steps.len()
+    );
+    println!(
+        "optimal  : {}  (cost {before:.0} -> {optimal_cost:.0}, {} step(s))",
+        outcome.result.program,
+        outcome.result.steps.len()
+    );
+    for step in &outcome.result.steps {
+        match step.saving {
+            Some(s) => println!(
+                "applied  : {} at stage {} (saving {s:.0})",
+                step.rule, step.at
+            ),
+            None => println!("applied  : {} at stage {}", step.rule, step.at),
+        }
+    }
+    for n in &outcome.result.normalizations {
+        println!("normalize: {n:?}");
+    }
+    let stats = outcome.stats;
+    println!(
+        "e-graph  : {} nodes, {} classes, {} rule firings, {} unions{}",
+        stats.nodes,
+        stats.classes,
+        stats.rule_applications,
+        stats.unions,
+        if stats.budget_exhausted {
+            " (node budget exhausted)"
+        } else {
+            ""
+        }
+    );
+    if optimal_cost < greedy_cost {
+        println!(
+            "delta    : saturation beats greedy by {:.0} time units ({:.1}%)",
+            greedy_cost - optimal_cost,
+            100.0 * (greedy_cost - optimal_cost) / greedy_cost
+        );
+    } else {
+        println!("delta    : saturation matches greedy (greedy was already optimal)");
+    }
+    std::process::exit(0);
+}
+
 /// `collopt fuzz` — run a differential fuzz campaign or replay one case.
 fn fuzz_main(args: Vec<String>) -> ! {
     let mut iters = 500u64;
@@ -235,6 +373,9 @@ fn main() {
     if args.first().is_some_and(|a| a == "fuzz") {
         fuzz_main(args.split_off(1));
     }
+    if args.first().is_some_and(|a| a == "saturate") {
+        saturate_main(args.split_off(1));
+    }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: collopt \"<pipeline>\" [--p N] [--ts X] [--tw X] [--m X] \
@@ -249,6 +390,10 @@ fn main() {
             ExecEngine::THREAD_MAX_P
         );
         eprintln!("  lint mode: collopt lint \"<pipeline>\" [--json] [--deny warnings]");
+        eprintln!(
+            "  saturate : collopt saturate \"<pipeline>\" [--p N] [--ts X] [--tw X] [--m X] \
+             [--budget N]"
+        );
         eprintln!(
             "  fuzz mode: collopt fuzz [--iters N] [--seed N] [--pmax N] [--m N] \
              [--replay \"<spec>\"]"

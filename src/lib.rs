@@ -21,9 +21,10 @@
 //!   auditing with counterexample shrinking, rewrite-certificate
 //!   validation, and the `collopt lint` pipeline linter;
 //! * [`fuzz`] — coverage-guided differential fuzzing of all of the above:
-//!   a seeded pipeline generator, three oracles (rewrite soundness,
-//!   cross-engine identity, defense-layer unanimity on planted law lies),
-//!   a greedy shrinker and the pinned-regression corpus.
+//!   a seeded pipeline generator, four oracles (rewrite soundness,
+//!   cross-engine identity, defense-layer unanimity on planted law lies,
+//!   saturation-vs-brute-force optimality agreement), a greedy shrinker
+//!   and the pinned-regression corpus.
 //!
 //! See `examples/quickstart.rs` for a guided tour, `DESIGN.md` for the
 //! system inventory, and `EXPERIMENTS.md` for the paper-vs-measured record
