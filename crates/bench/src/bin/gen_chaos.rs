@@ -17,16 +17,8 @@
 //! Run with `cargo run --release -p collopt-bench --bin gen_chaos`.
 
 use collopt_bench::chaos::{sweep_parallel, ChaosFailure, ChaosKind};
+use collopt_bench::harness::env_u64;
 use collopt_bench::sweep_driver::default_workers;
-
-fn env_or(name: &str, default: u64) -> u64 {
-    match std::env::var(name) {
-        Ok(v) => v
-            .parse()
-            .unwrap_or_else(|_| panic!("{name} expects an integer, got {v:?}")),
-        Err(_) => default,
-    }
-}
 
 fn json_escape(s: &str) -> String {
     s.chars()
@@ -60,9 +52,9 @@ fn failures_json(failures: &[(ChaosKind, ChaosFailure)]) -> String {
 }
 
 fn main() {
-    let seeds = env_or("CHAOS_SEEDS", 96);
-    let pmax = env_or("CHAOS_PMAX", 9) as usize;
-    let m = env_or("CHAOS_M", 4) as usize;
+    let seeds = env_u64("CHAOS_SEEDS", 96);
+    let pmax = env_u64("CHAOS_PMAX", 9) as usize;
+    let m = env_u64("CHAOS_M", 4) as usize;
     assert!(pmax >= 2, "CHAOS_PMAX must be at least 2");
 
     let workers = default_workers();

@@ -30,19 +30,13 @@
 
 use std::time::Instant;
 
+use collopt_bench::harness::{env_floor, env_usize};
 use collopt_bench::{rule_lhs, rule_rhs, varied_input};
 use collopt_core::exec::{execute_traced_with, execute_with, ExecConfig};
 use collopt_core::op::lib as ops;
 use collopt_core::rules::Rule;
 use collopt_core::term::Program;
 use collopt_machine::{chrome_trace_json, ClockParams, ExecEngine, Machine, MachineError};
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(default)
-}
 
 fn engine_config(engine: ExecEngine) -> ExecConfig {
     ExecConfig {
@@ -224,8 +218,7 @@ fn main() {
     std::fs::write("results/BENCH_des.json", json).expect("write results/BENCH_des.json");
     println!("# wrote results/BENCH_des.json");
 
-    if let Ok(floor) = std::env::var("COLLOPT_DES_FLOOR") {
-        let floor: f64 = floor.trim().parse().expect("COLLOPT_DES_FLOOR is a number");
+    if let Some(floor) = env_floor("COLLOPT_DES_FLOOR") {
         if speedup < floor {
             eprintln!("FAIL: des single-stage throughput {speedup:.2}x below floor {floor:.2}x");
             std::process::exit(1);

@@ -28,19 +28,13 @@
 
 use std::time::Instant;
 
+use collopt_bench::harness::env_usize;
 use collopt_core::egraph::{saturate_program, SaturateConfig, DEFAULT_NODE_BUDGET};
 use collopt_core::op::lib as ops;
 use collopt_core::rewrite::{program_cost, Rewriter};
 use collopt_core::term::Program;
 use collopt_core::value::Value;
 use collopt_cost::MachineParams;
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(default)
-}
 
 fn scan_chain(depth: usize) -> Program {
     let mut prog = Program::new();

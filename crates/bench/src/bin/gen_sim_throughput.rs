@@ -42,18 +42,12 @@ use std::time::Instant;
 use collopt_bench::chaos::{
     random_plan, run_pair_with, sweep_parallel, worst_inflation, ChaosKind,
 };
+use collopt_bench::harness::{env_floor, env_usize};
 use collopt_bench::sweep_driver::default_workers;
 use collopt_bench::{rule_lhs, rule_rhs, varied_input};
 use collopt_core::exec::{execute_traced_with, execute_with, ExecConfig};
 use collopt_core::rules::Rule;
 use collopt_machine::{chrome_trace_json, ClockParams, ExecEngine, Rng};
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(default)
-}
 
 fn engine_config(engine: ExecEngine) -> ExecConfig {
     ExecConfig {
@@ -349,11 +343,7 @@ fn main() {
     println!("# wrote results/BENCH_sim_throughput.json");
 
     println!("# headline: {headline_name} wall-clock speedup {headline_speedup:.2}x");
-    if let Ok(floor) = std::env::var("COLLOPT_THROUGHPUT_FLOOR") {
-        let floor: f64 = floor
-            .trim()
-            .parse()
-            .expect("COLLOPT_THROUGHPUT_FLOOR is a number");
+    if let Some(floor) = env_floor("COLLOPT_THROUGHPUT_FLOOR") {
         if headline_speedup < floor {
             eprintln!(
                 "FAIL: {headline_name} wall-clock speedup {headline_speedup:.2}x \

@@ -7,12 +7,13 @@
 //! artifact a performance engineer would attach to a code review.
 
 use collopt_cost::MachineParams;
-use collopt_machine::{ClockParams, FaultPlan};
+use collopt_machine::{ClockParams, FaultPlan, Json};
 
 use crate::exec::{
     execute_faulted, execute_profiled, execute_traced_with, execute_with, ExecConfig,
 };
-use crate::rewrite::{program_cost, stage_cost, OptimizeResult, Rewriter};
+use crate::rewrite::{program_cost, stage_cost, OptimizeResult, RewriteStep, Rewriter, Witness};
+use crate::rules::enabling::Normalization;
 use crate::term::Program;
 use crate::value::Value;
 
@@ -88,6 +89,147 @@ pub fn optimization_report(
         ));
     }
     (result, out)
+}
+
+/// One side of the before/after pair in [`optimize_result_json`].
+fn program_json(prog: &Program, params: &MachineParams, m: f64) -> Json {
+    Json::Obj(vec![
+        ("program".into(), Json::Str(prog.to_string())),
+        ("cost".into(), Json::Num(program_cost(prog, params, m))),
+        ("stages".into(), Json::Num(prog.len() as f64)),
+        (
+            "collectives".into(),
+            Json::Num(prog.collective_count() as f64),
+        ),
+    ])
+}
+
+fn step_json(step: &RewriteStep) -> Json {
+    let witness = match step.certificate.witness {
+        Witness::Declared => Json::Obj(vec![("kind".into(), Json::Str("declared".into()))]),
+        Witness::Checked { samples } => Json::Obj(vec![
+            ("kind".into(), Json::Str("checked".into())),
+            ("samples".into(), Json::Num(samples as f64)),
+        ]),
+    };
+    let laws: Vec<Json> = step
+        .certificate
+        .laws
+        .iter()
+        .map(|l| Json::Str(l.describe()))
+        .collect();
+    Json::Obj(vec![
+        ("rule".into(), Json::Str(step.rule.to_string())),
+        ("at".into(), Json::Num(step.at as f64)),
+        ("saving".into(), step.saving.map_or(Json::Null, Json::Num)),
+        ("description".into(), Json::Str(step.description.clone())),
+        ("rank0_only".into(), Json::Bool(step.rank0_only)),
+        (
+            "certificate".into(),
+            Json::Obj(vec![
+                ("laws".into(), Json::Arr(laws)),
+                ("witness".into(), witness),
+            ]),
+        ),
+    ])
+}
+
+fn normalization_json(n: &Normalization) -> Json {
+    match n {
+        Normalization::MapFuse { at, label } => Json::Obj(vec![
+            ("kind".into(), Json::Str("map-fuse".into())),
+            ("at".into(), Json::Num(*at as f64)),
+            ("label".into(), Json::Str(label.clone())),
+        ]),
+        Normalization::BcastMapCommute { at, label } => Json::Obj(vec![
+            ("kind".into(), Json::Str("bcast-map-commute".into())),
+            ("at".into(), Json::Num(*at as f64)),
+            ("label".into(), Json::Str(label.clone())),
+        ]),
+        Normalization::GatherScatterElim { at } => Json::Obj(vec![
+            ("kind".into(), Json::Str("gather-scatter-elim".into())),
+            ("at".into(), Json::Num(*at as f64)),
+        ]),
+    }
+}
+
+/// Serialize an optimization run through the shared hand-rolled
+/// [`Json`] document model — the one machine-readable rendering of an
+/// [`OptimizeResult`], used by `collopt --json`, the serve front end,
+/// and the golden-pinned schema test. Byte-stable: the same
+/// `(prog, result, params, m)` always renders the same string via
+/// [`Json::render`] (object order is fixed, numbers use Rust's
+/// shortest-roundtrip `f64` formatting).
+///
+/// `prog` is the program the rewriter was handed (for the serve path,
+/// the *canonicalized* pipeline, so responses are independent of the
+/// request's surface spelling).
+pub fn optimize_result_json(
+    prog: &Program,
+    result: &OptimizeResult,
+    params: &MachineParams,
+    m: f64,
+) -> Json {
+    let before = program_cost(prog, params, m);
+    let after = program_cost(&result.program, params, m);
+    let percent = if before > 0.0 {
+        100.0 * (before - after) / before
+    } else {
+        0.0
+    };
+    let rejections: Vec<Json> = result
+        .rejections
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("rule".into(), Json::Str(r.rule.to_string())),
+                ("at".into(), Json::Num(r.at as f64)),
+                ("law".into(), Json::Str(r.law.clone())),
+                (
+                    "counterexample".into(),
+                    Json::Str(r.counterexample.to_string()),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("version".into(), Json::Num(1.0)),
+        (
+            "machine".into(),
+            Json::Obj(vec![
+                ("p".into(), Json::Num(params.p as f64)),
+                ("ts".into(), Json::Num(params.ts)),
+                ("tw".into(), Json::Num(params.tw)),
+                ("m".into(), Json::Num(m)),
+            ]),
+        ),
+        ("original".into(), program_json(prog, params, m)),
+        ("optimized".into(), program_json(&result.program, params, m)),
+        (
+            "cost".into(),
+            Json::Obj(vec![
+                ("before".into(), Json::Num(before)),
+                ("after".into(), Json::Num(after)),
+                ("saving".into(), Json::Num(before - after)),
+                ("percent".into(), Json::Num(percent)),
+            ]),
+        ),
+        (
+            "steps".into(),
+            Json::Arr(result.steps.iter().map(step_json).collect()),
+        ),
+        (
+            "normalizations".into(),
+            Json::Arr(
+                result
+                    .normalizations
+                    .iter()
+                    .map(normalization_json)
+                    .collect(),
+            ),
+        ),
+        ("rejections".into(), Json::Arr(rejections)),
+    ])
 }
 
 /// Render a per-stage table with *measured* simulated times next to the
@@ -318,6 +460,48 @@ mod tests {
         let section = degradation_section(&prog, &inputs, clock, &crash);
         assert!(section.contains("run failed"), "{section}");
         assert!(section.contains('3'), "{section}");
+    }
+
+    #[test]
+    fn optimize_result_json_is_byte_stable_and_complete() {
+        let params = MachineParams::parsytec_like(64);
+        let prog = example();
+        let result = Rewriter::cost_guided(params, 8.0).optimize_optimal(&prog, &params, 8.0);
+        let a = optimize_result_json(&prog, &result, &params, 8.0).render();
+        let b = optimize_result_json(&prog, &result, &params, 8.0).render();
+        assert_eq!(a, b);
+        // The document round-trips through the strict parser and carries
+        // every section of the result.
+        let doc = collopt_machine::Json::parse(&a).expect("valid JSON");
+        assert_eq!(doc.get("version").and_then(|v| v.as_f64()), Some(1.0));
+        assert_eq!(
+            doc.get("machine")
+                .and_then(|m| m.get("p"))
+                .and_then(|p| p.as_f64()),
+            Some(64.0)
+        );
+        let steps = doc.get("steps").and_then(|s| s.as_array()).unwrap();
+        assert_eq!(steps.len(), result.steps.len());
+        assert!(!steps.is_empty());
+        let step0 = &steps[0];
+        assert!(step0.get("certificate").is_some());
+        let before = doc
+            .get("cost")
+            .and_then(|c| c.get("before"))
+            .and_then(|x| x.as_f64())
+            .unwrap();
+        let after = doc
+            .get("cost")
+            .and_then(|c| c.get("after"))
+            .and_then(|x| x.as_f64())
+            .unwrap();
+        assert!(after < before);
+        assert_eq!(
+            doc.get("optimized")
+                .and_then(|o| o.get("program"))
+                .and_then(|p| p.as_str()),
+            Some(result.program.to_string().as_str())
+        );
     }
 
     #[test]

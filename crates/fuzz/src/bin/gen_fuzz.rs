@@ -18,15 +18,9 @@
 use std::fs;
 use std::time::Instant;
 
+use collopt_bench::harness::env_u64;
 use collopt_bench::sweep_driver::default_workers;
 use collopt_fuzz::{pin, run_campaign, shrink_failures, CampaignConfig, GenConfig};
-
-fn env_or(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(default)
-}
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\")
@@ -38,11 +32,11 @@ fn json_escape(s: &str) -> String {
 const SHRINK_CAP: usize = 10;
 
 fn main() {
-    let iters = env_or("FUZZ_ITERS", 500);
-    let seed = env_or("FUZZ_SEED", 0xC0110);
-    let pmax = env_or("FUZZ_PMAX", 9).clamp(2, 64) as usize;
-    let mmax = env_or("FUZZ_M", 4).clamp(1, 64) as usize;
-    let pin_enabled = env_or("FUZZ_PIN", 1) != 0;
+    let iters = env_u64("FUZZ_ITERS", 500);
+    let seed = env_u64("FUZZ_SEED", 0xC0110);
+    let pmax = env_u64("FUZZ_PMAX", 9).clamp(2, 64) as usize;
+    let mmax = env_u64("FUZZ_M", 4).clamp(1, 64) as usize;
+    let pin_enabled = env_u64("FUZZ_PIN", 1) != 0;
     let workers = default_workers();
 
     let cfg = CampaignConfig {

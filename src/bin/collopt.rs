@@ -32,6 +32,24 @@
 //!   is the single-threaded discrete-event scheduler whose `p` is bounded
 //!   by memory only. Default: `pooled`, or the `COLLOPT_ENGINE` variable.
 //! * `--table1`      also print the analytic Table 1 and exit
+//! * `--json`        emit the byte-stable optimization JSON (the core of
+//!   the serve response schema) instead of the human summary
+//!
+//! Serve mode — the long-running optimization service and its client:
+//!
+//! ```text
+//! $ collopt serve --addr 127.0.0.1:7071 &
+//! $ collopt submit "scan(mul) ; reduce(add)" --p 64 --m 32
+//! $ collopt submit --op stats
+//! $ collopt submit --op shutdown
+//! ```
+//!
+//! `serve` speaks JSON lines over TCP (one request object per line; see
+//! `collopt_serve::request`) with a canonicalizing LRU optimization
+//! cache and batched dispatch. `submit` builds one request from the
+//! usual flags (`--p/--ts/--tw/--m`, `--all-ranks`, `--no-lint`,
+//! `--simulate`, `--engine`), sends it, and prints the response line;
+//! `--line '<json>'` submits a raw request verbatim.
 //!
 //! Lint mode — static soundness and performance diagnostics:
 //!
@@ -75,17 +93,182 @@
 //! Exit codes: 0 clean (notes allowed), 1 errors (or warnings under
 //! `--deny warnings`), 2 usage or parse errors.
 
+use std::sync::Arc;
+
 use collopt::analysis::{lint_source, LintConfig};
 use collopt::core::egraph::{saturate_program, SaturateConfig};
 use collopt::core::exec::ExecConfig;
 use collopt::core::parser::parse_pipeline;
-use collopt::core::report::{degradation_section_with, optimization_report, profile_section_with};
+use collopt::core::report::{
+    degradation_section_with, optimization_report, optimize_result_json, profile_section_with,
+};
 use collopt::core::rewrite::{program_cost, Rewriter};
 use collopt::core::value::Value;
 use collopt::cost::table1::render_table1;
 use collopt::cost::MachineParams;
 use collopt::fuzz::{run_campaign, run_case, CampaignConfig, CaseSpec, CoverageLedger, GenConfig};
-use collopt::machine::{ClockParams, ExecEngine, FaultPlan};
+use collopt::machine::{ClockParams, ExecEngine, FaultPlan, Json};
+use collopt::serve::{Server, ServerConfig, Service, DEFAULT_CACHE_CAPACITY};
+
+/// Default address for `collopt serve` / `collopt submit`.
+const DEFAULT_ADDR: &str = "127.0.0.1:7071";
+
+/// `collopt serve` — run the optimization service until a `shutdown`
+/// request arrives.
+fn serve_main(args: Vec<String>) -> ! {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut cache = DEFAULT_CACHE_CAPACITY;
+    let mut config = ServerConfig::default();
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = grab("--addr"),
+            "--cache" => cache = grab("--cache").parse().expect("--cache expects an integer"),
+            "--workers" => {
+                config.workers = grab("--workers")
+                    .parse()
+                    .expect("--workers expects an integer")
+            }
+            "--batch" => {
+                config.batch_limit = grab("--batch").parse().expect("--batch expects an integer")
+            }
+            other => {
+                eprintln!("unknown serve option {other}");
+                eprintln!(
+                    "usage: collopt serve [--addr HOST:PORT] [--cache N] [--workers N] [--batch N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let service = Arc::new(Service::new(cache));
+    let server = match Server::bind(&addr, service, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match server.local_addr() {
+        Ok(a) => eprintln!("collopt serve: listening on {a} (JSON lines; op=shutdown to stop)"),
+        Err(e) => eprintln!("collopt serve: listening ({e})"),
+    }
+    match server.run() {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("server error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `collopt submit` — send one request to a running server and print the
+/// response line.
+fn submit_main(args: Vec<String>) -> ! {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut pipeline: Option<String> = None;
+    let mut raw: Option<String> = None;
+    let mut op: Option<String> = None;
+    let mut id: f64 = 0.0;
+    let mut p = 64f64;
+    let mut ts = 200.0f64;
+    let mut tw = 2.0f64;
+    let mut m = 32.0f64;
+    let mut all_ranks = false;
+    let mut lint = true;
+    let mut simulate = false;
+    let mut engine: Option<String> = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = grab("--addr"),
+            "--line" => raw = Some(grab("--line")),
+            "--op" => op = Some(grab("--op")),
+            "--id" => id = grab("--id").parse().expect("--id expects a number"),
+            "--p" => p = grab("--p").parse().expect("--p expects an integer"),
+            "--ts" => ts = grab("--ts").parse().expect("--ts expects a number"),
+            "--tw" => tw = grab("--tw").parse().expect("--tw expects a number"),
+            "--m" => m = grab("--m").parse().expect("--m expects a number"),
+            "--all-ranks" => all_ranks = true,
+            "--no-lint" => lint = false,
+            "--simulate" => simulate = true,
+            "--engine" => engine = Some(grab("--engine")),
+            other if other.starts_with("--") => {
+                eprintln!("unknown submit option {other}");
+                std::process::exit(2);
+            }
+            other => {
+                if pipeline.replace(other.to_string()).is_some() {
+                    eprintln!("multiple pipeline arguments");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+
+    let line = if let Some(raw) = raw {
+        raw
+    } else if let Some(op) = op {
+        Json::Obj(vec![
+            ("id".into(), Json::Num(id)),
+            ("op".into(), Json::Str(op)),
+        ])
+        .render()
+    } else if let Some(pipeline) = pipeline {
+        let mut options = vec![
+            ("all_ranks".into(), Json::Bool(all_ranks)),
+            ("lint".into(), Json::Bool(lint)),
+            ("simulate".into(), Json::Bool(simulate)),
+        ];
+        if let Some(engine) = engine {
+            options.push(("engine".into(), Json::Str(engine)));
+        }
+        Json::Obj(vec![
+            ("id".into(), Json::Num(id)),
+            ("pipeline".into(), Json::Str(pipeline)),
+            ("p".into(), Json::Num(p)),
+            ("ts".into(), Json::Num(ts)),
+            ("tw".into(), Json::Num(tw)),
+            ("m".into(), Json::Num(m)),
+            ("options".into(), Json::Obj(options)),
+        ])
+        .render()
+    } else {
+        eprintln!(
+            "usage: collopt submit \"<pipeline>\" [--addr HOST:PORT] [--id N] \
+             [--p N] [--ts X] [--tw X] [--m X] [--all-ranks] [--no-lint] \
+             [--simulate] [--engine E] | --op ping|stats|shutdown | --line '<json>'"
+        );
+        std::process::exit(2);
+    };
+
+    match collopt::serve::submit(&addr, &line) {
+        Ok(response) => {
+            println!("{response}");
+            let ok = response.contains("\"ok\":true");
+            std::process::exit(if ok { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("cannot reach {addr}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
 
 /// `collopt lint` — parse, analyze, report, and gate.
 fn lint_main(args: Vec<String>) -> ! {
@@ -376,6 +559,12 @@ fn main() {
     if args.first().is_some_and(|a| a == "saturate") {
         saturate_main(args.split_off(1));
     }
+    if args.first().is_some_and(|a| a == "serve") {
+        serve_main(args.split_off(1));
+    }
+    if args.first().is_some_and(|a| a == "submit") {
+        submit_main(args.split_off(1));
+    }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: collopt \"<pipeline>\" [--p N] [--ts X] [--tw X] [--m X] \
@@ -398,6 +587,11 @@ fn main() {
             "  fuzz mode: collopt fuzz [--iters N] [--seed N] [--pmax N] [--m N] \
              [--replay \"<spec>\"]"
         );
+        eprintln!("  serve    : collopt serve [--addr HOST:PORT] [--cache N] [--workers N]");
+        eprintln!(
+            "  submit   : collopt submit \"<pipeline>\" [--addr HOST:PORT] [--simulate] \
+             | --op ping|stats|shutdown"
+        );
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
     if args.iter().any(|a| a == "--table1") {
@@ -415,6 +609,7 @@ fn main() {
     let mut report = false;
     let mut optimal = false;
     let mut profile = false;
+    let mut json = false;
     let mut faults: Option<FaultPlan> = None;
     let mut engine: Option<ExecEngine> = None;
 
@@ -436,6 +631,7 @@ fn main() {
             "--report" => report = true,
             "--optimal" => optimal = true,
             "--profile" => profile = true,
+            "--json" => json = true,
             "--faults" => {
                 let spec = grab("--faults");
                 match FaultPlan::parse(&spec) {
@@ -555,6 +751,21 @@ fn main() {
             );
             println!("```");
         }
+        return;
+    }
+
+    if json {
+        // The machine-readable path: the same byte-stable document the
+        // serve front end returns (sans lint/simulation sections).
+        let result = if optimal {
+            rewriter.optimize_optimal(&prog, &params, m)
+        } else {
+            rewriter.optimize(&prog)
+        };
+        println!(
+            "{}",
+            optimize_result_json(&prog, &result, &params, m).render()
+        );
         return;
     }
 

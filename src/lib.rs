@@ -24,7 +24,10 @@
 //!   a seeded pipeline generator, four oracles (rewrite soundness,
 //!   cross-engine identity, defense-layer unanimity on planted law lies,
 //!   saturation-vs-brute-force optimality agreement), a greedy shrinker
-//!   and the pinned-regression corpus.
+//!   and the pinned-regression corpus;
+//! * [`serve`] — optimization as a service: a JSON-lines-over-TCP
+//!   server with a canonicalizing LRU optimization cache and batched
+//!   dispatch (`collopt serve` / `collopt submit`).
 //!
 //! See `examples/quickstart.rs` for a guided tour, `DESIGN.md` for the
 //! system inventory, and `EXPERIMENTS.md` for the paper-vs-measured record
@@ -55,6 +58,7 @@ pub use collopt_core as core;
 pub use collopt_cost as cost;
 pub use collopt_fuzz as fuzz;
 pub use collopt_machine as machine;
+pub use collopt_serve as serve;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {

@@ -1,0 +1,66 @@
+//! Byte-pins the serve response schema: the full JSON line produced for
+//! the paper's Example pipeline on the default machine must never drift
+//! without a deliberate golden update.
+//!
+//! Regenerate `tests/golden/serve_response.json` by piping
+//! `Service::handle_line` output for the request below into the file
+//! (with a trailing newline) after verifying the new schema by eye.
+
+use collopt::machine::Json;
+use collopt::serve::Service;
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing golden {path}: {e}"))
+}
+
+const REQUEST: &str = r#"{"id":1,"pipeline":"map f ; scan(mul) ; reduce(add) ; map g ; bcast","p":64,"ts":200,"tw":2,"m":32,"options":{"lint":true,"simulate":false}}"#;
+
+#[test]
+fn serve_response_schema_is_byte_stable() {
+    let service = Service::new(8);
+    let out = service.handle_line(REQUEST).text;
+    assert_eq!(format!("{out}\n"), golden("serve_response.json"));
+}
+
+#[test]
+fn cache_hits_replay_the_golden_bytes() {
+    let service = Service::new(8);
+    let cold = service.handle_line(REQUEST).text;
+    let hot = service.handle_line(REQUEST).text;
+    assert_eq!(cold, hot, "cache hit must be byte-identical to cold");
+    assert_eq!(format!("{hot}\n"), golden("serve_response.json"));
+    // An equivalent spelling (extra whitespace, float-typed params) hits
+    // the same cache entry but echoes its own id.
+    let variant = r#"{"id":2,"pipeline":"map f ;  scan(mul);reduce(add) ; map g ; bcast","p":64,"ts":200.0,"tw":2.0,"m":32.0,"options":{"lint":true,"simulate":false}}"#;
+    let aliased = service.handle_line(variant).text;
+    assert_eq!(
+        aliased.replacen("\"id\":2", "\"id\":1", 1),
+        hot,
+        "equivalent spec must reuse the canonical body"
+    );
+}
+
+#[test]
+fn golden_is_valid_compact_json_with_the_pinned_schema() {
+    let text = golden("serve_response.json");
+    let line = text.trim_end();
+    let doc = Json::parse(line).expect("golden parses");
+    // Compactness: our renderer round-trips the bytes exactly.
+    assert_eq!(doc.render(), line);
+    let result = doc.get("result").expect("result");
+    for field in [
+        "version",
+        "machine",
+        "original",
+        "optimized",
+        "cost",
+        "steps",
+        "normalizations",
+        "rejections",
+        "lint",
+        "simulation",
+    ] {
+        assert!(result.get(field).is_some(), "schema lost field '{field}'");
+    }
+}
