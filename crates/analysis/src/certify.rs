@@ -15,6 +15,7 @@
 //! Validation is independent of the engine: it reconstructs nothing from
 //! the programs, only judges what the certificates claim.
 
+use collopt_core::dist::{expected_post, expected_pre, DistState};
 use collopt_core::op::{Counterexample, RequiredLaw};
 use collopt_core::rewrite::{Certificate, OptimizeResult, RewriteStep};
 use collopt_core::rules::Rule;
@@ -46,6 +47,21 @@ pub enum CertificateIssue {
         /// `"distributivity"`.
         kind: &'static str,
     },
+    /// The certificate's distribution pre/post-condition disagrees with
+    /// what the rule (and the step's `rank0_only` instantiation)
+    /// guarantees — a forged or stale condition.
+    DistMismatch {
+        /// Index of the step in `OptimizeResult::steps`.
+        step: usize,
+        /// The rule in question.
+        rule: Rule,
+        /// Which condition: `"pre"` or `"post"`.
+        which: &'static str,
+        /// The state the rule guarantees.
+        expected: DistState,
+        /// The state the certificate claims.
+        certified: DistState,
+    },
     /// A certified law fails on re-verification.
     LawViolated {
         /// Index of the step in `OptimizeResult::steps`.
@@ -76,6 +92,19 @@ impl std::fmt::Display for CertificateIssue {
                     "step {step}: {rule} requires a {kind} law, none certified"
                 )
             }
+            CertificateIssue::DistMismatch {
+                step,
+                rule,
+                which,
+                expected,
+                certified,
+            } => write!(
+                f,
+                "step {step}: {rule} guarantees {which}-distribution {} but the certificate \
+                 claims {}",
+                expected.name(),
+                certified.name()
+            ),
             CertificateIssue::LawViolated {
                 step,
                 rule,
@@ -155,6 +184,26 @@ pub fn validate_step(
                 kind,
             });
         }
+    }
+    let want_pre = expected_pre(step.rule);
+    if cert.dist_pre != want_pre {
+        issues.push(CertificateIssue::DistMismatch {
+            step: index,
+            rule: step.rule,
+            which: "pre",
+            expected: want_pre,
+            certified: cert.dist_pre,
+        });
+    }
+    let want_post = expected_post(step.rule, step.rank0_only);
+    if cert.dist_post != want_post {
+        issues.push(CertificateIssue::DistMismatch {
+            step: index,
+            rule: step.rule,
+            which: "post",
+            expected: want_post,
+            certified: cert.dist_post,
+        });
     }
     for law in &cert.laws {
         // Fused tuple-typed operators (declared width > 1 word per
@@ -261,6 +310,24 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    #[test]
+    fn forged_distribution_postcondition_is_rejected() {
+        let prog = Program::new().scan(lib::mul()).reduce(lib::add());
+        let mut res = Rewriter::exhaustive().optimize(&prog);
+        assert_eq!(res.steps.len(), 1);
+        // `scan ; reduce` fuses rank0-only: the honest post-state is ⊥.
+        assert!(res.steps[0].rank0_only);
+        assert_eq!(res.steps[0].certificate.dist_post, DistState::Bottom);
+        res.steps[0].certificate.dist_post = DistState::Replicated;
+        let issues = validate_result(&res, &[], &AuditConfig::default());
+        assert!(
+            issues
+                .iter()
+                .any(|i| matches!(i, CertificateIssue::DistMismatch { which: "post", .. })),
+            "{issues:?}"
+        );
     }
 
     fn lying_sub() -> collopt_core::op::BinOp {

@@ -10,6 +10,12 @@
 //! | `COL004` | warning  | redundant collective (bcast after bcast/all-variant, gather;scatter round-trip) |
 //! | `COL005` | note     | under-declared property: a law holds on the audit domain but is not declared |
 //! | `COL006` | note     | floating-point operator: laws are tolerance-approximate |
+//! | `COL007` | warning  | distribution mismatch: a stage consumes data on every rank but its producer leaves the result root-only or undefined |
+//! | `COL008` | error    | schedule deadlock: a lowering's communication schedule has a wait-for cycle or barrier inconsistency (`collopt check`) |
+//! | `COL009` | error    | unmatched message: an orphan receive or an unconsumed send in a schedule (`collopt check`) |
+//! | `COL010` | error/note | round count above the cost model's promise (error) or above the `⌈log₂ p⌉` lower bound (note; `collopt check`) |
+//! | `COL011` | warning  | divisibility hazard: a segmenting lowering wins the cost comparison but `p ∤ m` |
+//! | `COL012` | warning  | a suggested rewrite narrows the final distribution to rank 0 |
 //!
 //! Diagnostics carry the stage index, the byte [`Span`] when the pipeline
 //! came from source text ([`lint_source`] / `parse_pipeline_spanned`), and
@@ -263,6 +269,7 @@ pub fn lint_program(prog: &Program, spans: Option<&[Span]>, cfg: &LintConfig) ->
     fusion_pass(prog, spans, cfg, &mut diags);
     operator_pass(prog, spans, cfg, &mut diags);
     redundancy_pass(prog, spans, &mut diags);
+    crate::distflow::distflow_pass(prog, spans, cfg, &mut diags);
     diags.sort_by(|a, b| (a.stage, a.code, &a.message).cmp(&(b.stage, b.code, &b.message)));
     LintReport {
         diagnostics: diags,
@@ -333,6 +340,33 @@ fn apply_norm_log(origins: &mut Vec<(usize, usize)>, log: &[Normalization]) {
                 origins.swap(*at, *at + 1);
             }
         }
+    }
+}
+
+/// COL012: the matched rewrite is a Local rule — its fused form keeps
+/// only rank 0's value, so applying the suggestion changes the
+/// pipeline's final distribution state from every-rank-meaningful to
+/// rank-0-only. Legal exactly when nothing downstream consumes the other
+/// ranks; the linter cannot see past the pipeline's end, so it warns.
+fn dist_narrowing_diag(
+    rule: rules::Rule,
+    window_str: &str,
+    stage: usize,
+    len: usize,
+    spans: Option<&[Span]>,
+) -> Diagnostic {
+    Diagnostic {
+        code: "COL012",
+        severity: Severity::Warning,
+        message: format!(
+            "distribution narrowing: fusing `{window_str}` via {rule} leaves the result on \
+             rank 0 only, while the unfused pipeline ends with every rank holding its value — \
+             safe only if downstream consumers read rank 0 exclusively"
+        ),
+        stage,
+        len,
+        span: window_span(spans, stage, len),
+        suggestion: None,
     }
 }
 
@@ -408,6 +442,15 @@ fn fusion_pass(
             span: window_span(spans, o_start, o_len),
             suggestion: Some(current.to_string()),
         });
+        if rw.rank0_only {
+            diags.push(dist_narrowing_diag(
+                step.rule,
+                &window_str,
+                o_start,
+                o_len,
+                spans,
+            ));
+        }
         covered.push((o_start, o_end));
     }
 
@@ -452,6 +495,9 @@ fn fusion_pass(
                     span: window_span(spans, at, len),
                     suggestion: Some(candidate.to_string()),
                 });
+                if rw.rank0_only {
+                    diags.push(dist_narrowing_diag(rule, &window_str, at, len, spans));
+                }
             } else {
                 let verdict = if exhaustive {
                     "exhaustive search confirms no rule ordering improves this pipeline"

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # collopt-collectives — collective operations on the simulated machine
 //!
 //! Implementations of every collective operation used by Gorlatch, Wedler &
@@ -56,6 +57,7 @@ pub mod reduce;
 pub mod reduce_scatter;
 pub mod reference;
 pub mod scan;
+pub mod schedule;
 pub mod variants;
 
 pub use alltoall::{alltoall, reduce_scatter};

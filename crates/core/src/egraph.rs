@@ -734,10 +734,13 @@ impl EGraph {
                     }
                 }
             };
+            let rank0_only = rules::try_match(rule, window).is_some_and(|rw| rw.rank0_only);
             Some(Certificate {
                 rule,
                 laws,
                 witness,
+                dist_pre: crate::dist::expected_pre(rule),
+                dist_post: crate::dist::expected_post(rule, rank0_only),
             })
         })();
         self.cert_cache.insert(cache_key, result.clone());

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # collopt-core — optimization rules for programming with collective operations
 //!
 //! A Rust implementation of the formal framework, optimization rules and
@@ -58,6 +59,7 @@
 //! ```
 
 pub mod adjust;
+pub mod dist;
 pub mod egraph;
 pub mod exec;
 pub mod op;

@@ -165,6 +165,12 @@ pub struct Certificate {
     pub laws: Vec<RequiredLaw>,
     /// How the laws were established at application time.
     pub witness: Witness,
+    /// Distribution state the rule's window assumes on entry (see
+    /// [`crate::dist`]).
+    pub dist_pre: crate::dist::DistState,
+    /// Distribution state after the rewritten window; `⊥` for rank0-only
+    /// applications, which discard the non-root values.
+    pub dist_post: crate::dist::DistState,
 }
 
 impl Certificate {
@@ -399,10 +405,13 @@ impl Rewriter {
                 }
             }
         };
+        let rank0_only = rules::try_match(rule, window).is_some_and(|rw| rw.rank0_only);
         Some(Certificate {
             rule,
             laws,
             witness,
+            dist_pre: crate::dist::expected_pre(rule),
+            dist_post: crate::dist::expected_post(rule, rank0_only),
         })
     }
 

@@ -1,0 +1,130 @@
+//! Round lower bounds for collective schedules.
+//!
+//! In the fully connected, one-ported model (each processor takes part in
+//! at most one message transfer per communication round — the model the
+//! paper's `ts`-per-phase accounting assumes), every collective is
+//! subject to the classical *influence bound*: a value that must reflect
+//! contributions from `k` processors needs at least `⌈log₂ k⌉` rounds,
+//! because the set of processors whose data can have influenced any one
+//! location at most doubles per round. Träff (arXiv 2410.14234) sharpens
+//! this for reduce-scatter and allreduce — `⌈log₂ p⌉` rounds are both
+//! necessary and (with the right, non-trivial schedules) sufficient, and
+//! any algorithm achieving fewer rounds is impossible regardless of how
+//! much bandwidth it spends.
+//!
+//! The static schedule verifier compares a lowering's measured
+//! critical-path round count against [`min_rounds`]: exceeding it is not
+//! a bug (ring and linear schedules trade rounds for bandwidth or
+//! generality) but is *provably suboptimal* in start-ups, which the
+//! linter surfaces as the note `COL010`.
+
+/// The collective families the bound table covers. Deliberately distinct
+/// from any richer registry enum so this crate stays dependency-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoundKind {
+    /// One root's value to all ranks.
+    Bcast,
+    /// All ranks' values combined to one root.
+    Reduce,
+    /// All ranks' values combined, result everywhere.
+    AllReduce,
+    /// Prefix combination, rank `i` sees ranks `0..=i`.
+    Scan,
+    /// Exclusive prefix combination.
+    ExScan,
+    /// All ranks' blocks concatenated at the root.
+    Gather,
+    /// The root's blocks distributed, one per rank.
+    Scatter,
+    /// All ranks' blocks concatenated everywhere.
+    AllGather,
+    /// All ranks' values combined, segment `i` at rank `i`.
+    ReduceScatter,
+    /// Personalized block from every rank to every rank.
+    AllToAll,
+    /// Pure synchronization.
+    Barrier,
+    /// The paper's comcast pattern (broadcast-class influence).
+    Comcast,
+}
+
+/// `⌈log₂ p⌉` without floats; `0` for `p ≤ 1`.
+pub fn ceil_log2(p: usize) -> u64 {
+    if p <= 1 {
+        0
+    } else {
+        u64::from(usize::BITS - (p - 1).leading_zeros())
+    }
+}
+
+/// Minimum number of communication rounds any correct schedule for
+/// `kind` on `p` processors needs in the one-ported model.
+///
+/// * `Bcast`/`Scatter`/`Comcast`: after `r` rounds at most `2^r` ranks
+///   can have been influenced by the root — `⌈log₂ p⌉`.
+/// * `Reduce`/`Gather`/`Barrier`: the mirror argument — the root (every
+///   rank, for barrier) must be influenced by all `p` inputs.
+/// * `AllReduce`/`ReduceScatter`/`AllGather`/`AllToAll`: every output
+///   location depends on all `p` inputs; Träff 2410.14234 shows
+///   `⌈log₂ p⌉` is tight for reduce-scatter and allreduce even with
+///   unlimited bandwidth.
+/// * `Scan`/`ExScan`: rank `p−1` (resp. the rank after it) depends on
+///   all earlier inputs, giving the same `⌈log₂ p⌉`.
+pub fn min_rounds(kind: BoundKind, p: usize) -> u64 {
+    match kind {
+        BoundKind::Bcast
+        | BoundKind::Reduce
+        | BoundKind::AllReduce
+        | BoundKind::Scan
+        | BoundKind::ExScan
+        | BoundKind::Gather
+        | BoundKind::Scatter
+        | BoundKind::AllGather
+        | BoundKind::ReduceScatter
+        | BoundKind::AllToAll
+        | BoundKind::Barrier
+        | BoundKind::Comcast => ceil_log2(p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_matches_the_float_formula() {
+        for p in 1..=1025usize {
+            let expected = if p <= 1 {
+                0
+            } else {
+                (p as f64).log2().ceil() as u64
+            };
+            assert_eq!(ceil_log2(p), expected, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn bounds_are_monotone_in_p() {
+        for kind in [
+            BoundKind::Bcast,
+            BoundKind::AllReduce,
+            BoundKind::ReduceScatter,
+            BoundKind::Barrier,
+        ] {
+            let mut prev = 0;
+            for p in 1..=128 {
+                let b = min_rounds(kind, p);
+                assert!(b >= prev);
+                prev = b;
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_round_counts_meet_the_bound_exactly_at_powers_of_two() {
+        for log in 1..=7u32 {
+            let p = 1usize << log;
+            assert_eq!(min_rounds(BoundKind::AllReduce, p), u64::from(log));
+        }
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # collopt-cost — the paper's cost calculus (Section 4)
 //!
 //! Analytic performance estimates for collective operations and for the
@@ -24,6 +25,7 @@
 //! simulated makespans, which only works if the two are independent
 //! implementations of the same model.
 
+pub mod bounds;
 pub mod collectives;
 pub mod exact;
 pub mod params;

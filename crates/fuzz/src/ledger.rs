@@ -28,6 +28,12 @@ pub struct CoverageLedger {
     /// Cases short enough (≤ 6 stages) for the saturation-vs-brute-force
     /// optimality oracle to run.
     pub saturation_cases: u64,
+    /// Static schedule verifications run (shipped + planted lowerings,
+    /// over every case's `(p, m)` point).
+    pub static_checks: u64,
+    /// Planted-bug lowerings the static verifier rejected with the
+    /// expected lint code.
+    pub static_rejects: u64,
     /// Rewrite-rule applications observed, by rule name. Initialized with
     /// every Table-1 rule at zero so absences are visible.
     pub rules: BTreeMap<&'static str, u64>,
@@ -69,6 +75,8 @@ impl CoverageLedger {
         self.under_claim_cases += other.under_claim_cases;
         self.lies_caught += other.lies_caught;
         self.saturation_cases += other.saturation_cases;
+        self.static_checks += other.static_checks;
+        self.static_rejects += other.static_rejects;
         for (k, v) in &other.rules {
             *self.rules.entry(k).or_insert(0) += v;
         }
@@ -116,6 +124,8 @@ impl CoverageLedger {
                 "  \"under_claim_cases\": {},\n",
                 "  \"lies_caught\": {},\n",
                 "  \"saturation_cases\": {},\n",
+                "  \"static_checks\": {},\n",
+                "  \"static_rejects\": {},\n",
                 "  \"rules_fired\": {},\n",
                 "  \"rules\": {},\n",
                 "  \"stages\": {},\n",
@@ -130,6 +140,8 @@ impl CoverageLedger {
             self.under_claim_cases,
             self.lies_caught,
             self.saturation_cases,
+            self.static_checks,
+            self.static_rejects,
             self.rules_fired(),
             map_json(&self.rules),
             map_json(&self.stages),
@@ -143,13 +155,15 @@ impl CoverageLedger {
     pub fn summary(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "cases={} honest={} over_claims={} under_claims={} lies_caught={} saturation_checked={}\n",
+            "cases={} honest={} over_claims={} under_claims={} lies_caught={} saturation_checked={} static_checks={} static_rejects={}\n",
             self.cases,
             self.honest,
             self.over_claim_cases,
             self.under_claim_cases,
             self.lies_caught,
-            self.saturation_cases
+            self.saturation_cases,
+            self.static_checks,
+            self.static_rejects
         ));
         out.push_str(&format!("rules fired: {}/11", self.rules_fired()));
         for (name, count) in &self.rules {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Coverage-guided differential fuzzing of the whole collopt stack.
 //!
 //! The paper's central guarantee — rule-rewritten pipelines are
@@ -5,7 +6,7 @@
 //! here on *generated* pipelines rather than hand-written ones. A seeded
 //! [`generator`](gen) draws arbitrary compositions over the full grammar
 //! (bcast/scan/reduce/fused forms/PolyEval) with random lookup-table
-//! operators whose declared laws may be *deliberately false*; four
+//! operators whose declared laws may be *deliberately false*; five
 //! differential [`oracles`](oracle) then cross-examine the stack:
 //!
 //! 1. optimized vs. unoptimized execution (bit-equal outputs),
@@ -14,7 +15,10 @@
 //!    planted lies and withheld laws, and
 //! 4. equality-saturation extraction vs. the brute-force optimality
 //!    oracle (bit-equal program and cost, never above greedy) on every
-//!    pipeline of ≤ 6 stages.
+//!    pipeline of ≤ 6 stages, and
+//! 5. the static schedule verifier vs. the collective registry's ground
+//!    truth (shipped lowerings accepted, planted bugs rejected with
+//!    their expected lint code, at the case's `(p, m)` point).
 //!
 //! Failures are [`shrunk`](mod@shrink) to a local minimum and
 //! [`pinned`](corpus) into `tests/corpus/` as self-contained spec
@@ -153,6 +157,14 @@ mod tests {
         assert!(
             result.ledger.saturation_cases > 0,
             "the optimality oracle never ran"
+        );
+        assert!(
+            result.ledger.static_checks > 0,
+            "the static-check oracle never ran"
+        );
+        assert!(
+            result.ledger.static_rejects > 0,
+            "no planted lowering was statically rejected"
         );
     }
 }

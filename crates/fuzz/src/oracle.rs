@@ -1,4 +1,4 @@
-//! The four differential oracles.
+//! The five differential oracles.
 //!
 //! 1. **Rewrite** — a property-verified optimization of the generated
 //!    pipeline must leave the mathematical semantics and the simulated
@@ -19,6 +19,13 @@
 //!    behind `optimize_optimal` must bit-match the brute-force optimum's
 //!    program and cost, never exceed the greedy cost, and (on honest
 //!    tables) carry certificates that revalidate.
+//! 5. **StaticCheck** — the static schedule verifier must accept every
+//!    shipped lowering at the case's `(p, m)` point and reject every
+//!    planted-bug lowering with its expected lint code. Together with
+//!    oracle 2 (which runs the shipped lowerings cleanly on all three
+//!    engines) and the planted-deadlock drill tests (which pin the
+//!    dynamic DES deadlock), this closes the loop: static accept ⟺
+//!    clean dynamic run, static reject ⟺ dynamic deadlock.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -58,6 +65,10 @@ pub enum OracleKind {
     /// Equality-saturation extraction vs. the brute-force optimality
     /// oracle (or vs. the greedy cost floor).
     Saturation,
+    /// Static schedule-verifier verdict vs. the registry's ground truth
+    /// (shipped lowerings must verify, planted bugs must be rejected
+    /// with their expected code).
+    StaticCheck,
 }
 
 impl OracleKind {
@@ -68,6 +79,7 @@ impl OracleKind {
             OracleKind::Engines => "engines",
             OracleKind::Defense => "defense",
             OracleKind::Saturation => "saturation",
+            OracleKind::StaticCheck => "static",
         }
     }
 }
@@ -135,7 +147,65 @@ pub fn run_case(case: &CaseSpec, ledger: &mut CoverageLedger) -> Vec<FuzzFailure
         }
     }
     check_saturation(case, ledger, &mut failures);
+    check_static(case, ledger, &mut failures);
     failures
+}
+
+// ---------------------------------------------------------------------
+// Oracle 5: static schedule verdicts vs. the registry's ground truth
+// ---------------------------------------------------------------------
+
+fn check_static(case: &CaseSpec, ledger: &mut CoverageLedger, failures: &mut Vec<FuzzFailure>) {
+    let (p, m) = (case.p, case.m as u64);
+    for report in collopt_analysis::schedule::verify_registry(p, m) {
+        ledger.static_checks += 1;
+        if !report.ok() {
+            let findings: Vec<String> = report
+                .diagnostics
+                .iter()
+                .map(|d| format!("{}: {}", d.code, d.message))
+                .collect();
+            push(
+                failures,
+                case,
+                OracleKind::StaticCheck,
+                format!(
+                    "shipped lowering {} fails static verification at p={p}, m={m}: {}",
+                    report.variant,
+                    findings.join("; ")
+                ),
+            );
+        }
+    }
+    for (report, expected_code) in collopt_analysis::schedule::verify_planted(p, m) {
+        ledger.static_checks += 1;
+        if report.ok() {
+            push(
+                failures,
+                case,
+                OracleKind::StaticCheck,
+                format!(
+                    "planted lowering {} passes static verification at p={p}, m={m} — the \
+                     verifier is blind to its defect",
+                    report.variant
+                ),
+            );
+        } else if !report.diagnostics.iter().any(|d| d.code == expected_code) {
+            let got: Vec<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+            push(
+                failures,
+                case,
+                OracleKind::StaticCheck,
+                format!(
+                    "planted lowering {} rejected with {:?} instead of {expected_code} at \
+                     p={p}, m={m}",
+                    report.variant, got
+                ),
+            );
+        } else {
+            ledger.static_rejects += 1;
+        }
+    }
 }
 
 fn engine_name(e: ExecEngine) -> &'static str {

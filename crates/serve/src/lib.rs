@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # collopt-serve — optimization as a service
 //!
 //! The amortizing front end over the rewrite calculus: a long-running,

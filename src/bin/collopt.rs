@@ -63,6 +63,23 @@
 //! * `--p/--ts/--tw/--m` machine model for the cost judgements (as above)
 //! * `--file PATH`       read the pipeline from a file instead of argv
 //!
+//! Check mode — the static communication-schedule verifier:
+//!
+//! ```text
+//! $ collopt check --p 16 --m 97            # verify every shipped lowering
+//! $ collopt check --planted                # every planted bug must be caught
+//! $ collopt check "scan(mul) ; reduce(add)" --deny warnings
+//! ```
+//!
+//! With no pipeline, `check` symbolically extracts the per-rank schedule
+//! of every shipped collective lowering at `(p, m)` and abstractly
+//! executes it: deadlock-freedom (`COL008`), message-match completeness
+//! (`COL009`), and round counts against the cost model's closed forms
+//! and the `⌈log₂ p⌉` lower bounds (`COL010`). With a pipeline it runs
+//! the full lint battery including the distribution-state dataflow
+//! lints (`COL007`/`COL011`/`COL012`). Flags and the exit contract match
+//! `lint`; `--planted` drills the verifier on known-bad lowerings.
+//!
 //! Saturate mode — equality-saturation search with the cost deltas:
 //!
 //! ```text
@@ -95,7 +112,7 @@
 
 use std::sync::Arc;
 
-use collopt::analysis::{lint_source, LintConfig};
+use collopt::analysis::{lint_source, LintConfig, Severity};
 use collopt::core::egraph::{saturate_program, SaturateConfig};
 use collopt::core::exec::ExecConfig;
 use collopt::core::parser::parse_pipeline;
@@ -356,6 +373,148 @@ fn lint_main(args: Vec<String>) -> ! {
     std::process::exit(if gate { 1 } else { 0 });
 }
 
+/// `collopt check` — static communication-schedule verification.
+///
+/// With no pipeline, verifies every shipped collective lowering's
+/// symbolic schedule at `(p, m)`: deadlock-freedom, message-match
+/// completeness, barrier consistency, and round counts against the cost
+/// model's closed forms and the `⌈log₂ p⌉` lower bounds. With a pipeline
+/// (or `--file`), runs the full lint analysis — the distribution-state
+/// dataflow lints (COL007/COL011/COL012) included — under the same exit
+/// contract as `collopt lint`. `--planted` instead checks that every
+/// planted-bug lowering is rejected with its expected code (the CI
+/// drill).
+fn check_main(args: Vec<String>) -> ! {
+    let mut pipeline: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut planted = false;
+    let mut p = 64usize;
+    let mut ts = 200.0f64;
+    let mut tw = 2.0f64;
+    let mut m = 32.0f64;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--p" => p = grab("--p").parse().expect("--p expects an integer"),
+            "--ts" => ts = grab("--ts").parse().expect("--ts expects a number"),
+            "--tw" => tw = grab("--tw").parse().expect("--tw expects a number"),
+            "--m" => m = grab("--m").parse().expect("--m expects a number"),
+            "--json" => json = true,
+            "--file" => file = Some(grab("--file")),
+            "--planted" => planted = true,
+            "--deny" => {
+                let what = grab("--deny");
+                if what != "warnings" {
+                    eprintln!("--deny only supports 'warnings', got '{what}'");
+                    std::process::exit(2);
+                }
+                deny_warnings = true;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown check option {other}");
+                eprintln!(
+                    "usage: collopt check [\"<pipeline>\" | --file PATH] [--planted] [--json] \
+                     [--deny warnings] [--p N] [--ts X] [--tw X] [--m X]"
+                );
+                std::process::exit(2);
+            }
+            other => {
+                if pipeline.replace(other.to_string()).is_some() {
+                    eprintln!("multiple pipeline arguments");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+
+    let words = m.max(0.0) as u64;
+    if planted {
+        // Drill mode: every planted-bug lowering must be rejected with
+        // its expected code — a verifier that goes blind fails loudly.
+        let mut clean = true;
+        for (report, expected) in collopt::analysis::verify_planted(p, words) {
+            let caught = report.diagnostics.iter().any(|d| d.code == expected);
+            let got: Vec<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+            println!(
+                "  {}  {:<36} expects {expected}, got {got:?}",
+                if caught { "ok  " } else { "FAIL" },
+                report.variant
+            );
+            clean &= caught;
+        }
+        std::process::exit(if clean { 0 } else { 1 });
+    }
+
+    let src = match (pipeline, file) {
+        (Some(_), Some(_)) => {
+            eprintln!("give a pipeline argument or --file, not both");
+            std::process::exit(2);
+        }
+        (Some(src), None) => Some(src),
+        (None, Some(path)) => match std::fs::read_to_string(&path) {
+            Ok(text) => Some(text.trim().to_string()),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        },
+        (None, None) => None,
+    };
+
+    let (errors, warnings) = if let Some(src) = src {
+        // Pipeline mode: the whole lint battery, distribution-state
+        // dataflow included, on one program.
+        let cfg = LintConfig {
+            params: MachineParams::new(p, ts, tw),
+            block: m,
+            ..LintConfig::default()
+        };
+        let report = match lint_source(&src, &cfg) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("{}", e.render(&src));
+                std::process::exit(2);
+            }
+        };
+        if json {
+            println!("{}", report.render_json());
+        } else {
+            print!("{}", report.render_human(Some(&src)));
+        }
+        (report.errors(), report.warnings())
+    } else {
+        // Registry mode: verify every shipped lowering at (p, m).
+        let reports = collopt::analysis::verify_registry(p, words);
+        if json {
+            println!(
+                "{}",
+                collopt::analysis::render_reports_json(&reports, p, words)
+            );
+        } else {
+            print!("{}", collopt::analysis::render_reports_human(&reports));
+        }
+        let count = |sev: Severity| {
+            reports
+                .iter()
+                .flat_map(|r| &r.diagnostics)
+                .filter(|d| d.severity == sev)
+                .count()
+        };
+        (count(Severity::Error), count(Severity::Warning))
+    };
+    let gate = errors > 0 || (deny_warnings && warnings > 0);
+    std::process::exit(if gate { 1 } else { 0 });
+}
+
 /// `collopt saturate` — equality-saturation search, greedy comparison,
 /// and e-graph statistics for one pipeline.
 fn saturate_main(args: Vec<String>) -> ! {
@@ -553,6 +712,9 @@ fn main() {
     if args.first().is_some_and(|a| a == "lint") {
         lint_main(args.split_off(1));
     }
+    if args.first().is_some_and(|a| a == "check") {
+        check_main(args.split_off(1));
+    }
     if args.first().is_some_and(|a| a == "fuzz") {
         fuzz_main(args.split_off(1));
     }
@@ -579,6 +741,10 @@ fn main() {
             ExecEngine::THREAD_MAX_P
         );
         eprintln!("  lint mode: collopt lint \"<pipeline>\" [--json] [--deny warnings]");
+        eprintln!(
+            "  check    : collopt check [\"<pipeline>\" | --file PATH] [--planted] [--json] \
+             [--deny warnings] [--p N] [--m X]"
+        );
         eprintln!(
             "  saturate : collopt saturate \"<pipeline>\" [--p N] [--ts X] [--tw X] [--m X] \
              [--budget N]"

@@ -62,6 +62,24 @@ fn float_fusion_json_output_is_pinned() {
 }
 
 #[test]
+fn distribution_mismatch_human_output_is_pinned() {
+    let src = corpus("lints/distribution_mismatch.pipeline");
+    let out = lint_source(&src, &LintConfig::default())
+        .unwrap()
+        .render_human(Some(&src));
+    assert_eq!(out, golden("distribution_mismatch.human.txt"));
+}
+
+#[test]
+fn distribution_mismatch_json_output_is_pinned() {
+    let src = corpus("lints/distribution_mismatch.pipeline");
+    let out = lint_source(&src, &LintConfig::default())
+        .unwrap()
+        .render_json();
+    assert_eq!(format!("{out}\n"), golden("distribution_mismatch.json"));
+}
+
+#[test]
 fn cost_regression_json_output_is_pinned() {
     // SS-Scan regresses when ts < m(tw+4): m=200 on the default machine.
     let cfg = LintConfig {
@@ -94,15 +112,32 @@ fn clean_corpus_has_no_errors_or_warnings() {
 
 #[test]
 fn lint_corpus_each_triggers_a_warning_or_error() {
-    for name in [
-        "lints/missed_fusion.pipeline",
-        "lints/redundant_bcast.pipeline",
-        "lints/gather_scatter_roundtrip.pipeline",
-        "lints/float_fusion.pipeline",
-        "lints/lattice_fusion.pipeline",
+    // `ragged_segments` only lowers to a segmenting collective at its
+    // sidecar machine point (see its `.flags` file) — everything else
+    // lints dirty at the defaults.
+    let ragged = LintConfig {
+        params: MachineParams::new(16, 200.0, 2.0),
+        block: 4097.0,
+        ..LintConfig::default()
+    };
+    for (name, cfg) in [
+        ("lints/missed_fusion.pipeline", LintConfig::default()),
+        ("lints/redundant_bcast.pipeline", LintConfig::default()),
+        (
+            "lints/gather_scatter_roundtrip.pipeline",
+            LintConfig::default(),
+        ),
+        ("lints/float_fusion.pipeline", LintConfig::default()),
+        ("lints/lattice_fusion.pipeline", LintConfig::default()),
+        (
+            "lints/distribution_mismatch.pipeline",
+            LintConfig::default(),
+        ),
+        ("lints/rank0_narrowing.pipeline", LintConfig::default()),
+        ("lints/ragged_segments.pipeline", ragged),
     ] {
         let src = corpus(name);
-        let report = lint_source(&src, &LintConfig::default()).unwrap();
+        let report = lint_source(&src, &cfg).unwrap();
         assert!(
             report.errors() + report.warnings() > 0,
             "{name} should lint dirty"
